@@ -1,0 +1,59 @@
+"""Shared helpers for the benchmark suite.
+
+Each bench file regenerates one of the paper's tables (or one worked
+example) and prints rows in the paper's format at the end of the module's
+run, in addition to the pytest-benchmark timing records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TableCollector:
+    """Accumulates rows and renders a paper-style table once."""
+
+    title: str
+    columns: list[str]
+    rows: list[list[object]] = field(default_factory=list)
+    _printed: bool = False
+
+    def add(self, *values: object) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError("row arity mismatch")
+        self.rows.append(list(values))
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        rendered_rows = []
+        for row in self.rows:
+            rendered = [_fmt(v) for v in row]
+            widths = [max(w, len(r)) for w, r in zip(widths, rendered)]
+            rendered_rows.append(rendered)
+        lines = [self.title, "=" * len(self.title)]
+        lines.append("  ".join(c.ljust(w) for c, w in zip(self.columns, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for rendered in rendered_rows:
+            lines.append("  ".join(r.ljust(w) for r, w in zip(rendered, widths)))
+        return "\n".join(lines)
+
+    def print_once(self) -> None:
+        if not self._printed and self.rows:
+            self._printed = True
+            print("\n" + self.render() + "\n")
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, bool):
+        return "Yes" if value else "No"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def star(nontrivial: bool) -> str:
+    """The paper's Table 1 annotation: '*' marks a non-trivial result."""
+    return "*" if nontrivial else ""

@@ -1,0 +1,71 @@
+"""Ablation — clustering neighboring required times (the paper's §7 knob).
+
+"One possible approximation is to group them into clusters of neighboring
+required times conservatively.  Controlling the number of clusters gives a
+trade-off between accuracy and CPU time."
+
+This ablation runs the approx-2 climb with axis strides 1 (exact axes), 2
+and 4 and records checks, CPU time, and the total looseness achieved (sum
+of gains over the topological bottom).  Expected: coarser clustering =>
+fewer checks and less gain, never an unsafe result.
+
+Run:  pytest benchmarks/bench_ablation_clustering.py --benchmark-only -q
+"""
+
+import pytest
+
+from _harness import TableCollector
+from conftest import bench_budget
+from repro.circuits import carry_skip_adder
+from repro.core.approx2 import Approx2Analysis
+from repro.timing import FunctionalTiming
+
+TABLE = TableCollector(
+    "Ablation: required-time clustering (axis stride)",
+    ["circuit", "stride", "checks", "CPU (s)", "total gain", "nontrivial"],
+)
+
+RESULTS: dict[int, object] = {}
+NET = carry_skip_adder(3, 3)
+
+
+@pytest.mark.parametrize("stride", [1, 2, 4])
+def test_clustering(benchmark, stride):
+    def run():
+        return Approx2Analysis(
+            NET,
+            output_required=0.0,
+            engine="bdd",
+            clustering=stride,
+            time_budget=bench_budget(30.0),
+        ).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    RESULTS[stride] = result
+    gain = sum(result.best[x] - result.r_bottom[x] for x in result.best)
+    TABLE.add(
+        NET.name,
+        stride,
+        result.checks,
+        result.time_to_max if result.time_to_max is not None else -1.0,
+        gain,
+        result.nontrivial,
+    )
+    # safety: the clustered answer must still validate
+    ft = FunctionalTiming(NET, arrivals=result.best, engine="bdd")
+    assert ft.all_stable_by(0.0)
+
+
+def test_zzz_tradeoff_and_print(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if set(RESULTS) == {1, 2, 4}:
+        gains = {
+            s: sum(r.best[x] - r.r_bottom[x] for x in r.best)
+            for s, r in RESULTS.items()
+        }
+        checks = {s: r.checks for s, r in RESULTS.items()}
+        # the trade-off direction: coarser axes cannot do more checks or
+        # find more looseness
+        assert checks[4] <= checks[2] <= checks[1]
+        assert gains[4] <= gains[1]
+    TABLE.print_once()

@@ -1,0 +1,66 @@
+"""Ablation — approx-2 validation engine: SAT (the paper's choice) vs BDD.
+
+The paper validates candidate vectors with a SAT-based functional timing
+analyzer ([9]) because "the second approximate algorithm is more scalable
+... since the computation engine is a SAT solver".  This ablation runs the
+identical lattice climb with both engines and compares wall time and
+answers (the answers must match exactly).
+
+Run:  pytest benchmarks/bench_ablation_engine.py --benchmark-only -q
+"""
+
+import pytest
+
+from _harness import TableCollector
+from conftest import bench_budget
+from repro.circuits import carry_skip_adder, cascaded_mux_chain
+from repro.core.approx2 import Approx2Analysis
+
+TABLE = TableCollector(
+    "Ablation: approx-2 validation engine (SAT vs BDD)",
+    ["circuit", "engine", "checks", "CPU (s)", "nontrivial"],
+)
+
+CIRCUITS = {
+    "cskip2x3": carry_skip_adder(2, 3),
+    "cskip3x3": carry_skip_adder(3, 3),
+    "muxchain8": cascaded_mux_chain(8),
+}
+
+RESULTS: dict[tuple[str, str], object] = {}
+
+
+@pytest.mark.parametrize("engine", ["sat", "bdd"])
+@pytest.mark.parametrize("name", sorted(CIRCUITS))
+def test_engine(benchmark, name, engine):
+    net = CIRCUITS[name]
+
+    def run():
+        return Approx2Analysis(
+            net,
+            output_required=0.0,
+            engine=engine,
+            time_budget=bench_budget(30.0),
+        ).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    RESULTS[(name, engine)] = result
+    TABLE.add(
+        name,
+        engine,
+        result.checks,
+        result.time_to_max if result.time_to_max is not None else -1.0,
+        result.nontrivial,
+    )
+
+
+def test_zzz_engines_agree_and_print(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for name in sorted(CIRCUITS):
+        sat = RESULTS.get((name, "sat"))
+        bdd = RESULTS.get((name, "bdd"))
+        if sat is None or bdd is None or sat.aborted or bdd.aborted:
+            continue
+        assert sat.best == bdd.best, f"{name}: engines disagree"
+        assert sat.nontrivial == bdd.nontrivial
+    TABLE.print_once()

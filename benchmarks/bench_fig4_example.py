@@ -1,0 +1,67 @@
+"""Worked example (Figure 4, Sections 4.1–4.2) as a benchmark.
+
+Checks the bit-exact reproduction of the paper's relation tables while
+timing the exact and approximate-1 constructions on the example circuit.
+
+Run:  pytest benchmarks/bench_fig4_example.py --benchmark-only -q
+"""
+
+from _harness import TableCollector
+from repro.circuits import figure4
+from repro.core.approx1 import Approx1Analysis
+from repro.core.exact import ExactAnalysis
+
+TABLE = TableCollector(
+    "Figure 4 worked example (Section 4)",
+    ["analysis", "leaf vars / params", "nontrivial", "matches paper"],
+)
+
+
+def test_exact_relation(benchmark):
+    def run():
+        return ExactAnalysis(figure4(), output_required=2.0).relation()
+
+    relation = benchmark(run)
+
+    row_counts = {
+        (0, 0): 5,
+        (0, 1): 3,
+        (1, 0): 4,
+        (1, 1): 1,
+    }
+    matches = all(
+        len(relation.rows({"x1": a, "x2": b})) == n
+        for (a, b), n in row_counts.items()
+    )
+    minimal_counts = {(0, 0): 2, (0, 1): 1, (1, 0): 1, (1, 1): 1}
+    matches &= all(
+        len(relation.minimal_rows({"x1": a, "x2": b})) == n
+        for (a, b), n in minimal_counts.items()
+    )
+    assert matches
+    TABLE.add("exact", relation.num_leaf_variables, relation.nontrivial(), matches)
+
+
+def test_approx1(benchmark):
+    def run():
+        return Approx1Analysis(figure4(), output_required=2.0).run()
+
+    result = benchmark(run)
+    matches = result.primes == [
+        frozenset(
+            {
+                "alpha[x1,1]",
+                "alpha[x2,1]",
+                "alpha[x2,2]",
+                "beta[x1,1]",
+                "beta[x2,1]",
+            }
+        )
+    ]
+    assert matches
+    TABLE.add("approx1", result.num_parameters, result.nontrivial, matches)
+
+
+def test_zzz_print(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    TABLE.print_once()

@@ -1,0 +1,47 @@
+"""Worked example (Figure 6, Section 5.1) as a benchmark.
+
+Times the arrival-flexibility analysis and checks the folded arrival table
+against the paper's.
+
+Run:  pytest benchmarks/bench_fig6_example.py --benchmark-only -q
+"""
+
+from _harness import TableCollector
+from repro.circuits import figure6
+from repro.core.flexibility import arrival_flexibility
+
+TABLE = TableCollector(
+    "Figure 6 worked example (Section 5.1): arrival table at (u1, u2)",
+    ["u1u2", "arrival tuples", "matches paper"],
+)
+
+PAPER = {
+    (0, 0): [(1.0, 2.0)],
+    (0, 1): [(1.0, 2.0), (2.0, 1.0)],
+    (1, 0): [(float("inf"), float("inf"))],
+    (1, 1): [(2.0, 1.0)],
+}
+
+
+def test_arrival_flexibility(benchmark):
+    def run():
+        return arrival_flexibility(figure6(), ["u1", "u2"])
+
+    flex = benchmark(run)
+    for vec, expected in sorted(PAPER.items()):
+        got = sorted(flex.table[vec])
+        matches = got == sorted(expected)
+        TABLE.add(
+            "".join(map(str, vec)),
+            ", ".join(
+                "(" + ", ".join("inf" if t == float("inf") else f"{t:g}" for t in tup) + ")"
+                for tup in got
+            ),
+            matches,
+        )
+        assert matches, vec
+
+
+def test_zzz_print(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    TABLE.print_once()

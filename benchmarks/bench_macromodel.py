@@ -1,0 +1,51 @@
+"""Extension bench — hierarchical analysis via black-box macro-models.
+
+The paper's conclusions point to [7]: false-path-exact abstract delay
+models for black boxes.  This bench measures extraction cost and model
+footprint on carry-skip blocks, and the accuracy gap between the naive
+pin-to-pin abstraction (topological) and the macro-model under a late
+carry-in — the situation hierarchical flows hit constantly.
+
+Run:  pytest benchmarks/bench_macromodel.py --benchmark-only -q
+"""
+
+import pytest
+
+from _harness import TableCollector
+from repro.circuits import carry_skip_block
+from repro.core.macromodel import TimingMacroModel
+from repro.timing import TopologicalTiming
+
+TABLE = TableCollector(
+    "Extension: black-box macro-model vs naive pin-to-pin abstraction",
+    ["box", "model atoms", "naive delay (cin@10)", "exact delay (cin@10)", "pessimism"],
+)
+
+
+@pytest.mark.parametrize("pad", [1, 2, 3])
+def test_extraction_and_accuracy(benchmark, pad):
+    block = carry_skip_block(cin_pad=pad)
+
+    def run():
+        return TimingMacroModel.extract(block)
+
+    model = benchmark(run)
+    topo = TopologicalTiming.analyze(block, output_required=0.0)
+    arr = {pi: 0.0 for pi in block.inputs}
+    arr["cin"] = 10.0
+    naive = 10.0 + topo.topological_delay()
+    exact = model.worst_arrival("cout", arr)
+    TABLE.add(
+        f"cskip_pad{pad}",
+        model.size(),
+        naive,
+        exact,
+        naive - exact,
+    )
+    # the false ripple path must not be charged against the late carry-in
+    assert exact < naive
+
+
+def test_zzz_print(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    TABLE.print_once()

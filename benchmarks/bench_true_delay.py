@@ -1,0 +1,73 @@
+"""Forward functional-delay analysis on the carry-skip family (Section 2).
+
+Not a paper table, but the substrate the whole paper stands on: exact
+(XBD0) output arrival times versus topological ones, and how the gap and
+the analysis cost scale with the number of carry-skip blocks.
+
+Run:  pytest benchmarks/bench_true_delay.py --benchmark-only -q
+"""
+
+import pytest
+
+from _harness import TableCollector
+from repro.circuits import carry_skip_adder, parity_tree, ripple_adder
+from repro.timing import FunctionalTiming
+
+TABLE = TableCollector(
+    "Functional (false-path aware) vs topological delay",
+    ["circuit", "engine", "topo delay", "true delay", "gap"],
+)
+
+
+@pytest.mark.parametrize("blocks", [1, 2, 3])
+def test_carry_skip_scaling(benchmark, blocks):
+    net = carry_skip_adder(blocks, 3)
+    ft = FunctionalTiming(net, engine="bdd")
+    out = net.outputs[-1]  # the final carry
+
+    def run():
+        return ft.true_arrival(out)
+
+    true = benchmark(run)
+    topo = ft.topological_arrivals()[out]
+    TABLE.add(net.name, "bdd", topo, true, topo - true)
+    if blocks >= 2:
+        # block-crossing ripple paths are false
+        assert true < topo
+
+
+@pytest.mark.parametrize("engine", ["bdd", "sat"])
+def test_engines_on_fixed_adder(benchmark, engine):
+    net = carry_skip_adder(2, 3)
+    out = net.outputs[-1]
+
+    def run():
+        return FunctionalTiming(net, engine=engine).true_arrival(out)
+
+    true = benchmark(run)
+    topo = FunctionalTiming(net, engine=engine).topological_arrivals()[out]
+    TABLE.add(net.name, engine, topo, true, topo - true)
+    assert true < topo
+
+
+@pytest.mark.parametrize(
+    "maker,name",
+    [(lambda: ripple_adder(6), "ripple6"), (lambda: parity_tree(16), "parity16")],
+)
+def test_controls_have_no_gap(benchmark, maker, name):
+    net = maker()
+    out = net.outputs[-1]
+    ft = FunctionalTiming(net, engine="bdd")
+
+    def run():
+        return ft.true_arrival(out)
+
+    true = benchmark(run)
+    topo = ft.topological_arrivals()[out]
+    TABLE.add(name, "bdd", topo, true, topo - true)
+    assert true == topo
+
+
+def test_zzz_print(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    TABLE.print_once()

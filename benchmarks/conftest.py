@@ -1,0 +1,24 @@
+"""Benchmark configuration.
+
+Budgets are deliberately small by default so the whole suite regenerates
+in minutes on a laptop; set REPRO_BENCH_BUDGET (seconds, per analysis) to
+raise them for a fuller run.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+import pytest
+
+
+def bench_budget(default: float) -> float:
+    """Per-analysis time budget in seconds (env-overridable)."""
+    value = os.environ.get("REPRO_BENCH_BUDGET")
+    return float(value) if value else default
+
+
+@pytest.fixture(scope="session")
+def budget():
+    return bench_budget(20.0)

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""False paths in a carry-skip adder, end to end.
+
+The carry-skip adder is the canonical false-path circuit: the carry can
+only ripple across a block when every propagate bit is 1, but exactly then
+the skip mux routes the block's carry-in around the ripple chain — so the
+structurally longest paths never carry an event.
+
+This script shows the two consequences the paper builds on:
+
+1. **Forward**: the functional (XBD0) delay of the adder is strictly
+   smaller than its topological delay (Section 2's functional delay
+   analysis, with both the BDD and the SAT engine).
+2. **Backward**: the required time of the carry-in computed by the
+   approximate algorithm 2 lattice climb is strictly *later* than the
+   topological requirement — the paper's headline result — and the climb
+   trace shows how the answer improves monotonically (the "any
+   intermediate r is immediately useful" property of §4.3).
+
+Run:  python examples/carry_skip_false_paths.py
+"""
+
+import time
+
+from repro.circuits import carry_skip_adder
+from repro.core.approx2 import Approx2Analysis
+from repro.timing import FunctionalTiming, TopologicalTiming
+
+
+def main() -> None:
+    net = carry_skip_adder(n_blocks=2, block_bits=3)
+    print(
+        f"circuit: {net.name}  ({net.num_inputs} PI, {net.num_outputs} PO, "
+        f"{net.num_gates} gates, depth {net.depth()})\n"
+    )
+
+    # ------------------------------------------------------------------
+    print("=== forward: functional vs topological delay ===")
+    for engine in ("bdd", "sat"):
+        ft = FunctionalTiming(net, engine=engine)
+        t0 = time.perf_counter()
+        topo = ft.topological_arrivals()
+        true = ft.true_arrivals()
+        elapsed = time.perf_counter() - t0
+        worst_topo = max(topo.values())
+        worst_true = max(true.values())
+        print(
+            f"  [{engine}] topological delay = {worst_topo:g}, "
+            f"true (false-path aware) delay = {worst_true:g}  "
+            f"({elapsed:.2f}s)"
+        )
+        for out in net.outputs:
+            if true[out] < topo[out]:
+                print(
+                    f"      {out}: longest path is false "
+                    f"({topo[out]:g} -> {true[out]:g})"
+                )
+
+    # ------------------------------------------------------------------
+    print("\n=== backward: required times at the inputs (approx 2) ===")
+    analysis = Approx2Analysis(net, output_required=0.0, engine="bdd")
+    result = analysis.run()
+    print(
+        f"  validation checks: {result.checks}, "
+        f"first non-trivial r after {result.time_to_first_nontrivial:.3f}s, "
+        f"maximal r after {result.time_to_max:.3f}s"
+    )
+    print("  input        topological   false-path aware   gain")
+    for x in sorted(result.r_bottom):
+        bottom = result.r_bottom[x]
+        best = result.best[x]
+        marker = f"  +{best - bottom:g}" if best > bottom else ""
+        print(f"  {x:<12} {bottom:>11g} {best:>18g}{marker}")
+
+    gained = [x for x in result.best if result.best[x] > result.r_bottom[x]]
+    print(
+        f"\n  {len(gained)} of {len(result.best)} inputs gained slack; "
+        f"the carry-in gained {result.best['cin'] - result.r_bottom['cin']:g} "
+        "time units because the block-crossing ripple paths are false."
+    )
+
+    # ------------------------------------------------------------------
+    print("\n=== climb trace (first 10 events) ===")
+    for elapsed, r, ok in result.trace.events[:10]:
+        changed = {
+            k: v for k, v in r.items() if v != result.r_bottom[k]
+        }
+        print(
+            f"  t={elapsed:.3f}s {'accept' if ok else 'reject'} "
+            f"{changed if changed else '(bottom)'}"
+        )
+
+
+if __name__ == "__main__":
+    main()

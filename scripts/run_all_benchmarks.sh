@@ -1,0 +1,7 @@
+#!/usr/bin/env bash
+# Regenerate every table/figure/ablation of EXPERIMENTS.md in one go.
+# Usage: scripts/run_all_benchmarks.sh [budget-seconds-per-analysis]
+set -u
+cd "$(dirname "$0")/.."
+if [ $# -ge 1 ]; then export REPRO_BENCH_BUDGET="$1"; fi
+exec python -m pytest benchmarks/ --benchmark-only -q -s

@@ -1,0 +1,113 @@
+"""repro — Exact Required Time Analysis via False Path Detection.
+
+A from-scratch Python reproduction of Kukimoto & Brayton (UCB/ERL M97/44,
+1997): required times of combinational circuits computed *exactly* by
+taking false paths into account, with the paper's two approximate
+algorithms, the full substrate stack (BDDs, SAT, two-level logic, Boolean
+networks, topological and functional timing analysis), and the Section 5
+subcircuit timing-flexibility analyses.
+
+Quick tour
+----------
+
+>>> from repro import Network, analyze_required_times
+>>> net = Network("fig4")
+>>> _ = net.add_input("x1"); _ = net.add_input("x2")
+>>> _ = net.add_gate("w", "AND", ["x1", "x2"])
+>>> _ = net.add_gate("z", "AND", ["w", "x2"])
+>>> net.set_outputs(["z"])
+>>> report = analyze_required_times(net, "approx1", output_required=2.0)
+>>> report.nontrivial
+True
+"""
+
+from repro.errors import (
+    BddError,
+    NetworkError,
+    ParseError,
+    ReproError,
+    ResourceLimitError,
+    SatError,
+    TimingError,
+)
+from repro.network import (
+    Network,
+    Node,
+    equivalent,
+    global_functions,
+    parse_bench,
+    parse_bench_file,
+    parse_blif,
+    parse_blif_file,
+    write_bench,
+    write_blif,
+)
+from repro.timing import (
+    DelayModel,
+    FunctionalTiming,
+    TopologicalTiming,
+    has_false_paths,
+    stable_by,
+    true_arrival_times,
+    unit_delay,
+)
+from repro.core import (
+    Approx1Analysis,
+    Approx2Analysis,
+    ArrivalFlexibility,
+    ExactAnalysis,
+    INF,
+    RequiredTimeProfile,
+    RequiredTimeReport,
+    analyze_required_times,
+    arrival_flexibility,
+    required_flexibility,
+    subcircuit_timing,
+    topological_input_required_times,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "ParseError",
+    "NetworkError",
+    "BddError",
+    "SatError",
+    "TimingError",
+    "ResourceLimitError",
+    # networks
+    "Network",
+    "Node",
+    "parse_blif",
+    "parse_blif_file",
+    "write_blif",
+    "parse_bench",
+    "parse_bench_file",
+    "write_bench",
+    "equivalent",
+    "global_functions",
+    # timing
+    "DelayModel",
+    "unit_delay",
+    "TopologicalTiming",
+    "FunctionalTiming",
+    "stable_by",
+    "true_arrival_times",
+    "has_false_paths",
+    # core
+    "INF",
+    "RequiredTimeProfile",
+    "RequiredTimeReport",
+    "analyze_required_times",
+    "topological_input_required_times",
+    "ExactAnalysis",
+    "Approx1Analysis",
+    "Approx2Analysis",
+    "ArrivalFlexibility",
+    "arrival_flexibility",
+    "required_flexibility",
+    "subcircuit_timing",
+]

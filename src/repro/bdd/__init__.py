@@ -1,0 +1,37 @@
+"""A self-contained reduced ordered binary decision diagram (ROBDD) package.
+
+The paper's exact and first-approximate required-time algorithms are BDD
+based ("All the Boolean operations in the exact and the first approximate
+methods are done using BDD's", Section 6), and the exact algorithm "was run
+with dynamic variable reordering being set".  No BDD library is available in
+this environment, so this package implements one from scratch:
+
+* :class:`~repro.bdd.manager.BddManager` — unique table, ITE with a compute
+  cache, standard Boolean operators, restriction, composition, existential
+  and universal quantification, satisfiability helpers.
+* :mod:`~repro.bdd.reorder` — Rudell-style sifting dynamic variable
+  reordering built on in-place adjacent-level swaps.
+* :mod:`~repro.bdd.minimal` — lattice operators over BDD-encoded sets
+  (minimal elements, upward/downward closures) used to extract the *latest*
+  required times from the exact Boolean relation, and monotone prime
+  enumeration used by approximate approach 1.
+"""
+
+from repro.bdd.manager import BddManager, BddNode
+from repro.bdd.minimal import (
+    downward_closure,
+    maximal_elements,
+    minimal_elements,
+    monotone_primes,
+    upward_closure,
+)
+
+__all__ = [
+    "BddManager",
+    "BddNode",
+    "minimal_elements",
+    "maximal_elements",
+    "upward_closure",
+    "downward_closure",
+    "monotone_primes",
+]

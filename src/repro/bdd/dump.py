@@ -1,0 +1,43 @@
+"""Debug/visualization helpers for BDDs (Graphviz dot export, stats)."""
+
+from __future__ import annotations
+
+from repro.bdd.manager import FALSE, TRUE, BddManager, BddNode
+
+
+def to_dot(node: BddNode, name: str = "bdd") -> str:
+    """Render the BDD rooted at ``node`` as a Graphviz dot digraph.
+
+    Solid edges are the 1-branches, dashed edges the 0-branches.
+    """
+    m = node.manager
+    lines = [f"digraph {name} {{", "  rankdir=TB;"]
+    lines.append('  n0 [shape=box,label="0"];')
+    lines.append('  n1 [shape=box,label="1"];')
+    seen: set[int] = set()
+    stack = [node.id]
+    while stack:
+        f = stack.pop()
+        if f <= TRUE or f in seen:
+            continue
+        seen.add(f)
+        label = m.var_name_of(f)
+        lines.append(f'  n{f} [shape=circle,label="{label}"];')
+        lines.append(f"  n{f} -> n{m._low[f]} [style=dashed];")
+        lines.append(f"  n{f} -> n{m._high[f]};")
+        stack.append(m._low[f])
+        stack.append(m._high[f])
+    lines.append(f"  root [shape=point]; root -> n{node.id};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def manager_stats(manager: BddManager) -> dict[str, object]:
+    """A snapshot of manager health for logs and benchmark records."""
+    return {
+        "num_vars": manager.num_vars,
+        "num_nodes": manager.num_nodes,
+        "cache_entries": len(manager._cache),
+        "order": manager.current_order(),
+        "level_sizes": manager.level_sizes(),
+    }

@@ -1,0 +1,732 @@
+"""The BDD manager: unique table, ITE, quantifiers, GC, variable order.
+
+Implementation notes
+--------------------
+
+* Nodes are integer ids into three parallel lists ``_var``, ``_low``,
+  ``_high``.  Ids 0 and 1 are the FALSE and TRUE terminals (``_var`` = -1).
+* There are no complement edges; negation is an ITE with cached results.
+* Variable order is indirect: nodes store a *variable index*; the order is
+  the pair of maps ``_var2level`` / ``_level2var``.  In-place adjacent-level
+  swaps (see :mod:`repro.bdd.reorder`) only touch nodes of the upper level,
+  so node ids — and therefore every BDD held by a client — survive dynamic
+  reordering.
+* External references are tracked with a refcount updated by the
+  :class:`BddNode` wrapper (created on wrap, released on ``__del__``), which
+  makes mark-and-sweep garbage collection possible without any client
+  bookkeeping.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import BddError
+
+FALSE = 0
+TRUE = 1
+_TERMINAL_VAR = -1
+
+
+class BddNode:
+    """A client-facing handle to a BDD node.
+
+    Supports the Boolean operators ``& | ^ ~`` plus ``implies`` /
+    ``equiv`` / ``ite`` and comparison by function identity (two handles
+    compare equal iff they denote the same function in the same manager).
+    """
+
+    __slots__ = ("manager", "id", "__weakref__")
+
+    def __init__(self, manager: "BddManager", node_id: int):
+        self.manager = manager
+        self.id = node_id
+        manager._incref(node_id)
+
+    def __del__(self):  # pragma: no cover - exercised indirectly
+        try:
+            self.manager._decref(self.id)
+        except Exception:
+            pass
+
+    # -- operators ------------------------------------------------------
+    def _check(self, other: "BddNode") -> None:
+        if other.manager is not self.manager:
+            raise BddError("operands belong to different BDD managers")
+
+    def __and__(self, other: "BddNode") -> "BddNode":
+        self._check(other)
+        return self.manager._wrap(self.manager._and(self.id, other.id))
+
+    def __or__(self, other: "BddNode") -> "BddNode":
+        self._check(other)
+        return self.manager._wrap(self.manager._or(self.id, other.id))
+
+    def __xor__(self, other: "BddNode") -> "BddNode":
+        self._check(other)
+        return self.manager._wrap(self.manager._xor(self.id, other.id))
+
+    def __invert__(self) -> "BddNode":
+        return self.manager._wrap(self.manager._not(self.id))
+
+    def implies(self, other: "BddNode") -> "BddNode":
+        self._check(other)
+        m = self.manager
+        return m._wrap(m._ite(self.id, other.id, TRUE))
+
+    def equiv(self, other: "BddNode") -> "BddNode":
+        self._check(other)
+        m = self.manager
+        return m._wrap(m._ite(self.id, other.id, m._not(other.id)))
+
+    def ite(self, then_: "BddNode", else_: "BddNode") -> "BddNode":
+        self._check(then_)
+        self._check(else_)
+        return self.manager._wrap(self.manager._ite(self.id, then_.id, else_.id))
+
+    # -- predicates ------------------------------------------------------
+    @property
+    def is_false(self) -> bool:
+        return self.id == FALSE
+
+    @property
+    def is_true(self) -> bool:
+        return self.id == TRUE
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, BddNode)
+            and other.manager is self.manager
+            and other.id == self.id
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self.manager), self.id))
+
+    def __bool__(self) -> bool:
+        raise BddError(
+            "BddNode truth value is ambiguous; use .is_true / .is_false"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.id == FALSE:
+            return "<BDD FALSE>"
+        if self.id == TRUE:
+            return "<BDD TRUE>"
+        return f"<BDD node {self.id} var={self.manager.var_name_of(self.id)}>"
+
+
+class BddManager:
+    """A reduced ordered BDD manager with dynamic reordering support."""
+
+    def __init__(
+        self,
+        auto_reorder: bool = False,
+        reorder_threshold: int = 50_000,
+        max_nodes: int | None = None,
+    ):
+        # terminals occupy ids 0 and 1
+        self._var: list[int] = [_TERMINAL_VAR, _TERMINAL_VAR]
+        self._low: list[int] = [FALSE, TRUE]
+        self._high: list[int] = [FALSE, TRUE]
+        self._free: list[int] = []
+        # per-variable unique tables: var index -> {(low, high): id}
+        self._unique: list[dict[tuple[int, int], int]] = []
+        self._var2level: list[int] = []
+        self._level2var: list[int] = []
+        self._names: list[str] = []
+        self._name2var: dict[str, int] = {}
+        self._cache: dict[tuple, int] = {}
+        self._extref: dict[int, int] = {}
+        self.auto_reorder = auto_reorder
+        self.reorder_threshold = reorder_threshold
+        #: raise :class:`~repro.errors.ResourceLimitError` when the node
+        #: table exceeds this many entries — the library's analogue of the
+        #: paper's "memory out" rows in Table 1.
+        self.max_nodes = max_nodes
+        self._reordering = False
+
+    # ------------------------------------------------------------------
+    # reference counting / wrapping
+    # ------------------------------------------------------------------
+    def _incref(self, node_id: int) -> None:
+        self._extref[node_id] = self._extref.get(node_id, 0) + 1
+
+    def _decref(self, node_id: int) -> None:
+        count = self._extref.get(node_id, 0) - 1
+        if count <= 0:
+            self._extref.pop(node_id, None)
+        else:
+            self._extref[node_id] = count
+
+    def _wrap(self, node_id: int) -> BddNode:
+        node = BddNode(self, node_id)
+        # Safe point for dynamic reordering: no recursive operation is in
+        # flight when a result is being wrapped for the client.
+        self._maybe_auto_reorder()
+        return node
+
+    @property
+    def false(self) -> BddNode:
+        return self._wrap(FALSE)
+
+    @property
+    def true(self) -> BddNode:
+        return self._wrap(TRUE)
+
+    # ------------------------------------------------------------------
+    # variables
+    # ------------------------------------------------------------------
+    def add_var(self, name: str) -> BddNode:
+        """Declare a new variable at the bottom of the current order."""
+        if name in self._name2var:
+            raise BddError(f"variable {name!r} already declared")
+        var = len(self._names)
+        self._names.append(name)
+        self._name2var[name] = var
+        self._unique.append({})
+        self._var2level.append(len(self._level2var))
+        self._level2var.append(var)
+        return self._wrap(self._mk(var, FALSE, TRUE))
+
+    def var(self, name: str) -> BddNode:
+        """The BDD of an existing variable."""
+        try:
+            var = self._name2var[name]
+        except KeyError:
+            raise BddError(f"unknown variable {name!r}") from None
+        return self._wrap(self._mk(var, FALSE, TRUE))
+
+    def nvar(self, name: str) -> BddNode:
+        """The BDD of the negation of an existing variable."""
+        try:
+            var = self._name2var[name]
+        except KeyError:
+            raise BddError(f"unknown variable {name!r}") from None
+        return self._wrap(self._mk(var, TRUE, FALSE))
+
+    def has_var(self, name: str) -> bool:
+        return name in self._name2var
+
+    @property
+    def var_names(self) -> list[str]:
+        return list(self._names)
+
+    @property
+    def num_vars(self) -> int:
+        return len(self._names)
+
+    def var_index(self, name: str) -> int:
+        try:
+            return self._name2var[name]
+        except KeyError:
+            raise BddError(f"unknown variable {name!r}") from None
+
+    def level_of(self, name: str) -> int:
+        return self._var2level[self.var_index(name)]
+
+    def var_at_level(self, level: int) -> str:
+        return self._names[self._level2var[level]]
+
+    def current_order(self) -> list[str]:
+        return [self._names[v] for v in self._level2var]
+
+    def var_name_of(self, node_id: int) -> str:
+        var = self._var[node_id]
+        if var == _TERMINAL_VAR:
+            raise BddError("terminal node has no variable")
+        return self._names[var]
+
+    # ------------------------------------------------------------------
+    # node construction
+    # ------------------------------------------------------------------
+    def _level(self, node_id: int) -> int:
+        var = self._var[node_id]
+        if var == _TERMINAL_VAR:
+            return len(self._level2var) + 1  # below everything
+        return self._var2level[var]
+
+    def _mk(self, var: int, low: int, high: int) -> int:
+        if low == high:
+            return low
+        table = self._unique[var]
+        key = (low, high)
+        node_id = table.get(key)
+        if node_id is not None:
+            return node_id
+        if (
+            self.max_nodes is not None
+            and len(self._var) - len(self._free) > self.max_nodes
+        ):
+            from repro.errors import ResourceLimitError
+
+            raise ResourceLimitError(
+                f"BDD node budget exceeded ({self.max_nodes} nodes)"
+            )
+        if self._free:
+            node_id = self._free.pop()
+            self._var[node_id] = var
+            self._low[node_id] = low
+            self._high[node_id] = high
+        else:
+            node_id = len(self._var)
+            self._var.append(var)
+            self._low.append(low)
+            self._high.append(high)
+        table[key] = node_id
+        return node_id
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of live (table-resident) internal nodes, plus terminals."""
+        return 2 + sum(len(t) for t in self._unique)
+
+    def size(self, node: BddNode) -> int:
+        """Number of nodes in the DAG rooted at ``node`` (incl. terminals)."""
+        seen: set[int] = set()
+        stack = [node.id]
+        while stack:
+            n = stack.pop()
+            if n in seen:
+                continue
+            seen.add(n)
+            if self._var[n] != _TERMINAL_VAR:
+                stack.append(self._low[n])
+                stack.append(self._high[n])
+        return len(seen)
+
+    # ------------------------------------------------------------------
+    # core operations (internal, on ids)
+    # ------------------------------------------------------------------
+    def _ite(self, f: int, g: int, h: int) -> int:
+        # terminal cases
+        if f == TRUE:
+            return g
+        if f == FALSE:
+            return h
+        if g == h:
+            return g
+        if g == TRUE and h == FALSE:
+            return f
+        key = ("ite", f, g, h)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        # split on the top variable
+        level = min(self._level(f), self._level(g), self._level(h))
+        var = self._level2var[level]
+
+        f0, f1 = self._cofactors(f, var)
+        g0, g1 = self._cofactors(g, var)
+        h0, h1 = self._cofactors(h, var)
+        low = self._ite(f0, g0, h0)
+        high = self._ite(f1, g1, h1)
+        result = self._mk(var, low, high)
+        self._cache[key] = result
+        return result
+
+    def _cofactors(self, node_id: int, var: int) -> tuple[int, int]:
+        if self._var[node_id] == var:
+            return self._low[node_id], self._high[node_id]
+        return node_id, node_id
+
+    def _not(self, f: int) -> int:
+        return self._ite(f, FALSE, TRUE)
+
+    def _and(self, f: int, g: int) -> int:
+        return self._ite(f, g, FALSE)
+
+    def _or(self, f: int, g: int) -> int:
+        return self._ite(f, TRUE, g)
+
+    def _xor(self, f: int, g: int) -> int:
+        return self._ite(f, self._not(g), g)
+
+    def _maybe_auto_reorder(self) -> None:
+        if (
+            self.auto_reorder
+            and not self._reordering
+            and self.num_nodes > self.reorder_threshold
+        ):
+            from repro.bdd.reorder import sift
+
+            self._reordering = True
+            try:
+                sift(self)
+            finally:
+                self._reordering = False
+            # back off so we do not thrash
+            self.reorder_threshold = max(self.reorder_threshold, self.num_nodes * 2)
+
+    # ------------------------------------------------------------------
+    # public combinational helpers
+    # ------------------------------------------------------------------
+    def conjoin(self, nodes: Iterable[BddNode]) -> BddNode:
+        result = TRUE
+        for node in nodes:
+            result = self._and(result, node.id)
+            if result == FALSE:
+                break
+        return self._wrap(result)
+
+    def disjoin(self, nodes: Iterable[BddNode]) -> BddNode:
+        result = FALSE
+        for node in nodes:
+            result = self._or(result, node.id)
+            if result == TRUE:
+                break
+        return self._wrap(result)
+
+    # ------------------------------------------------------------------
+    # restriction / composition
+    # ------------------------------------------------------------------
+    def restrict(self, node: BddNode, assignment: Mapping[str, int]) -> BddNode:
+        """Cofactor with respect to a partial variable assignment."""
+        pairs = sorted(
+            ((self.var_index(name), value) for name, value in assignment.items()),
+            key=lambda p: self._var2level[p[0]],
+        )
+        return self._wrap(self._restrict(node.id, tuple(pairs), 0))
+
+    def _restrict(self, f: int, pairs: tuple[tuple[int, int], ...], start: int) -> int:
+        if f <= TRUE or start >= len(pairs):
+            return f
+        key = ("restrict", f, pairs, start)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        flevel = self._level(f)
+        # skip assignment entries above f's top variable
+        i = start
+        while i < len(pairs) and self._var2level[pairs[i][0]] < flevel:
+            i += 1
+        if i >= len(pairs):
+            result = f
+        else:
+            var, value = pairs[i]
+            fvar = self._var[f]
+            if fvar == var:
+                branch = self._high[f] if value else self._low[f]
+                result = self._restrict(branch, pairs, i + 1)
+            else:
+                low = self._restrict(self._low[f], pairs, i)
+                high = self._restrict(self._high[f], pairs, i)
+                result = self._mk(fvar, low, high)
+        self._cache[key] = result
+        return result
+
+    def compose(self, node: BddNode, name: str, replacement: BddNode) -> BddNode:
+        """Substitute ``replacement`` for variable ``name`` in ``node``."""
+        var = self.var_index(name)
+        return self._wrap(self._compose(node.id, var, replacement.id))
+
+    def _compose(self, f: int, var: int, g: int) -> int:
+        if f <= TRUE:
+            return f
+        if self._var2level[self._var[f]] > self._var2level[var]:
+            return f  # var cannot appear below its own level
+        key = ("compose", f, var, g)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        if self._var[f] == var:
+            result = self._ite(g, self._high[f], self._low[f])
+        else:
+            low = self._compose(self._low[f], var, g)
+            high = self._compose(self._high[f], var, g)
+            # children may now have tops above f's var; use ITE on f's var
+            v = self._mk(self._var[f], FALSE, TRUE)
+            result = self._ite(v, high, low)
+        self._cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # quantification
+    # ------------------------------------------------------------------
+    def exists(self, names: Sequence[str], node: BddNode) -> BddNode:
+        levels = frozenset(self._var2level[self.var_index(n)] for n in names)
+        return self._wrap(self._exists(node.id, levels))
+
+    def forall(self, names: Sequence[str], node: BddNode) -> BddNode:
+        levels = frozenset(self._var2level[self.var_index(n)] for n in names)
+        return self._wrap(self._not(self._exists(self._not(node.id), levels)))
+
+    def _exists(self, f: int, levels: frozenset[int]) -> int:
+        if f <= TRUE:
+            return f
+        flevel = self._level(f)
+        if all(lv < flevel for lv in levels):
+            return f
+        key = ("exists", f, levels)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        low = self._exists(self._low[f], levels)
+        high = self._exists(self._high[f], levels)
+        if flevel in levels:
+            result = self._or(low, high)
+        else:
+            result = self._mk(self._var[f], low, high)
+        self._cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # satisfiability / enumeration
+    # ------------------------------------------------------------------
+    def evaluate(self, node: BddNode, assignment: Mapping[str, int]) -> bool:
+        f = node.id
+        while f > TRUE:
+            name = self._names[self._var[f]]
+            try:
+                value = assignment[name]
+            except KeyError:
+                raise BddError(f"assignment missing variable {name!r}") from None
+            f = self._high[f] if value else self._low[f]
+        return f == TRUE
+
+    def pick(self, node: BddNode) -> dict[str, int] | None:
+        """One satisfying partial assignment, or None if unsatisfiable."""
+        if node.id == FALSE:
+            return None
+        result: dict[str, int] = {}
+        f = node.id
+        while f > TRUE:
+            name = self._names[self._var[f]]
+            if self._low[f] != FALSE:
+                result[name] = 0
+                f = self._low[f]
+            else:
+                result[name] = 1
+                f = self._high[f]
+        return result
+
+    def sat_count(self, node: BddNode, nvars: int | None = None) -> int:
+        """Number of satisfying assignments over ``nvars`` variables."""
+        if nvars is None:
+            nvars = self.num_vars
+        cache: dict[int, int] = {}
+        nlevels = len(self._level2var)
+
+        def count(f: int) -> int:
+            # number of solutions over variables strictly below f's level,
+            # normalized to level(f)
+            if f == FALSE:
+                return 0
+            if f == TRUE:
+                return 1
+            if f in cache:
+                return cache[f]
+            lf = self._level(f)
+            c0 = count(self._low[f]) << (self._gap(lf, self._low[f]))
+            c1 = count(self._high[f]) << (self._gap(lf, self._high[f]))
+            result = c0 + c1
+            cache[f] = result
+            return result
+
+        if node.id <= TRUE:
+            return node.id * (1 << nvars)
+        top_gap = min(self._level(node.id), nlevels)
+        total = count(node.id) << top_gap
+        # count() assumed one variable per level; rescale to requested nvars
+        shift = nvars - len(self._level2var)
+        if shift >= 0:
+            return total << shift
+        # fewer vars requested than declared: legal only when the function
+        # is independent of the surplus variables
+        if total % (1 << (-shift)):
+            raise BddError(
+                "sat_count nvars smaller than the function's support"
+            )
+        return total >> (-shift)
+
+    def _gap(self, parent_level: int, child: int) -> int:
+        child_level = min(self._level(child), len(self._level2var))
+        return child_level - parent_level - 1
+
+    def sat_iter(
+        self, node: BddNode, care_vars: Sequence[str] | None = None
+    ) -> Iterator[dict[str, int]]:
+        """Enumerate satisfying assignments, complete over ``care_vars``."""
+        if care_vars is None:
+            care = list(self._names)
+        else:
+            care = list(care_vars)
+        care_set = set(care)
+
+        def walk(f: int, partial: dict[str, int]) -> Iterator[dict[str, int]]:
+            if f == FALSE:
+                return
+            if f == TRUE:
+                free = [v for v in care if v not in partial]
+                for bits in itertools.product((0, 1), repeat=len(free)):
+                    full = dict(partial)
+                    full.update(zip(free, bits))
+                    yield full
+                return
+            name = self._names[self._var[f]]
+            for value, child in ((0, self._low[f]), (1, self._high[f])):
+                new_partial = dict(partial)
+                if name in care_set:
+                    new_partial[name] = value
+                elif child == FALSE:
+                    continue
+                yield from walk(child, new_partial)
+
+        yield from walk(node.id, {})
+
+    def support(self, node: BddNode) -> set[str]:
+        """Names of the variables the function depends on."""
+        seen: set[int] = set()
+        vars_: set[int] = set()
+        stack = [node.id]
+        while stack:
+            f = stack.pop()
+            if f <= TRUE or f in seen:
+                continue
+            seen.add(f)
+            vars_.add(self._var[f])
+            stack.append(self._low[f])
+            stack.append(self._high[f])
+        return {self._names[v] for v in vars_}
+
+    # ------------------------------------------------------------------
+    # cube covers
+    # ------------------------------------------------------------------
+    def cube_iter(self, node: BddNode) -> Iterator[dict[str, int]]:
+        """Enumerate the (disjoint) path-cubes of the BDD."""
+
+        def walk(f: int, partial: dict[str, int]) -> Iterator[dict[str, int]]:
+            if f == FALSE:
+                return
+            if f == TRUE:
+                yield dict(partial)
+                return
+            name = self._names[self._var[f]]
+            partial[name] = 0
+            yield from walk(self._low[f], partial)
+            partial[name] = 1
+            yield from walk(self._high[f], partial)
+            del partial[name]
+
+        yield from walk(node.id, {})
+
+    def from_cube(self, literals: Mapping[str, int]) -> BddNode:
+        """The conjunction of the given literals."""
+        result = TRUE
+        for name, value in sorted(
+            literals.items(), key=lambda kv: -self.level_of(kv[0])
+        ):
+            var = self.var_index(name)
+            v = self._mk(var, FALSE, TRUE)
+            lit = v if value else self._not(v)
+            result = self._and(result, lit)
+        return self._wrap(result)
+
+    # ------------------------------------------------------------------
+    # garbage collection
+    # ------------------------------------------------------------------
+    def garbage_collect(self) -> int:
+        """Sweep nodes unreachable from externally referenced roots.
+
+        Returns the number of nodes reclaimed.  All operation caches are
+        dropped.
+        """
+        reachable: set[int] = {FALSE, TRUE}
+        stack = [n for n, c in self._extref.items() if c > 0]
+        while stack:
+            f = stack.pop()
+            if f in reachable:
+                continue
+            reachable.add(f)
+            if self._var[f] != _TERMINAL_VAR:
+                stack.append(self._low[f])
+                stack.append(self._high[f])
+        reclaimed = 0
+        for var, table in enumerate(self._unique):
+            dead = [key for key, nid in table.items() if nid not in reachable]
+            for key in dead:
+                nid = table.pop(key)
+                self._var[nid] = _TERMINAL_VAR
+                self._low[nid] = FALSE
+                self._high[nid] = FALSE
+                self._free.append(nid)
+                reclaimed += 1
+        self._cache.clear()
+        return reclaimed
+
+    # ------------------------------------------------------------------
+    # reordering plumbing (used by repro.bdd.reorder)
+    # ------------------------------------------------------------------
+    def swap_levels(self, level: int) -> None:
+        """Swap the variables at ``level`` and ``level + 1`` in place.
+
+        Node ids are preserved: only nodes labelled with the upper variable
+        that reference the lower variable are rewritten.  All operation
+        caches are invalidated.
+        """
+        if not 0 <= level < len(self._level2var) - 1:
+            raise BddError(f"cannot swap level {level}")
+        upper = self._level2var[level]
+        lower = self._level2var[level + 1]
+        upper_table = self._unique[upper]
+        lower_table = self._unique[lower]
+
+        interacting: list[int] = []
+        for key, nid in list(upper_table.items()):
+            low, high = key
+            if self._var[low] == lower or self._var[high] == lower:
+                interacting.append(nid)
+                del upper_table[key]
+
+        # Commit the level exchange before creating new upper-var nodes so
+        # that _mk built levels are consistent.
+        self._level2var[level], self._level2var[level + 1] = lower, upper
+        self._var2level[upper] = level + 1
+        self._var2level[lower] = level
+
+        for nid in interacting:
+            f0, f1 = self._low[nid], self._high[nid]
+            if self._var[f0] == lower:
+                f00, f01 = self._low[f0], self._high[f0]
+            else:
+                f00 = f01 = f0
+            if self._var[f1] == lower:
+                f10, f11 = self._low[f1], self._high[f1]
+            else:
+                f10 = f11 = f1
+            new_low = self._mk(upper, f00, f10)
+            new_high = self._mk(upper, f01, f11)
+            self._var[nid] = lower
+            self._low[nid] = new_low
+            self._high[nid] = new_high
+            key = (new_low, new_high)
+            if key in lower_table and lower_table[key] != nid:
+                raise BddError(
+                    "unique-table collision during swap; manager corrupted"
+                )
+            lower_table[key] = nid
+
+        self._cache.clear()
+
+    def live_node_count(self) -> int:
+        """Number of nodes reachable from externally referenced roots.
+
+        Unlike :attr:`num_nodes` this ignores dead table entries, which is
+        the metric sifting must minimize (swaps strand dead nodes in the
+        unique tables until the next garbage collection).
+        """
+        reachable: set[int] = set()
+        stack = [n for n, c in self._extref.items() if c > 0 and n > TRUE]
+        while stack:
+            f = stack.pop()
+            if f in reachable or f <= TRUE:
+                continue
+            reachable.add(f)
+            stack.append(self._low[f])
+            stack.append(self._high[f])
+        return len(reachable) + 2
+
+    def level_sizes(self) -> list[int]:
+        """Unique-table size per level (after GC this is the live profile)."""
+        return [len(self._unique[self._level2var[lv]]) for lv in range(len(self._level2var))]

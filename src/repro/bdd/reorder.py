@@ -1,0 +1,107 @@
+"""Dynamic variable reordering by sifting (Rudell, ICCAD'93).
+
+The paper's experimental section notes that "the exact algorithm was run
+with dynamic variable reordering being set"; this module provides that
+capability for our manager.  Each variable is moved through every level via
+in-place adjacent swaps (:meth:`BddManager.swap_levels`), the best position
+seen is remembered, and the variable is parked there.  Because swaps
+preserve node ids, client handles survive reordering untouched.
+"""
+
+from __future__ import annotations
+
+from repro.bdd.manager import BddManager
+
+
+def sift(manager: BddManager, max_growth: float = 2.0) -> int:
+    """Sift every variable to its locally best level.
+
+    ``max_growth`` aborts a variable's journey when the table grows beyond
+    that factor of its size at the start of the journey (the classical
+    sifting damper).  Returns the live node count after reordering.
+    """
+    manager.garbage_collect()
+    nlevels = len(manager._level2var)
+    if nlevels < 2:
+        return manager.num_nodes
+
+    # Sift variables in decreasing order of their level population: big
+    # levels first is the standard heuristic.
+    sizes = manager.level_sizes()
+    order = sorted(range(nlevels), key=lambda lv: -sizes[lv])
+    vars_by_priority = [manager._level2var[lv] for lv in order]
+
+    for var in vars_by_priority:
+        _sift_one(manager, var, max_growth)
+        # Swaps strand the rewritten nodes' old children in the unique
+        # tables; without a sweep every subsequent journey re-processes
+        # the corpses and table size doubles per variable (measured:
+        # 419 -> 10M dead nodes over 16 journeys on a 150-node function).
+        manager.garbage_collect()
+
+    return manager.num_nodes
+
+
+def _sift_one(manager: BddManager, var: int, max_growth: float) -> None:
+    nlevels = len(manager._level2var)
+    start_size = manager.live_node_count()
+    limit = int(start_size * max_growth) + 16
+
+    best_size = start_size
+    best_level = manager._var2level[var]
+    level = best_level
+
+    # Phase 1: sift toward the nearer end first (fewer swaps to undo).
+    go_down_first = (nlevels - 1 - level) <= level
+
+    def move_down() -> None:
+        nonlocal level, best_size, best_level
+        while level < nlevels - 1:
+            manager.swap_levels(level)
+            level += 1
+            size = manager.live_node_count()
+            if size < best_size:
+                best_size = size
+                best_level = level
+            if size > limit:
+                break
+
+    def move_up() -> None:
+        nonlocal level, best_size, best_level
+        while level > 0:
+            manager.swap_levels(level - 1)
+            level -= 1
+            size = manager.live_node_count()
+            if size < best_size:
+                best_size = size
+                best_level = level
+            if size > limit:
+                break
+
+    if go_down_first:
+        move_down()
+        move_up()
+    else:
+        move_up()
+        move_down()
+
+    # Phase 2: park the variable at the best level seen.
+    while level < best_level:
+        manager.swap_levels(level)
+        level += 1
+    while level > best_level:
+        manager.swap_levels(level - 1)
+        level -= 1
+
+
+def reorder_to(manager: BddManager, order: list[str]) -> None:
+    """Force the exact variable order given by ``order`` (a permutation of
+    all declared variable names), using adjacent swaps."""
+    if sorted(order) != sorted(manager.var_names):
+        raise ValueError("order must be a permutation of the declared variables")
+    for target_level, name in enumerate(order):
+        var = manager.var_index(name)
+        level = manager._var2level[var]
+        while level > target_level:
+            manager.swap_levels(level - 1)
+            level -= 1

@@ -1,0 +1,61 @@
+"""Benchmark circuits.
+
+The original MCNC i1–i10 and ISCAS-85 C432–C7552 netlists are not
+redistributable and this environment has no network access, so the
+experimental suites are rebuilt from two ingredients (documented in
+DESIGN.md §4):
+
+* :mod:`~repro.circuits.examples` — exact encodings of the paper's worked
+  examples (Figures 4 and 6) and of public-domain ISCAS-85 C17;
+* :mod:`~repro.circuits.generators` — deterministic, seeded generators of
+  the circuit families whose false-path structure drives the paper's
+  results: carry-skip and carry-select adders (the canonical false-path
+  circuits), cascaded-mux chains, array multipliers, parity/XOR trees
+  (false-path-free controls), ripple adders, and random reconvergent
+  logic;
+* :mod:`~repro.circuits.mcnc_like` / :mod:`~repro.circuits.iscas_like` —
+  the Table 1 / Table 2 substitute suites assembled from those generators
+  with PI/PO scales mirroring the originals.
+"""
+
+from repro.circuits.examples import (
+    c17,
+    carry_skip_block,
+    figure4,
+    figure6,
+    figure6_extended,
+)
+from repro.circuits.generators import (
+    carry_select_adder,
+    carry_skip_adder,
+    cascaded_mux_chain,
+    clustered_logic,
+    parity_tree,
+    random_reconvergent,
+    ripple_adder,
+    array_multiplier,
+)
+from repro.circuits.mcnc_like import mcnc_suite
+from repro.circuits.iscas_like import iscas_suite
+
+__all__ = [
+    "figure4",
+    "figure6",
+    "figure6_extended",
+    "c17",
+    "carry_skip_block",
+    "carry_skip_adder",
+    "carry_select_adder",
+    "cascaded_mux_chain",
+    "clustered_logic",
+    "parity_tree",
+    "random_reconvergent",
+    "ripple_adder",
+    "array_multiplier",
+    "mcnc_suite",
+    "iscas_suite",
+]
+
+from repro.circuits.generators import alu, alu_slice, mac_unit, priority_encoder  # noqa: E402
+
+__all__ += ["alu", "alu_slice", "mac_unit", "priority_encoder"]

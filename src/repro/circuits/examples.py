@@ -1,0 +1,97 @@
+"""The paper's worked examples and small public-domain circuits."""
+
+from __future__ import annotations
+
+from repro.network.network import Network
+
+
+def figure4() -> Network:
+    """The Section 4 worked example.
+
+    Two cascaded AND gates: w = x1·x2, z = w·x2 (so z = x1·x2, and x2 is
+    referenced at two different times).  With unit delays and required time
+    2 at z, the exact relation is the table of Section 4.1 and the only
+    prime of F(α, β) is α₁^{x1} α₁^{x2} α₂^{x2} β₁^{x1} β₁^{x2}.
+    """
+    net = Network("figure4")
+    net.add_input("x1")
+    net.add_input("x2")
+    net.add_gate("w", "AND", ["x1", "x2"])
+    net.add_gate("z", "AND", ["w", "x2"])
+    net.set_outputs(["z"])
+    return net
+
+
+def figure6() -> Network:
+    """The Section 5.1 worked example (the fanin network N_FI).
+
+    a = x2·x3, u1 = x1·a, u2 = x1 + a; with unit delays and zero arrivals,
+    u1 arrives at 1 iff x1 = 0 and u2 arrives at 1 iff x1 = 1, which yields
+    the paper's folded arrival table at (u1, u2).
+    """
+    net = Network("figure6")
+    for pi in ["x1", "x2", "x3"]:
+        net.add_input(pi)
+    net.add_gate("a", "AND", ["x2", "x3"])
+    net.add_gate("u1", "AND", ["x1", "a"])
+    net.add_gate("u2", "OR", ["x1", "a"])
+    net.set_outputs(["u1", "u2"])
+    return net
+
+
+def figure6_extended() -> Network:
+    """Figure 6 embedded in a surrounding network with a consuming stage,
+    so (u1, u2) form a genuine internal subcircuit boundary."""
+    net = figure6()
+    net.name = "figure6_extended"
+    net.add_gate("y", "OR", ["u1", "u2"])
+    net.set_outputs(["y"])
+    return net
+
+
+def c17() -> Network:
+    """ISCAS-85 C17 — the only ISCAS circuit small enough to embed
+    verbatim (public domain; six NAND gates)."""
+    net = Network("c17")
+    for pi in ["G1", "G2", "G3", "G6", "G7"]:
+        net.add_input(pi)
+    net.add_gate("G10", "NAND", ["G1", "G3"])
+    net.add_gate("G11", "NAND", ["G3", "G6"])
+    net.add_gate("G16", "NAND", ["G2", "G11"])
+    net.add_gate("G19", "NAND", ["G11", "G7"])
+    net.add_gate("G22", "NAND", ["G10", "G16"])
+    net.add_gate("G23", "NAND", ["G16", "G19"])
+    net.set_outputs(["G22", "G23"])
+    return net
+
+
+def carry_skip_block(cin_pad: int = 2) -> Network:
+    """A single two-bit carry-skip block: the canonical false path.
+
+    The (padded) ripple path cin → c1 → c2 → cout is structurally longest
+    but requires p0 = p1 = 1 to propagate — and then the skip mux selects
+    cin directly, so the path is false.  ``cin_pad`` buffers make the
+    ripple path strictly longer than every true path.
+    """
+    net = Network("carry_skip_block")
+    for pi in ["cin", "p0", "p1", "g0", "g1"]:
+        net.add_input(pi)
+    prev = "cin"
+    for i in range(1, cin_pad + 1):
+        net.add_gate(f"cin_d{i}", "BUF", [prev])
+        prev = f"cin_d{i}"
+    net.add_gate("np0", "NOT", ["p0"])
+    net.add_gate("np1", "NOT", ["p1"])
+    net.add_gate("a1", "AND", ["p0", prev])
+    net.add_gate("b1", "AND", ["np0", "g0"])
+    net.add_gate("c1", "OR", ["a1", "b1"])
+    net.add_gate("a2", "AND", ["p1", "c1"])
+    net.add_gate("b2", "AND", ["np1", "g1"])
+    net.add_gate("c2", "OR", ["a2", "b2"])
+    net.add_gate("s", "AND", ["p0", "p1"])
+    net.add_gate("ns", "NOT", ["s"])
+    net.add_gate("u", "AND", ["s", "cin"])
+    net.add_gate("v", "AND", ["ns", "c2"])
+    net.add_gate("cout", "OR", ["u", "v"])
+    net.set_outputs(["cout"])
+    return net

@@ -1,0 +1,508 @@
+"""Deterministic generators of benchmark circuit families.
+
+Every generator is seeded/parameterized and pure, so the Table 1 / Table 2
+substitute suites are exactly reproducible.  The families were chosen for
+their timing structure:
+
+* **carry-skip adders** — the canonical false-path circuits (McGeer &
+  Brayton [8]): block ripple paths are longest yet unsensitizable;
+* **carry-select adders** — duplicated carry chains with select muxes;
+* **cascaded mux chains** with alternating select polarity — every path
+  through ≥ 2 stages is false;
+* **parity (XOR) trees** and **ripple adders** — controls with *no* false
+  paths (the analogue of the paper's C499/C880/C1355 "No" rows);
+* **array multipliers** — deep reconvergence, the analysis stress test
+  (the paper's C6288 analogue);
+* **random reconvergent logic** and **clustered random logic** — the
+  MCNC i-circuit stand-ins.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import NetworkError
+from repro.network.network import Network
+from repro.sop import Cover
+
+
+def _add_mux(net: Network, name: str, sel: str, when1: str, when0: str) -> str:
+    """m = sel·when1 + ¬sel·when0 as a single node (its primes include the
+    consensus term when1·when0, which the χ recursion needs to see)."""
+    net.add_node(name, [sel, when1, when0], Cover.from_patterns(["11-", "0-1"]))
+    return name
+
+
+def _add_xor3(net: Network, name: str, a: str, b: str, c: str) -> str:
+    net.add_node(
+        name,
+        [a, b, c],
+        Cover.from_patterns(["100", "010", "001", "111"]),
+    )
+    return name
+
+
+def _add_maj3(net: Network, name: str, a: str, b: str, c: str) -> str:
+    net.add_node(name, [a, b, c], Cover.from_patterns(["11-", "1-1", "-11"]))
+    return name
+
+
+# ----------------------------------------------------------------------
+# adders
+# ----------------------------------------------------------------------
+
+
+def ripple_adder(bits: int, name: str | None = None) -> Network:
+    """A plain ripple-carry adder: outputs s0..s{bits-1}, cout.
+
+    No false paths: the carry chain is fully sensitizable.
+    """
+    if bits < 1:
+        raise NetworkError("ripple_adder needs at least one bit")
+    net = Network(name or f"ripple{bits}")
+    net.add_input("cin")
+    for i in range(bits):
+        net.add_input(f"a{i}")
+        net.add_input(f"b{i}")
+    carry = "cin"
+    outputs = []
+    for i in range(bits):
+        _add_xor3(net, f"s{i}", f"a{i}", f"b{i}", carry)
+        _add_maj3(net, f"c{i + 1}", f"a{i}", f"b{i}", carry)
+        outputs.append(f"s{i}")
+        carry = f"c{i + 1}"
+    outputs.append(carry)
+    net.set_outputs(outputs)
+    return net
+
+
+def carry_skip_adder(
+    n_blocks: int, block_bits: int = 3, name: str | None = None
+) -> Network:
+    """A carry-skip adder: ``n_blocks`` blocks of ``block_bits`` bits.
+
+    Inside each block the carry ripples through per-bit muxes
+    c_{i+1} = MUX(p_i, c_i, g_i); at the block boundary a skip mux selects
+    the block's carry-in directly when every propagate bit is 1.  The
+    block-traversing ripple paths are the classical false paths.
+    """
+    if n_blocks < 1 or block_bits < 2:
+        raise NetworkError("need n_blocks >= 1 and block_bits >= 2")
+    net = Network(name or f"cskip{n_blocks}x{block_bits}")
+    total = n_blocks * block_bits
+    net.add_input("cin")
+    for i in range(total):
+        net.add_input(f"a{i}")
+        net.add_input(f"b{i}")
+
+    outputs = []
+    block_cin = "cin"
+    for blk in range(n_blocks):
+        bit0 = blk * block_bits
+        carry = block_cin
+        props = []
+        for j in range(block_bits):
+            i = bit0 + j
+            net.add_gate(f"p{i}", "XOR", [f"a{i}", f"b{i}"])
+            net.add_gate(f"g{i}", "AND", [f"a{i}", f"b{i}"])
+            props.append(f"p{i}")
+            net.add_gate(f"s{i}", "XOR", [f"p{i}", carry])
+            outputs.append(f"s{i}")
+            _add_mux(net, f"c{i + 1}", f"p{i}", carry, f"g{i}")
+            carry = f"c{i + 1}"
+        net.add_gate(f"P{blk}", "AND", props)
+        _add_mux(net, f"skip{blk}", f"P{blk}", block_cin, carry)
+        block_cin = f"skip{blk}"
+    outputs.append(block_cin)
+    net.set_outputs(outputs)
+    return net
+
+
+def carry_select_adder(
+    n_blocks: int, block_bits: int = 2, name: str | None = None
+) -> Network:
+    """A carry-select adder: each block computes both carry assumptions and
+    muxes on the real block carry-in."""
+    if n_blocks < 1 or block_bits < 1:
+        raise NetworkError("need n_blocks >= 1 and block_bits >= 1")
+    net = Network(name or f"csel{n_blocks}x{block_bits}")
+    total = n_blocks * block_bits
+    net.add_input("cin")
+    for i in range(total):
+        net.add_input(f"a{i}")
+        net.add_input(f"b{i}")
+
+    outputs = []
+    block_cin = "cin"
+    for blk in range(n_blocks):
+        bit0 = blk * block_bits
+        # propagate/generate per bit
+        for j in range(block_bits):
+            i = bit0 + j
+            net.add_gate(f"p{i}", "XOR", [f"a{i}", f"b{i}"])
+            net.add_gate(f"g{i}", "AND", [f"a{i}", f"b{i}"])
+        # two speculative chains: carry-in 0 and 1
+        chains: dict[int, list[str]] = {}
+        for assume in (0, 1):
+            carries = []
+            # first bit: c = g + p·assume
+            if assume == 0:
+                net.add_gate(f"B{blk}c1v0", "BUF", [f"g{bit0}"])
+            else:
+                net.add_gate(f"B{blk}c1v1", "OR", [f"g{bit0}", f"p{bit0}"])
+            carries.append(f"B{blk}c1v{assume}")
+            for j in range(1, block_bits):
+                i = bit0 + j
+                prev = carries[-1]
+                _add_mux(net, f"B{blk}c{j + 1}v{assume}", f"p{i}", prev, f"g{i}")
+                carries.append(f"B{blk}c{j + 1}v{assume}")
+            chains[assume] = carries
+        # sums: first bit uses the assumed carry-in directly
+        for j in range(block_bits):
+            i = bit0 + j
+            if j == 0:
+                # s = p XOR assumed-carry: v0 chain sees carry 0, v1 sees 1
+                net.add_gate(f"s{i}v0", "BUF", [f"p{i}"])
+                net.add_gate(f"s{i}v1", "NOT", [f"p{i}"])
+            else:
+                net.add_gate(f"s{i}v0", "XOR", [f"p{i}", chains[0][j - 1]])
+                net.add_gate(f"s{i}v1", "XOR", [f"p{i}", chains[1][j - 1]])
+            _add_mux(net, f"s{i}", block_cin, f"s{i}v1", f"s{i}v0")
+            outputs.append(f"s{i}")
+        _add_mux(
+            net,
+            f"bc{blk}",
+            block_cin,
+            chains[1][-1],
+            chains[0][-1],
+        )
+        block_cin = f"bc{blk}"
+    outputs.append(block_cin)
+    net.set_outputs(outputs)
+    return net
+
+
+def array_multiplier(bits: int, name: str | None = None) -> Network:
+    """An unsigned array multiplier (the C6288 analogue): outputs
+    m0..m{2*bits-1}."""
+    if bits < 2:
+        raise NetworkError("array_multiplier needs at least 2 bits")
+    net = Network(name or f"mult{bits}x{bits}")
+    for i in range(bits):
+        net.add_input(f"a{i}")
+    for j in range(bits):
+        net.add_input(f"b{j}")
+    # partial products
+    for i in range(bits):
+        for j in range(bits):
+            net.add_gate(f"pp{i}_{j}", "AND", [f"a{i}", f"b{j}"])
+
+    # row-by-row carry-save reduction with ripple rows
+    # row 0 is pp{*}_0; subsequent rows add pp{*}_j shifted by j
+    acc = [f"pp{i}_0" for i in range(bits)]  # acc[k] = weight k+0 ... etc.
+    outputs = [acc[0]]
+    acc = acc[1:]
+    for j in range(1, bits):
+        row = [f"pp{i}_{j}" for i in range(bits)]
+        new_acc = []
+        carry: str | None = None
+        for k in range(bits):
+            x = acc[k] if k < len(acc) else None
+            y = row[k]
+            if x is None and carry is None:
+                new_acc.append(y)
+            elif x is None:
+                net.add_gate(f"r{j}s{k}", "XOR", [y, carry])
+                net.add_gate(f"r{j}c{k}", "AND", [y, carry])
+                new_acc.append(f"r{j}s{k}")
+                carry = f"r{j}c{k}"
+            elif carry is None:
+                net.add_gate(f"r{j}s{k}", "XOR", [x, y])
+                net.add_gate(f"r{j}c{k}", "AND", [x, y])
+                new_acc.append(f"r{j}s{k}")
+                carry = f"r{j}c{k}"
+            else:
+                _add_xor3(net, f"r{j}s{k}", x, y, carry)
+                _add_maj3(net, f"r{j}c{k}", x, y, carry)
+                new_acc.append(f"r{j}s{k}")
+                carry = f"r{j}c{k}"
+        if carry is not None:
+            new_acc.append(carry)
+        outputs.append(new_acc[0])
+        acc = new_acc[1:]
+    outputs.extend(acc)
+    net.set_outputs(outputs)
+    return net
+
+
+# ----------------------------------------------------------------------
+# structural families
+# ----------------------------------------------------------------------
+
+
+def parity_tree(n_inputs: int, name: str | None = None) -> Network:
+    """A balanced XOR tree — every path is true (a 'No' control)."""
+    if n_inputs < 2:
+        raise NetworkError("parity_tree needs at least 2 inputs")
+    net = Network(name or f"parity{n_inputs}")
+    layer = []
+    for i in range(n_inputs):
+        net.add_input(f"x{i}")
+        layer.append(f"x{i}")
+    level = 0
+    while len(layer) > 1:
+        nxt = []
+        for k in range(0, len(layer) - 1, 2):
+            gname = f"t{level}_{k // 2}"
+            net.add_gate(gname, "XOR", [layer[k], layer[k + 1]])
+            nxt.append(gname)
+        if len(layer) % 2:
+            nxt.append(layer[-1])
+        layer = nxt
+        level += 1
+    net.set_outputs([layer[0]])
+    return net
+
+
+def cascaded_mux_chain(stages: int, name: str | None = None) -> Network:
+    """A chain of muxes sharing one select with alternating polarity.
+
+    Stage i selects the chain when s = (i even), so any path through two
+    consecutive stages needs contradictory select values: every chain path
+    of length ≥ 2 is false.
+    """
+    if stages < 2:
+        raise NetworkError("cascaded_mux_chain needs at least 2 stages")
+    net = Network(name or f"muxchain{stages}")
+    net.add_input("s")
+    net.add_input("d")
+    chain = "d"
+    for i in range(stages):
+        net.add_input(f"e{i}")
+        if i % 2 == 0:
+            _add_mux(net, f"m{i}", "s", chain, f"e{i}")
+        else:
+            _add_mux(net, f"m{i}", "s", f"e{i}", chain)
+        chain = f"m{i}"
+    net.set_outputs([chain])
+    return net
+
+
+def random_reconvergent(
+    n_inputs: int,
+    n_gates: int,
+    seed: int,
+    n_outputs: int | None = None,
+    name: str | None = None,
+) -> Network:
+    """Seeded random logic with locality-biased fanin selection (which
+    produces the reconvergence the paper's analysis cost depends on)."""
+    if n_inputs < 2 or n_gates < 1:
+        raise NetworkError("need at least 2 inputs and 1 gate")
+    rng = random.Random(seed)
+    net = Network(name or f"rand{n_inputs}x{n_gates}s{seed}")
+    signals = []
+    for i in range(n_inputs):
+        net.add_input(f"x{i}")
+        signals.append(f"x{i}")
+
+    kinds = ["AND", "OR", "NAND", "NOR", "XOR", "AND", "OR"]
+    for g in range(n_gates):
+        kind = rng.choice(kinds)
+        k = rng.choice([2, 2, 2, 3])
+        # bias toward recently created signals for reconvergence
+        pool_size = min(len(signals), 12)
+        pool = signals[-pool_size:] + rng.sample(
+            signals, min(len(signals), 4)
+        )
+        distinct = list(dict.fromkeys(pool))
+        k = min(k, len(distinct))
+        fanins = rng.sample(distinct, k)
+        gname = f"n{g}"
+        net.add_gate(gname, kind, fanins)
+        signals.append(gname)
+
+    fanouts = net.fanouts()
+    sinks = [s for s in signals if not fanouts[s] and s.startswith("n")]
+    if n_outputs is None:
+        outputs = sinks or [signals[-1]]
+    else:
+        extra = [s for s in reversed(signals) if s.startswith("n") and s not in sinks]
+        outputs = (sinks + extra)[:n_outputs]
+        if not outputs:
+            outputs = [signals[-1]]
+    net.set_outputs(outputs)
+    return net
+
+
+def clustered_logic(
+    n_clusters: int,
+    inputs_per_cluster: int,
+    gates_per_cluster: int,
+    seed: int,
+    name: str | None = None,
+) -> Network:
+    """Independent random clusters — many primary inputs with bounded BDD
+    cost (the i1/i3-style circuits on which the exact method is feasible)."""
+    rng = random.Random(seed)
+    net = Network(
+        name or f"clusters{n_clusters}x{inputs_per_cluster}s{seed}"
+    )
+    outputs = []
+    for c in range(n_clusters):
+        sub = random_reconvergent(
+            inputs_per_cluster,
+            gates_per_cluster,
+            seed=rng.randrange(1 << 30),
+            n_outputs=None,
+        )
+        renaming = {}
+        for pi in sub.inputs:
+            new = f"c{c}_{pi}"
+            renaming[pi] = new
+            net.add_input(new)
+        for node_name in sub.topological_order():
+            node = sub.nodes[node_name]
+            if node.is_input:
+                continue
+            new = f"c{c}_{node_name}"
+            renaming[node_name] = new
+            net.add_node(
+                new, [renaming[f] for f in node.fanins], node.cover.copy()
+            )
+        outputs.extend(renaming[o] for o in sub.outputs)
+    net.set_outputs(outputs)
+    return net
+
+
+def priority_encoder(n_inputs: int, name: str | None = None) -> Network:
+    """A priority encoder: out_i = req_i AND no higher-priority request.
+
+    The inhibit chain gives each output a different depth; all paths are
+    true (a control for required-time analysis with staggered topological
+    requirements).
+    """
+    if n_inputs < 2:
+        raise NetworkError("priority_encoder needs at least 2 inputs")
+    net = Network(name or f"prio{n_inputs}")
+    for i in range(n_inputs):
+        net.add_input(f"r{i}")
+    net.add_gate("grant0", "BUF", ["r0"])
+    net.add_gate("inh0", "BUF", ["r0"])
+    for i in range(1, n_inputs):
+        net.add_gate(f"ninh{i - 1}", "NOT", [f"inh{i - 1}"])
+        net.add_gate(f"grant{i}", "AND", [f"r{i}", f"ninh{i - 1}"])
+        if i < n_inputs - 1:
+            net.add_gate(f"inh{i}", "OR", [f"inh{i - 1}", f"r{i}"])
+    net.set_outputs([f"grant{i}" for i in range(n_inputs)])
+    return net
+
+
+def alu_slice(name: str | None = None) -> Network:
+    """A 1-bit ALU slice: op-selected AND/OR/XOR/ADD with carry in/out.
+
+    The op-select muxes over the carry path create mild false-path
+    structure between the logic ops (which ignore the carry) and the adder
+    row — a compact mixed workload.
+    """
+    net = Network(name or "alu_slice")
+    for pi in ["a", "b", "cin", "s0", "s1"]:
+        net.add_input(pi)
+    net.add_gate("and_r", "AND", ["a", "b"])
+    net.add_gate("or_r", "OR", ["a", "b"])
+    net.add_gate("xor_r", "XOR", ["a", "b"])
+    _add_xor3(net, "sum_r", "a", "b", "cin")
+    _add_maj3(net, "cout", "a", "b", "cin")
+    # result = mux4(s1 s0): 00 and, 01 or, 10 xor, 11 sum
+    _add_mux(net, "lo", "s0", "or_r", "and_r")
+    _add_mux(net, "hi", "s0", "sum_r", "xor_r")
+    _add_mux(net, "res", "s1", "hi", "lo")
+    net.set_outputs(["res", "cout"])
+    return net
+
+
+def alu(bits: int, name: str | None = None) -> Network:
+    """A ``bits``-wide ripple ALU built from :func:`alu_slice` replicas.
+
+    The carry chain is only live when the op-select picks ADD; every
+    carry-ripple path through a non-ADD result mux is false — a deeper,
+    op-gated false-path workload than the carry-skip adders.
+    """
+    if bits < 1:
+        raise NetworkError("alu needs at least 1 bit")
+    net = Network(name or f"alu{bits}")
+    for pi in ["cin", "s0", "s1"]:
+        net.add_input(pi)
+    for i in range(bits):
+        net.add_input(f"a{i}")
+        net.add_input(f"b{i}")
+    carry = "cin"
+    outputs = []
+    for i in range(bits):
+        net.add_gate(f"and{i}", "AND", [f"a{i}", f"b{i}"])
+        net.add_gate(f"or{i}", "OR", [f"a{i}", f"b{i}"])
+        net.add_gate(f"xor{i}", "XOR", [f"a{i}", f"b{i}"])
+        _add_xor3(net, f"sum{i}", f"a{i}", f"b{i}", carry)
+        _add_maj3(net, f"c{i + 1}", f"a{i}", f"b{i}", carry)
+        _add_mux(net, f"lo{i}", "s0", f"or{i}", f"and{i}")
+        _add_mux(net, f"hi{i}", "s0", f"sum{i}", f"xor{i}")
+        _add_mux(net, f"res{i}", "s1", f"hi{i}", f"lo{i}")
+        outputs.append(f"res{i}")
+        carry = f"c{i + 1}"
+    outputs.append(carry)
+    net.set_outputs(outputs)
+    return net
+
+
+def mac_unit(bits: int, block_bits: int = 3, name: str | None = None) -> Network:
+    """A multiply-accumulate unit: p = a x b, then p + c via a carry-skip
+    final adder.
+
+    Real array multipliers (the C6288 class) pair the carry-save array with
+    a fast final adder; using a carry-skip stage makes the block-crossing
+    carry paths of the accumulation false — the multiplier-shaped workload
+    whose required-time analysis is non-trivial yet very slow to exhaust.
+    """
+    mult = array_multiplier(bits)
+    net = Network(name or f"mac{bits}")
+    for pi in mult.inputs:
+        net.add_input(pi)
+    width = 2 * bits
+    for i in range(width):
+        net.add_input(f"c{i}")
+    net.add_input("acc_cin")
+    # embed the multiplier
+    for node_name in mult.topological_order():
+        node = mult.nodes[node_name]
+        if node.is_input:
+            continue
+        net.add_node(node_name, list(node.fanins), node.cover.copy())
+    product = list(mult.outputs)
+
+    # carry-skip accumulation of product + c
+    outputs = []
+    block_cin = "acc_cin"
+    n_blocks = (width + block_bits - 1) // block_bits
+    bit = 0
+    for blk in range(n_blocks):
+        carry = block_cin
+        props = []
+        for _ in range(block_bits):
+            if bit >= width:
+                break
+            net.add_gate(f"fp{bit}", "XOR", [product[bit], f"c{bit}"])
+            net.add_gate(f"fg{bit}", "AND", [product[bit], f"c{bit}"])
+            props.append(f"fp{bit}")
+            net.add_gate(f"fs{bit}", "XOR", [f"fp{bit}", carry])
+            outputs.append(f"fs{bit}")
+            _add_mux(net, f"fc{bit + 1}", f"fp{bit}", carry, f"fg{bit}")
+            carry = f"fc{bit + 1}"
+            bit += 1
+        if not props:
+            break
+        net.add_gate(f"fP{blk}", "AND", props)
+        _add_mux(net, f"fskip{blk}", f"fP{blk}", block_cin, carry)
+        block_cin = f"fskip{blk}"
+    outputs.append(block_cin)
+    net.set_outputs(outputs)
+    return net

@@ -1,0 +1,132 @@
+"""The Table 2 substitute suite: s432 … s7552, standing in for ISCAS-85.
+
+Each entry mirrors the corresponding C-circuit's role in the paper's
+Table 2 (approximate algorithm 2 only):
+
+=======  ===================================  ==========================
+circuit  structure                            expected Table-2 behaviour
+=======  ===================================  ==========================
+s432     mux chains + reconvergent random     Yes (non-trivial r)
+s499     parity tree                          No (all paths true)
+s880     ripple adder + random tree           No
+s1355    parity tree (xor-expanded flavour)   No
+s1908    carry-select adder + random          Yes
+s2670    wide carry-skip adder                Yes
+s3540    multiplier + carry-skip mix          Yes, r_max very slow
+s5315    carry-skip + clusters                Yes
+s6288    array multiplier                     Yes, r_max very slow
+s7552    large mixed                          Yes
+=======  ===================================  ==========================
+
+Sizes are scaled so a pure-Python analysis completes in benchmark time;
+the *relative* size ordering of the original suite is preserved, which is
+what the reproduced trends depend on.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.generators import (
+    array_multiplier,
+    carry_select_adder,
+    carry_skip_adder,
+    cascaded_mux_chain,
+    clustered_logic,
+    parity_tree,
+    random_reconvergent,
+    ripple_adder,
+)
+from repro.circuits.mcnc_like import CircuitSpec, merge_networks
+
+
+def iscas_suite() -> list[CircuitSpec]:
+    """Build all ten Table-2 substitute circuits (deterministic)."""
+    specs: list[CircuitSpec] = []
+
+    s432 = merge_networks(
+        [cascaded_mux_chain(6), random_reconvergent(24, 60, seed=432)],
+        "s432",
+    )
+    specs.append(CircuitSpec("s432", "C432", s432, notes="mux chains: Yes"))
+
+    specs.append(
+        CircuitSpec(
+            "s499",
+            "C499",
+            parity_tree(41, name="s499"),
+            notes="parity: all paths true, No",
+        )
+    )
+
+    s880 = merge_networks(
+        [ripple_adder(12), parity_tree(16)],
+        "s880",
+    )
+    specs.append(CircuitSpec("s880", "C880", s880, notes="ripple+parity: No"))
+
+    specs.append(
+        CircuitSpec(
+            "s1355",
+            "C1355",
+            parity_tree(41, name="s1355"),
+            notes="expanded parity: No",
+        )
+    )
+
+    s1908 = merge_networks(
+        [carry_select_adder(3, 2), random_reconvergent(16, 40, seed=1908)],
+        "s1908",
+    )
+    specs.append(CircuitSpec("s1908", "C1908", s1908, notes="carry-select: Yes"))
+
+    specs.append(
+        CircuitSpec(
+            "s2670",
+            "C2670",
+            carry_skip_adder(6, 3, name="s2670"),
+            notes="wide carry-skip: Yes",
+        )
+    )
+
+    s3540 = merge_networks(
+        [array_multiplier(4), carry_skip_adder(4, 3)],
+        "s3540",
+    )
+    specs.append(
+        CircuitSpec(
+            "s3540",
+            "C3540",
+            s3540,
+            notes="multiplier+skip mix: Yes, slow r_max",
+            budgets={"approx2_time_budget": 60.0},
+        )
+    )
+
+    s5315 = merge_networks(
+        [carry_skip_adder(5, 3), clustered_logic(12, 8, 8, seed=5315)],
+        "s5315",
+    )
+    specs.append(CircuitSpec("s5315", "C5315", s5315, notes="skip+clusters: Yes"))
+
+    from repro.circuits.generators import mac_unit
+
+    specs.append(
+        CircuitSpec(
+            "s6288",
+            "C6288",
+            mac_unit(4, name="s6288"),
+            notes="multiply-accumulate (array + skip final adder): Yes, slow r_max",
+            budgets={"approx2_time_budget": 60.0},
+        )
+    )
+
+    s7552 = merge_networks(
+        [
+            carry_skip_adder(6, 3),
+            carry_select_adder(4, 2),
+            clustered_logic(16, 8, 8, seed=7552),
+        ],
+        "s7552",
+    )
+    specs.append(CircuitSpec("s7552", "C7552", s7552, notes="large mixed: Yes"))
+
+    return specs

@@ -1,0 +1,220 @@
+"""The Table 1 substitute suite: m1 … m10, standing in for MCNC i1 … i10.
+
+The original i-circuits are not redistributable; each mᵢ is generated
+deterministically to mirror the corresponding iᵢ's primary-input /
+primary-output scale (Table 1 of the paper) and to exercise the behavior
+the paper reports for it:
+
+=======  =====  =====  =============================================
+circuit  #PI    #PO    structure / expected behaviour
+=======  =====  =====  =============================================
+m1        25     16    shallow clusters + a Figure-4 gadget: exact
+                       completes and is non-trivial; approx-2 finds
+                       nothing (value-dependent looseness only)
+m2       201      1    wide reconvergent cone: exact memory-outs,
+                       approx-1 completes
+m3       132    ~60    many small clusters: exact completes slowly
+m4       192      6    clusters, deeper: exact infeasible
+m5       133     66    wide shallow random logic
+m6       138     67    wide shallow random logic
+m7       199     67    wide shallow random logic
+m8        33    ~37    carry-skip rich: both approximations non-trivial
+m9        88     44    Figure-4 gadgets: approx-1 non-trivial,
+                       approx-2 trivial (value-independent search)
+m10      257    224    large mixed: approx-1 memory-outs, approx-2
+                       long-running but productive
+=======  =====  =====  =============================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuits.examples import figure4
+from repro.circuits.generators import (
+    carry_skip_adder,
+    cascaded_mux_chain,
+    clustered_logic,
+    random_reconvergent,
+)
+from repro.network.network import Network
+
+
+@dataclass
+class CircuitSpec:
+    """One suite entry with its paper-analogue metadata."""
+
+    name: str
+    paper_name: str
+    network: Network
+    notes: str = ""
+    #: suggested per-method resource budgets for the benchmark harness
+    budgets: dict[str, object] = field(default_factory=dict)
+
+
+def merge_networks(parts: list[Network], name: str) -> Network:
+    """Disjoint union of networks with namespaced signals."""
+    net = Network(name)
+    outputs: list[str] = []
+    for idx, part in enumerate(parts):
+        prefix = f"u{idx}_"
+        renaming = {}
+        for pi in part.inputs:
+            renaming[pi] = prefix + pi
+            net.add_input(prefix + pi)
+        for node_name in part.topological_order():
+            node = part.nodes[node_name]
+            if node.is_input:
+                continue
+            renaming[node_name] = prefix + node_name
+            net.add_node(
+                prefix + node_name,
+                [renaming[f] for f in node.fanins],
+                node.cover.copy(),
+            )
+        outputs.extend(renaming[o] for o in part.outputs)
+    net.set_outputs(outputs)
+    return net
+
+
+def _fig4_gadgets(count: int) -> list[Network]:
+    return [figure4() for _ in range(count)]
+
+
+def _wide_cone(n_inputs: int, seed: int, name: str) -> Network:
+    """A single-output reconvergent cone over many inputs, built from
+    cascaded layers that reuse signals at different depths (the Figure-4
+    time-multiplicity pattern, scaled up)."""
+    import random
+
+    rng = random.Random(seed)
+    net = Network(name)
+    signals = []
+    for i in range(n_inputs):
+        net.add_input(f"x{i}")
+        signals.append(f"x{i}")
+    layer = signals
+    level = 0
+    while len(layer) > 1:
+        nxt = []
+        for k in range(0, len(layer) - 1, 2):
+            kind = rng.choice(["AND", "OR", "AND", "OR", "XOR"])
+            gname = f"L{level}_{k // 2}"
+            fanins = [layer[k], layer[k + 1]]
+            # every few gates, re-inject an earlier signal to create the
+            # multi-time reconvergence the paper's analysis keys on
+            if k % 6 == 0 and level > 0:
+                fanins.append(rng.choice(signals))
+            net.add_gate(gname, kind, fanins)
+            nxt.append(gname)
+            signals.append(gname)
+        if len(layer) % 2:
+            nxt.append(layer[-1])
+        layer = nxt
+        level += 1
+    net.set_outputs([layer[0]])
+    return net
+
+
+def mcnc_suite() -> list[CircuitSpec]:
+    """Build all ten Table-1 substitute circuits (deterministic)."""
+    specs: list[CircuitSpec] = []
+
+    m1 = merge_networks(
+        [clustered_logic(4, 5, 7, seed=11)] + _fig4_gadgets(2),
+        "m1",
+    )
+    specs.append(
+        CircuitSpec(
+            "m1",
+            "i1",
+            m1,
+            notes="shallow clusters + Figure-4 gadgets (exact feasible)",
+        )
+    )
+
+    specs.append(
+        CircuitSpec(
+            "m2",
+            "i2",
+            _wide_cone(201, seed=22, name="m2"),
+            notes="wide single-output cone (exact memory-outs)",
+            budgets={"exact_max_nodes": 200_000},
+        )
+    )
+
+    specs.append(
+        CircuitSpec(
+            "m3",
+            "i3",
+            clustered_logic(22, 6, 10, seed=33, name="m3"),
+            notes="independent clusters (exact slow but feasible)",
+            budgets={"exact_max_nodes": 400_000},
+        )
+    )
+
+    specs.append(
+        CircuitSpec(
+            "m4",
+            "i4",
+            clustered_logic(6, 32, 40, seed=44, name="m4"),
+            notes="deeper clusters (exact not attempted, as in the paper)",
+        )
+    )
+
+    for idx, (pis, pos, seed) in enumerate(
+        [(133, 66, 55), (138, 67, 66), (199, 67, 77)], start=5
+    ):
+        clusters = pos
+        per = max(2, pis // clusters)
+        specs.append(
+            CircuitSpec(
+                f"m{idx}",
+                f"i{idx}",
+                clustered_logic(clusters, per, 4, seed=seed, name=f"m{idx}"),
+                notes="wide shallow random logic",
+            )
+        )
+
+    m8 = merge_networks(
+        [carry_skip_adder(2, 3), random_reconvergent(20, 40, seed=88, n_outputs=30)],
+        "m8",
+    )
+    specs.append(
+        CircuitSpec(
+            "m8",
+            "i8",
+            m8,
+            notes="carry-skip rich: both approximations non-trivial",
+        )
+    )
+
+    m9 = merge_networks(_fig4_gadgets(44), "m9")  # 88 PI, like i9
+    specs.append(
+        CircuitSpec(
+            "m9",
+            "i9",
+            m9,
+            notes="Figure-4 gadgets: approx-1 non-trivial, approx-2 trivial",
+        )
+    )
+
+    m10 = merge_networks(
+        [
+            carry_skip_adder(6, 3),
+            cascaded_mux_chain(8),
+            clustered_logic(30, 6, 6, seed=1010),
+        ],
+        "m10",
+    )
+    specs.append(
+        CircuitSpec(
+            "m10",
+            "i10",
+            m10,
+            notes="large mixed: approx-1 memory-outs, approx-2 long-running",
+            budgets={"approx1_max_nodes": 150_000},
+        )
+    )
+
+    return specs

@@ -1,0 +1,234 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+
+* ``stats``    — parse a netlist and print its size/depth profile.
+* ``delay``    — topological vs exact (false-path aware) output arrival
+  times; lists the outputs whose longest paths are false.
+* ``required`` — required times at the primary inputs by any of the
+  paper's methods (``topological`` / ``exact`` / ``approx1`` /
+  ``approx2``).
+* ``slack``    — true vs topological slack of internal nodes (Section 3's
+  subproblem).
+* ``paths``    — enumerate the longest paths and classify each one.
+* ``report``   — the consolidated timing datasheet (delay + false paths +
+  required-time analysis in one page).
+
+Netlists are read from BLIF (``.blif``) or ISCAS bench (``.bench``)
+files, chosen by extension.  All analyses default to the paper's setup:
+unit delays, arrival 0 at every input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.core.required_time import analyze_required_times, format_time
+from repro.core.trueslack import true_slacks
+from repro.errors import ReproError
+from repro.network import parse_bench_file, parse_blif_file
+from repro.network.network import Network
+from repro.timing import FunctionalTiming, TopologicalTiming
+from repro.timing.paths import classify_path, longest_paths
+
+
+def load_network(path: str) -> Network:
+    if path.endswith(".bench"):
+        return parse_bench_file(path)
+    return parse_blif_file(path)
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    net = load_network(args.netlist)
+    print(f"name:    {net.name}")
+    print(f"inputs:  {net.num_inputs}")
+    print(f"outputs: {net.num_outputs}")
+    print(f"gates:   {net.num_gates}")
+    print(f"depth:   {net.depth()}")
+    return 0
+
+
+def cmd_delay(args: argparse.Namespace) -> int:
+    net = load_network(args.netlist)
+    ft = FunctionalTiming(net, engine=args.engine)
+    topo = ft.topological_arrivals()
+    print(f"{'output':<20} {'topological':>12} {'exact':>12}  note")
+    false_count = 0
+    for out in net.outputs:
+        true = ft.true_arrival(out)
+        note = ""
+        if true < topo[out]:
+            note = "longest path false"
+            false_count += 1
+        print(f"{out:<20} {topo[out]:>12g} {true:>12g}  {note}")
+    print(
+        f"\n{false_count} of {net.num_outputs} outputs have a false longest path"
+    )
+    return 0
+
+
+def cmd_required(args: argparse.Namespace) -> int:
+    net = load_network(args.netlist)
+    options = {}
+    if args.method == "approx2":
+        options["engine"] = args.engine
+        if args.budget is not None:
+            options["time_budget"] = args.budget
+    if args.method in ("exact", "approx1") and args.max_nodes is not None:
+        options["max_nodes"] = args.max_nodes
+    report = analyze_required_times(
+        net, args.method, output_required=args.required, **options
+    )
+    if args.json:
+        print(json.dumps(report.table_row()))
+        return 0
+    print(f"method:      {report.method}")
+    print(f"circuit:     {report.circuit}")
+    print(f"non-trivial: {'yes' if report.nontrivial else 'no'}")
+    print(f"cpu time:    {report.elapsed:.3f}s")
+    if report.time_to_first_nontrivial is not None:
+        print(f"first r != r_bot after {report.time_to_first_nontrivial:.3f}s")
+    if report.aborted:
+        print(f"ABORTED: {report.abort_reason}")
+    detail = report.detail
+    if args.method == "approx2" and detail is not None and not report.aborted:
+        print("\nloosest validated required times:")
+        best = detail.best
+        for key in sorted(best, key=str):
+            gain = best[key] - detail.r_bottom[key]
+            marker = f"  (+{gain:g})" if gain > 0 else ""
+            print(f"  {key}: {format_time(best[key])}{marker}")
+    if args.method == "approx1" and detail is not None:
+        for i, profile in enumerate(detail.profiles):
+            print(f"\nprime {i + 1}:")
+            for x, (r0, r1) in sorted(profile.as_dict().items()):
+                print(
+                    f"  {x}: by {format_time(r1)} when 1, "
+                    f"by {format_time(r0)} when 0"
+                )
+    return 0
+
+
+def cmd_slack(args: argparse.Namespace) -> int:
+    net = load_network(args.netlist)
+    required = args.required
+    if required is None:
+        required = TopologicalTiming.analyze(net, output_required=0.0).topological_delay()
+    reports = true_slacks(net, output_required=required, engine=args.engine)
+    print(f"required time at outputs: {required:g}")
+    print(f"{'node':<20} {'topo slack':>12} {'true slack':>12} {'recovered':>12}")
+    for name in sorted(reports):
+        rep = reports[name]
+        print(
+            f"{name:<20} {rep.topo_slack:>12g} "
+            f"{format_time(rep.true_slack):>12} "
+            f"{format_time(rep.slack_recovered):>12}"
+        )
+    return 0
+
+
+def cmd_paths(args: argparse.Namespace) -> int:
+    net = load_network(args.netlist)
+    paths = longest_paths(net, max_paths=args.max_paths)
+    print(f"{len(paths)} longest path(s), delay {paths[0].delay:g}:" if paths else "no paths")
+    for path in paths[: args.limit]:
+        verdict = classify_path(net, path, engine=args.engine)
+        print(f"  [{verdict:>12}] {' -> '.join(path.nodes)}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.timing.report import timing_report
+
+    net = load_network(args.netlist)
+    report = timing_report(
+        net,
+        output_required=args.required,
+        method=args.method,
+        engine=args.engine,
+        time_budget=args.budget,
+    )
+    print(report.render(), end="")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Exact required time analysis via false path detection",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("stats", help="netlist size profile")
+    p.add_argument("netlist")
+    p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("delay", help="topological vs exact arrival times")
+    p.add_argument("netlist")
+    p.add_argument("--engine", choices=["bdd", "sat"], default="bdd")
+    p.set_defaults(func=cmd_delay)
+
+    p = sub.add_parser("required", help="required times at the primary inputs")
+    p.add_argument("netlist")
+    p.add_argument(
+        "--method",
+        choices=["topological", "exact", "approx1", "approx2"],
+        default="approx2",
+    )
+    p.add_argument("--required", type=float, default=0.0,
+                   help="required time at every primary output (default 0)")
+    p.add_argument("--engine", choices=["bdd", "sat"], default="sat")
+    p.add_argument("--budget", type=float, default=None,
+                   help="time budget in seconds (approx2)")
+    p.add_argument("--max-nodes", type=int, default=None,
+                   help="BDD node budget (exact/approx1)")
+    p.add_argument("--json", action="store_true", help="machine-readable row")
+    p.set_defaults(func=cmd_required)
+
+    p = sub.add_parser("slack", help="true vs topological slack per node")
+    p.add_argument("netlist")
+    p.add_argument("--required", type=float, default=None,
+                   help="required time at outputs (default: topological delay)")
+    p.add_argument("--engine", choices=["bdd", "sat"], default="bdd")
+    p.set_defaults(func=cmd_slack)
+
+    p = sub.add_parser("report", help="consolidated timing datasheet")
+    p.add_argument("netlist")
+    p.add_argument("--required", type=float, default=0.0)
+    p.add_argument(
+        "--method",
+        choices=["none", "topological", "exact", "approx1", "approx2"],
+        default="approx2",
+    )
+    p.add_argument("--engine", choices=["bdd", "sat"], default="bdd")
+    p.add_argument("--budget", type=float, default=30.0)
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("paths", help="classify the longest paths")
+    p.add_argument("netlist")
+    p.add_argument("--engine", choices=["bdd", "sat"], default="bdd")
+    p.add_argument("--max-paths", type=int, default=10_000)
+    p.add_argument("--limit", type=int, default=20)
+    p.set_defaults(func=cmd_paths)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

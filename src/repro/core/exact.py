@@ -1,0 +1,336 @@
+"""The exact algorithm (Section 4.1): required times as a Boolean relation.
+
+Construction:
+
+1. enumerate the leaf χ variables (one fresh BDD variable per
+   ⟨input, value, time⟩ triple),
+2. build χ_{z,1}^T and χ_{z,0}^T over those unknowns with the symbolic χ
+   recursion,
+3. constrain them to equal the output onset/offset, conjoined with the
+   subset-ordering chains  ∅ ⊆ χ_{x,v}^{t_1} ⊆ … ⊆ χ_{x,v}^{t_k} ⊆ literal,
+4. the result F(X, χ_X) is the characteristic function of a Boolean
+   relation: for every input minterm, the set of permissible stability
+   vectors.
+
+Queries on the relation reproduce the paper's Section 4.1 tables: full
+per-minterm rows, the minimal-element (latest required time) sub-relation,
+the required-time tuples, and a compatible function assignment (one
+Boolean-unification solution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from repro.bdd import BddManager, BddNode, minimal_elements
+from repro.bdd.reorder import sift
+from repro.core.leaves import LeafTimes, enumerate_leaf_times
+from repro.core.required_time import INF, RequiredTimeProfile
+from repro.core.symbolic import SymbolicChi
+from repro.errors import ResourceLimitError, TimingError
+from repro.network.network import Network
+from repro.network.verify import global_functions
+from repro.timing.delay import DelayModel, unit_delay
+
+
+@dataclass(frozen=True)
+class LeafVar:
+    """One leaf χ variable: χ_{input,value}^{time} as a BDD variable."""
+
+    input: str
+    value: int
+    time: float
+    var_name: str
+
+
+class ExactAnalysis:
+    """Builds the exact Boolean relation for one network."""
+
+    def __init__(
+        self,
+        network: Network,
+        delays: DelayModel | None = None,
+        output_required: Mapping[str, float] | float = 0.0,
+        manager: BddManager | None = None,
+        max_nodes: int | None = None,
+        reorder: bool = False,
+        max_leaves: int = 50_000,
+        output_dc: Mapping[str, object] | None = None,
+    ):
+        self.network = network
+        self.delays = delays or unit_delay()
+        self.output_required = output_required
+        #: footnote 3 extension: per-output don't-care sets (a
+        #: :class:`repro.sop.Cover` over the primary inputs, in
+        #: ``network.inputs`` column order).  On don't-care vectors no
+        #: stability is demanded at all, which enlarges the relation.
+        self.output_dc = dict(output_dc or {})
+        self.leaves: LeafTimes = enumerate_leaf_times(
+            network, self.delays, output_required, max_leaves=max_leaves
+        )
+        # ``reorder`` mirrors the paper's setup ("the exact algorithm was
+        # run with dynamic variable reordering being set"): sifting kicks
+        # in automatically while the relation is being built.
+        self.manager = manager or BddManager(
+            max_nodes=max_nodes,
+            auto_reorder=reorder,
+            reorder_threshold=50_000,
+        )
+        self.reorder = reorder
+        self._relation: ExactRelation | None = None
+
+    def relation(self) -> "ExactRelation":
+        if self._relation is not None:
+            return self._relation
+        m = self.manager
+        net = self.network
+
+        # Interleave each primary-input variable with its own leaf
+        # variables: the relation couples an input only with its own χ
+        # chain and its cluster's neighbors, so this order keeps the
+        # constraint BDDs local (the all-X-then-all-leaves order exhibits
+        # the classical interleaving blowup on clustered circuits).
+        leaf_vars: list[LeafVar] = []
+        leaf_index: dict[tuple[str, int, float], LeafVar] = {}
+        for pi in net.inputs:
+            if not m.has_var(pi):
+                m.add_var(pi)
+            for value, table in ((1, self.leaves.for_one), (0, self.leaves.for_zero)):
+                for t in table.get(pi, ()):
+                    name = f"chi[{pi},{value},{t:g}]"
+                    if not m.has_var(name):
+                        m.add_var(name)
+                    lv = LeafVar(pi, value, t, name)
+                    leaf_vars.append(lv)
+                    leaf_index[(pi, value, t)] = lv
+
+        def leaf_fn(name: str, value: int, t: float) -> BddNode:
+            lv = leaf_index.get((name, value, t))
+            if lv is None:
+                raise TimingError(
+                    f"χ recursion visited unenumerated leaf ({name},{value},{t})"
+                )
+            return m.var(lv.var_name)
+
+        chi = SymbolicChi(net, m, leaf_fn, self.delays)
+
+        # required times per output
+        if isinstance(self.output_required, Mapping):
+            req = {o: float(t) for o, t in self.output_required.items()}
+        else:
+            req = {o: float(self.output_required) for o in net.outputs}
+
+        onsets = global_functions(net, m)
+
+        def maybe_gc() -> None:
+            # safe point between top-level operations: every needed node is
+            # protected by a BddNode wrapper (relation, onsets, χ memo), so
+            # construction garbage can be reclaimed against the budget
+            threshold = (
+                self.manager.max_nodes // 2
+                if self.manager.max_nodes
+                else 500_000
+            )
+            if m.num_nodes > threshold:
+                m.garbage_collect()
+
+        relation = m.true
+        for out, t in req.items():
+            on = onsets[out]
+            one_ok = chi.chi(out, 1, t).equiv(on)
+            zero_ok = chi.chi(out, 0, t).equiv(~on)
+            dc_cover = self.output_dc.get(out)
+            if dc_cover is not None:
+                from repro.network.verify import _cover_bdd
+
+                dc = _cover_bdd(m, dc_cover, [m.var(pi) for pi in net.inputs])
+                care = ~dc
+                relation = relation & care.implies(one_ok)
+                relation = relation & care.implies(zero_ok)
+            else:
+                relation = relation & one_ok & zero_ok
+            maybe_gc()
+
+        # ordering chains and literal bounds
+        for pi in net.inputs:
+            for value, table in ((1, self.leaves.for_one), (0, self.leaves.for_zero)):
+                times = table.get(pi, ())
+                bound = m.var(pi) if value else m.nvar(pi)
+                prev: BddNode | None = None
+                for t in times:  # ascending
+                    cur = m.var(leaf_index[(pi, value, t)].var_name)
+                    if prev is not None:
+                        relation = relation & prev.implies(cur)
+                    prev = cur
+                if prev is not None:
+                    relation = relation & prev.implies(bound)
+            maybe_gc()
+
+        if self.reorder:
+            sift(m)
+
+        self._relation = ExactRelation(
+            manager=m,
+            network=net,
+            relation_bdd=relation,
+            leaf_vars=leaf_vars,
+            output_required=req,
+        )
+        return self._relation
+
+
+class ExactRelation:
+    """The relation F(X, χ_X) = 1 with the paper's query surface."""
+
+    def __init__(
+        self,
+        manager: BddManager,
+        network: Network,
+        relation_bdd: BddNode,
+        leaf_vars: list[LeafVar],
+        output_required: dict[str, float],
+    ):
+        self.manager = manager
+        self.network = network
+        self.F = relation_bdd
+        self.leaf_vars = leaf_vars
+        self.output_required = output_required
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def num_leaf_variables(self) -> int:
+        return len(self.leaf_vars)
+
+    @property
+    def leaf_var_names(self) -> list[str]:
+        return [lv.var_name for lv in self.leaf_vars]
+
+    def _restrict_to_minterm(self, minterm: Mapping[str, int]) -> BddNode:
+        missing = set(self.network.inputs) - set(minterm)
+        if missing:
+            raise TimingError(f"minterm missing inputs {sorted(missing)}")
+        return self.manager.restrict(
+            self.F, {x: int(minterm[x]) for x in self.network.inputs}
+        )
+
+    # ------------------------------------------------------------------
+    # relation rows (the paper's Section 4.1 tables)
+    # ------------------------------------------------------------------
+    def rows(self, minterm: Mapping[str, int]) -> set[str]:
+        """All permissible stability vectors at one input minterm, rendered
+        as bit strings in ``leaf_vars`` order (the paper's table format)."""
+        restricted = self._restrict_to_minterm(minterm)
+        result = set()
+        names = self.leaf_var_names
+        for sol in self.manager.sat_iter(restricted, names):
+            result.add("".join(str(sol[n]) for n in names))
+        return result
+
+    def minimal_rows(self, minterm: Mapping[str, int]) -> set[str]:
+        """The minimal elements: the latest-required-time sub-relation."""
+        restricted = self._restrict_to_minterm(minterm)
+        minimal = minimal_elements(restricted, self.leaf_var_names)
+        names = self.leaf_var_names
+        result = set()
+        for sol in self.manager.sat_iter(minimal, names):
+            result.add("".join(str(sol[n]) for n in names))
+        return result
+
+    def required_tuples(
+        self, minterm: Mapping[str, int]
+    ) -> set[RequiredTimeProfile]:
+        """The latest required-time tuples at one minterm.
+
+        For each minimal row, the required time of input x (whose value in
+        the minterm is b) is the earliest t with χ_{x,b}^t = 1; ``INF`` when
+        no stability is demanded.
+        """
+        profiles = set()
+        for row in self.minimal_rows(minterm):
+            bits = dict(zip(self.leaf_var_names, row))
+            times: dict[str, tuple[float, float]] = {}
+            for x in self.network.inputs:
+                b = int(minterm[x])
+                demanded = [
+                    lv.time
+                    for lv in self.leaf_vars
+                    if lv.input == x and lv.value == b and bits[lv.var_name] == "1"
+                ]
+                req = min(demanded) if demanded else INF
+                times[x] = (req, INF) if b == 0 else (INF, req)
+            profiles.add(RequiredTimeProfile.from_dict(times))
+        return profiles
+
+    # ------------------------------------------------------------------
+    # non-triviality
+    # ------------------------------------------------------------------
+    def topological_assignment(self) -> BddNode:
+        """The BDD forcing every leaf χ variable to its literal bound — the
+        assignment corresponding to topological required times (footnote 4
+        of the paper: 'pick the last output pattern for each minterm')."""
+        m = self.manager
+        topo = m.true
+        for lv in self.leaf_vars:
+            bound = m.var(lv.input) if lv.value else m.nvar(lv.input)
+            topo = topo & m.var(lv.var_name).equiv(bound)
+        return topo
+
+    def contains_topological(self) -> bool:
+        """Sanity invariant: the topological assignment is always in F."""
+        topo = self.topological_assignment()
+        return (topo & ~self.F).is_false
+
+    def nontrivial(self) -> bool:
+        """Some permissible row differs from the topological one, i.e. the
+        relation encodes a strictly looser requirement somewhere."""
+        topo = self.topological_assignment()
+        return not (self.F & ~topo).is_false
+
+    # ------------------------------------------------------------------
+    # compatible-function extraction (Boolean unification)
+    # ------------------------------------------------------------------
+    def choose_compatible(self, max_inputs: int = 14) -> dict[str, BddNode]:
+        """One function assignment to the leaf χ variables compatible with F.
+
+        Picks, per input minterm, the lexicographically smallest minimal
+        row, and assembles each leaf variable's function of X as the union
+        of the minterms where its bit is 1.  Exponential in |X|; guarded by
+        ``max_inputs``.
+        """
+        inputs = self.network.inputs
+        if len(inputs) > max_inputs:
+            raise ResourceLimitError(
+                f"compatible extraction over {len(inputs)} inputs exceeds "
+                f"max_inputs={max_inputs}"
+            )
+        m = self.manager
+        chosen: dict[str, BddNode] = {
+            lv.var_name: m.false for lv in self.leaf_vars
+        }
+        import itertools
+
+        for bits in itertools.product((0, 1), repeat=len(inputs)):
+            minterm = dict(zip(inputs, bits))
+            rows = self.minimal_rows(minterm)
+            if not rows:
+                raise TimingError(
+                    f"relation empty at minterm {minterm}: inconsistent constraints"
+                )
+            row = min(rows)
+            cube = m.from_cube(minterm)
+            for name, bit in zip(self.leaf_var_names, row):
+                if bit == "1":
+                    chosen[name] = chosen[name] | cube
+        return chosen
+
+    def verify_assignment(self, assignment: Mapping[str, BddNode]) -> bool:
+        """Check a leaf-function assignment satisfies F for every minterm."""
+        m = self.manager
+        ok = self.F
+        # substitute each leaf variable with its function
+        for name, func in assignment.items():
+            ok = m.compose(ok, name, func)
+        return ok.is_true

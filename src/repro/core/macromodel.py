@@ -1,0 +1,257 @@
+"""Abstract (black-box) timing macro-models — the paper's [7] extension.
+
+The conclusions announce: "We have recently shown [7] how this analysis
+leads to an abstract delay model for black boxes.  The delay model can be
+accurate taking into account false paths, without giving the internal
+details of the box."
+
+This module implements that idea.  For one box (a combinational network),
+the per-vector XBD0 stabilization time of an output is a **min-max-plus
+expression** over the input arrival times:
+
+    stab(z, x) = min over the satisfied primes (recursively)
+                 of max over the prime's inputs of (arr(x_i) + offset)
+
+The macro-model materializes, for every output, the map from input
+vectors to their (pruned) min-max-plus expression — no gate-level detail
+survives, yet the evaluation is *exact* for every combination of input
+arrival times, false paths included.  Because per-vector stabilization
+times compose across a cut, macro-models chain: the arrival times computed
+for one box's outputs feed the next box's model, and the composition
+equals flat whole-network analysis (tested against the ternary oracle).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.errors import ResourceLimitError, TimingError
+from repro.network.network import Network
+from repro.timing.delay import DelayModel, unit_delay
+
+#: one max-alternative: arrival = max over (input, offset) of arr(input)+offset
+Alternative = frozenset  # of (input_name, float offset)
+#: a full expression: arrival = min over alternatives
+Expression = frozenset  # of Alternative
+
+
+def _prune(alternatives: set[Alternative]) -> Expression:
+    """Drop alternatives that can never be the minimum.
+
+    A dominates B when for every (x, o) in A there is (x, o') in B with
+    o <= o' and A's support is a subset of B's — then max(A) <= max(B)
+    for all arrivals, so B is redundant.
+    """
+    kept: list[Alternative] = []
+    for alt in sorted(alternatives, key=len):
+        dominated = False
+        offsets = dict(alt)
+        for other in kept:
+            other_offsets = dict(other)
+            if all(
+                x in offsets and other_offsets[x] <= offsets[x]
+                for x in other_offsets
+            ):
+                dominated = True
+                break
+        if not dominated:
+            kept.append(alt)
+    return frozenset(kept)
+
+
+def _max_combine(parts: Sequence[Expression]) -> Expression:
+    """max over sub-expressions: cross products of their alternatives."""
+    result: set[Alternative] = {frozenset()}
+    for expr in parts:
+        new: set[Alternative] = set()
+        for partial in result:
+            for alt in expr:
+                merged = dict(partial)
+                for x, o in alt:
+                    if merged.get(x, float("-inf")) < o:
+                        merged[x] = o
+                new.add(frozenset(merged.items()))
+        result = new
+        if len(result) > 256:
+            result = set(_prune(result))
+            if len(result) > 256:
+                raise ResourceLimitError(
+                    "macro-model expression exceeded 256 alternatives"
+                )
+    return _prune(result)
+
+
+def _min_combine(parts: Sequence[Expression]) -> Expression:
+    merged: set[Alternative] = set()
+    for expr in parts:
+        merged.update(expr)
+    return _prune(merged)
+
+
+def _shift(expr: Expression, delta: float) -> Expression:
+    return frozenset(
+        frozenset((x, o + delta) for x, o in alt) for alt in expr
+    )
+
+
+def evaluate_expression(
+    expr: Expression, arrivals: Mapping[str, float]
+) -> float:
+    """min over alternatives of max over (input, offset)."""
+    if not expr:
+        raise TimingError("empty arrival expression")
+    best = None
+    for alt in expr:
+        if alt:
+            value = max(arrivals[x] + o for x, o in alt)
+        else:
+            value = 0.0  # constant cone: stabilizes after pure gate delay
+        best = value if best is None else min(best, value)
+    return best
+
+
+@dataclass
+class TimingMacroModel:
+    """A false-path-exact black-box timing model of one network."""
+
+    name: str
+    inputs: list[str]
+    outputs: list[str]
+    #: per output: map input vector (bit tuple over `inputs`) -> expression
+    expressions: dict[str, dict[tuple[int, ...], Expression]]
+    #: the box's functionality (truth table per output), needed to chain
+    #: vector-dependent models through a hierarchy
+    truth: dict[str, dict[tuple[int, ...], int]]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def extract(
+        cls,
+        network: Network,
+        delays: DelayModel | None = None,
+        max_inputs: int = 12,
+    ) -> "TimingMacroModel":
+        """Build the macro-model by per-vector min-max-plus recursion."""
+        if len(network.inputs) > max_inputs:
+            raise ResourceLimitError(
+                f"{len(network.inputs)} inputs exceed max_inputs={max_inputs}"
+            )
+        delays = delays or unit_delay()
+        expressions: dict[str, dict[tuple[int, ...], Expression]] = {
+            o: {} for o in network.outputs
+        }
+        truth: dict[str, dict[tuple[int, ...], int]] = {
+            o: {} for o in network.outputs
+        }
+        order = network.topological_order()
+        for bits in itertools.product((0, 1), repeat=len(network.inputs)):
+            env = dict(zip(network.inputs, bits))
+            values = network.simulate(env)
+            exprs: dict[str, Expression] = {}
+            for name in order:
+                node = network.nodes[name]
+                if node.is_input:
+                    exprs[name] = frozenset({frozenset({(name, 0.0)})})
+                    continue
+                value = int(values[name])
+                onset_primes, offset_primes = node.primes()
+                primes = onset_primes if value else offset_primes
+                d = delays.of_value(name, value)
+                options: list[Expression] = []
+                for cube in primes:
+                    # only primes satisfied by the final fanin values
+                    # contribute (the per-vector χ semantics)
+                    satisfied = True
+                    parts: list[Expression] = []
+                    for i, fanin in enumerate(node.fanins):
+                        phase = cube.literal(i)
+                        if phase is None:
+                            continue
+                        if int(values[fanin]) != phase:
+                            satisfied = False
+                            break
+                        parts.append(exprs[fanin])
+                    if not satisfied:
+                        continue
+                    options.append(_max_combine(parts))
+                if not options:
+                    raise TimingError(
+                        f"no satisfied prime at node {name!r}; cover corrupt"
+                    )
+                exprs[name] = _shift(_min_combine(options), d)
+            for o in network.outputs:
+                expressions[o][bits] = exprs[o]
+                truth[o][bits] = int(values[o])
+        return cls(
+            name=network.name,
+            inputs=list(network.inputs),
+            outputs=list(network.outputs),
+            expressions=expressions,
+            truth=truth,
+        )
+
+    # ------------------------------------------------------------------
+    def arrival(
+        self,
+        output: str,
+        input_vector: Mapping[str, int],
+        input_arrivals: Mapping[str, float],
+    ) -> float:
+        """Exact XBD0 arrival of ``output`` for one vector and arbitrary
+        input arrival times."""
+        bits = tuple(int(input_vector[x]) for x in self.inputs)
+        expr = self.expressions[output][bits]
+        return evaluate_expression(
+            expr, {x: float(input_arrivals.get(x, 0.0)) for x in self.inputs}
+        )
+
+    def value(self, output: str, input_vector: Mapping[str, int]) -> int:
+        bits = tuple(int(input_vector[x]) for x in self.inputs)
+        return self.truth[output][bits]
+
+    def worst_arrival(
+        self, output: str, input_arrivals: Mapping[str, float]
+    ) -> float:
+        """The box's exact delay at ``output`` under given input arrivals —
+        the max over all input vectors."""
+        arr = {x: float(input_arrivals.get(x, 0.0)) for x in self.inputs}
+        return max(
+            evaluate_expression(expr, arr)
+            for expr in self.expressions[output].values()
+        )
+
+    def size(self) -> int:
+        """Total number of stored (vector, alternative) atoms — the model's
+        footprint, independent of the box's gate count."""
+        return sum(
+            len(alt)
+            for per_output in self.expressions.values()
+            for expr in per_output.values()
+            for alt in expr
+        )
+
+
+def compose_arrivals(
+    models: Sequence[TimingMacroModel],
+    system_vector: Mapping[str, int],
+    primary_arrivals: Mapping[str, float],
+) -> dict[str, float]:
+    """Chain macro-models in topological order (each model's inputs are
+    primary inputs or outputs of earlier models); returns per-signal
+    arrival times.  Per-vector stabilization times compose exactly across
+    cuts, so this equals flat analysis of the merged network."""
+    arrivals: dict[str, float] = dict(primary_arrivals)
+    values: dict[str, int] = {k: int(v) for k, v in system_vector.items()}
+    for model in models:
+        missing = [x for x in model.inputs if x not in values]
+        if missing:
+            raise TimingError(
+                f"model {model.name}: inputs {missing} not yet computed"
+            )
+        vector = {x: values[x] for x in model.inputs}
+        for out in model.outputs:
+            arrivals[out] = model.arrival(out, vector, arrivals)
+            values[out] = model.value(out, vector)
+    return arrivals

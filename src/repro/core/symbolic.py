@@ -1,0 +1,99 @@
+"""The χ recursion with unknown (symbolic) leaves.
+
+``SymbolicChi`` runs the same recursion as
+:class:`repro.timing.chi.ChiEngine`, but the terminal case at each primary
+input is delegated to a caller-supplied ``leaf_fn(name, value, t)``:
+
+* the exact algorithm (Section 4.1) returns a *fresh BDD variable* per
+  ⟨input, value, time⟩ triple,
+* approximate approach 1 (Section 4.2) returns the α/β-parameterized
+  product ``literal · α_1 · … · α_j``,
+* the Section 5 flexibility analyses mix known leaves (inputs with given
+  arrival times) with unknown ones (the subcircuit boundary).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.bdd import BddManager, BddNode
+from repro.errors import TimingError
+from repro.network.network import Network
+from repro.timing.delay import DelayModel, unit_delay
+
+LeafFn = Callable[[str, int, float], BddNode]
+
+
+class SymbolicChi:
+    """χ functions whose primary-input leaves are supplied by a callback."""
+
+    def __init__(
+        self,
+        network: Network,
+        manager: BddManager,
+        leaf_fn: LeafFn,
+        delays: DelayModel | None = None,
+    ):
+        self.network = network
+        self.manager = manager
+        self.leaf_fn = leaf_fn
+        self.delays = delays or unit_delay()
+        self._memo: dict[tuple[str, int, float], BddNode] = {}
+
+    def chi(self, name: str, value: int, t: float) -> BddNode:
+        if value not in (0, 1):
+            raise TimingError(f"value must be 0 or 1, got {value}")
+        t = float(t)
+        key = (name, value, t)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+
+        node = self.network.node(name)
+        m = self.manager
+        if node.is_input:
+            result = self.leaf_fn(name, value, t)
+        else:
+            onset_primes, offset_primes = node.primes()
+            primes = onset_primes if value else offset_primes
+            t_in = t - self.delays.of_value(name, value)
+            result = m.false
+            for cube in primes:
+                term = m.true
+                for i, fanin in enumerate(node.fanins):
+                    phase = cube.literal(i)
+                    if phase is None:
+                        continue
+                    term = term & self.chi(fanin, phase, t_in)
+                    if term.is_false:
+                        break
+                result = result | term
+                if result.is_true:
+                    break
+        self._memo[key] = result
+        return result
+
+
+def known_arrival_leaf_fn(
+    manager: BddManager, arrivals: Mapping[str, tuple[float, float] | float]
+) -> LeafFn:
+    """Leaf callback for inputs with *known* arrival times.
+
+    ``arrivals`` values may be scalars or (arr_for_0, arr_for_1) pairs.
+    """
+
+    def normalize(t) -> tuple[float, float]:
+        if isinstance(t, (tuple, list)):
+            return (float(t[0]), float(t[1]))
+        return (float(t), float(t))
+
+    arr = {name: normalize(t) for name, t in arrivals.items()}
+
+    def leaf(name: str, value: int, t: float) -> BddNode:
+        if name not in arr:
+            raise TimingError(f"no arrival time known for input {name!r}")
+        if t >= arr[name][value]:
+            return manager.var(name) if value else manager.nvar(name)
+        return manager.false
+
+    return leaf

@@ -1,0 +1,66 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+letting genuine programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ParseError(ReproError):
+    """A netlist file (BLIF / ISCAS bench) could not be parsed.
+
+    Carries the offending file name and line number when available.
+    """
+
+    def __init__(self, message: str, filename: str | None = None, lineno: int | None = None):
+        self.filename = filename
+        self.lineno = lineno
+        location = ""
+        if filename is not None:
+            location = f"{filename}:"
+        if lineno is not None:
+            location += f"{lineno}:"
+        if location:
+            message = f"{location} {message}"
+        super().__init__(message)
+
+
+class NetworkError(ReproError):
+    """The Boolean network is structurally invalid for the requested operation
+    (cycles, dangling fanins, unknown node names, illegal subcircuit cuts...)."""
+
+
+class BddError(ReproError):
+    """BDD manager failure (unknown variable, node-table overflow, operands
+    from different managers...)."""
+
+
+class SatError(ReproError):
+    """SAT solver failure (malformed clause, conflicting assumptions at level
+    zero when not expected...)."""
+
+
+class TimingError(ReproError):
+    """Timing analysis failure (missing arrival/required times, negative gate
+    delay, unstable output under every candidate...)."""
+
+
+class ResourceLimitError(ReproError):
+    """An analysis exceeded a user-imposed resource budget.
+
+    Mirrors the paper's 'memory out' / '> 12 hours' table entries: the
+    algorithms raise this instead of running unbounded, and the benchmark
+    harness records the event exactly as the paper does.
+    """
+
+    def __init__(self, message: str, partial_result: object | None = None):
+        super().__init__(message)
+        #: best result computed before the limit hit (e.g. the last validated
+        #: required-time vector of the lattice climb), or ``None``.
+        self.partial_result = partial_result

@@ -1,0 +1,55 @@
+"""Boolean networks: the combinational circuits under analysis.
+
+A :class:`~repro.network.network.Network` is a DAG of named nodes.  Each
+internal node carries a sum-of-products local function over its fanins
+(BLIF ``.names`` semantics); primary inputs are leaf nodes.  The package
+also provides
+
+* BLIF and ISCAS ``.bench`` readers/writers,
+* structural transforms (transitive fanin/fanout extraction, subcircuit
+  cutting) used by the Section 5 flexibility analysis,
+* simulation and BDD-based global-function construction / equivalence
+  checking.
+"""
+
+from repro.network.network import Network, Node
+from repro.network.blif import parse_blif, parse_blif_file, write_blif
+from repro.network.bench import parse_bench, parse_bench_file, write_bench
+from repro.network.transform import (
+    extract_subnetwork,
+    transitive_fanin,
+    transitive_fanout,
+)
+from repro.network.verify import equivalent, global_functions
+from repro.network.opt import (
+    buffer_chains,
+    collapse_output,
+    propagate_constants,
+    sweep,
+)
+from repro.network.dump import summary, to_dot
+from repro.network.hierarchy import parse_blif_hierarchy, parse_blif_hierarchy_file
+
+__all__ = [
+    "Network",
+    "Node",
+    "parse_blif",
+    "parse_blif_file",
+    "write_blif",
+    "parse_bench",
+    "parse_bench_file",
+    "write_bench",
+    "transitive_fanin",
+    "transitive_fanout",
+    "extract_subnetwork",
+    "equivalent",
+    "global_functions",
+    "propagate_constants",
+    "sweep",
+    "collapse_output",
+    "buffer_chains",
+    "summary",
+    "to_dot",
+    "parse_blif_hierarchy",
+    "parse_blif_hierarchy_file",
+]

@@ -1,0 +1,148 @@
+"""ISCAS ``.bench`` netlist reader and writer.
+
+The ISCAS-85 combinational benchmark suite (C432 ... C7552 in the paper's
+Table 2) is traditionally distributed in this format:
+
+.. code-block:: text
+
+    INPUT(G1)
+    OUTPUT(G17)
+    G10 = NAND(G1, G3)
+    G17 = NOT(G10)
+
+Gate kinds supported: AND, NAND, OR, NOR, NOT, BUF/BUFF, XOR, XNOR.
+``DFF`` is rejected — cut sequential circuits at latch boundaries first.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+from typing import TextIO
+
+from repro.errors import ParseError
+from repro.network.network import Network
+
+_ASSIGN = re.compile(r"^\s*([^\s=]+)\s*=\s*([A-Za-z]+)\s*\(([^)]*)\)\s*$")
+_IO = re.compile(r"^\s*(INPUT|OUTPUT)\s*\(\s*([^)\s]+)\s*\)\s*$", re.IGNORECASE)
+
+_KIND_MAP = {
+    "AND": "AND",
+    "NAND": "NAND",
+    "OR": "OR",
+    "NOR": "NOR",
+    "NOT": "NOT",
+    "INV": "NOT",
+    "BUF": "BUF",
+    "BUFF": "BUF",
+    "XOR": "XOR",
+    "XNOR": "XNOR",
+}
+
+
+def parse_bench_file(path: str) -> Network:
+    with open(path) as handle:
+        return parse_bench(handle.read(), filename=path)
+
+
+def parse_bench(text: str, filename: str | None = None) -> Network:
+    network = Network("bench")
+    outputs: list[str] = []
+    gates: list[tuple[int, str, str, list[str]]] = []
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        io_match = _IO.match(line)
+        if io_match:
+            kind, name = io_match.group(1).upper(), io_match.group(2)
+            if kind == "INPUT":
+                network.add_input(name)
+            else:
+                outputs.append(name)
+            continue
+        assign = _ASSIGN.match(line)
+        if assign:
+            target, kind, arglist = assign.groups()
+            kind = kind.upper()
+            if kind == "DFF":
+                raise ParseError(
+                    "DFF found: cut sequential circuits at latch boundaries "
+                    "first (see repro.timing.sequential.cut_at_latches)",
+                    filename,
+                    lineno,
+                )
+            if kind not in _KIND_MAP:
+                raise ParseError(f"unknown gate kind {kind!r}", filename, lineno)
+            fanins = [a.strip() for a in arglist.split(",") if a.strip()]
+            if not fanins:
+                raise ParseError(f"gate {target!r} has no fanins", filename, lineno)
+            gates.append((lineno, target, _KIND_MAP[kind], fanins))
+            continue
+        raise ParseError(f"unparseable line: {line!r}", filename, lineno)
+
+    for lineno, target, kind, fanins in gates:
+        try:
+            network.add_gate(target, kind, fanins)
+        except Exception as exc:
+            raise ParseError(str(exc), filename, lineno) from exc
+
+    network.set_outputs(outputs)
+    network.validate()
+    return network
+
+
+def write_bench(network: Network, handle: TextIO | None = None) -> str:
+    """Serialize as .bench.  Nodes whose covers match standard gates are
+    emitted with the matching kind; anything else is an error — decompose
+    exotic nodes before writing."""
+    out = io.StringIO()
+    for pi in network.inputs:
+        out.write(f"INPUT({pi})\n")
+    for po in network.outputs:
+        out.write(f"OUTPUT({po})\n")
+    for name in network.topological_order():
+        node = network.nodes[name]
+        if node.is_input:
+            continue
+        kind = _classify(node)
+        if kind is None:
+            raise ParseError(
+                f"node {name!r} is not a standard gate; decompose before "
+                "writing .bench"
+            )
+        out.write(f"{name} = {kind}({', '.join(node.fanins)})\n")
+    text = out.getvalue()
+    if handle is not None:
+        handle.write(text)
+    return text
+
+
+def _classify(node) -> str | None:
+    from repro.sop import Cover
+
+    k = len(node.fanins)
+    candidates = {
+        "AND": Cover.from_patterns(["1" * k]),
+        "NOR": Cover.from_patterns(["0" * k]),
+        "OR": Cover.from_patterns(
+            ["-" * i + "1" + "-" * (k - i - 1) for i in range(k)]
+        ),
+        "NAND": Cover.from_patterns(["1" * k]).complement(),
+        "XOR": Cover.from_minterms(
+            k, [m for m in range(1 << k) if bin(m).count("1") % 2 == 1]
+        ),
+        "XNOR": Cover.from_minterms(
+            k, [m for m in range(1 << k) if bin(m).count("1") % 2 == 0]
+        ),
+    }
+    if k == 1:
+        candidates = {
+            "NOT": Cover.from_patterns(["0"]),
+            "BUFF": Cover.from_patterns(["1"]),
+        }
+    for kind, cover in candidates.items():
+        if node.cover.equivalent(cover):
+            return kind
+    return None

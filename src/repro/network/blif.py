@@ -1,0 +1,179 @@
+"""BLIF (Berkeley Logic Interchange Format) reader and writer.
+
+Supports the combinational subset the paper's experiments need:
+``.model``, ``.inputs``, ``.outputs``, ``.names`` (with both on-set and
+off-set cover polarity), constants, comments, and line continuations.
+Latches are rejected with a clear message: the paper handles sequential
+circuits by cutting at latch boundaries *before* analysis (Section 3), and
+:func:`repro.timing.sequential.cut_at_latches` performs that cut.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, TextIO
+
+from repro.errors import ParseError
+from repro.network.network import Network
+from repro.sop import Cover, Cube
+
+
+def parse_blif_file(path: str) -> Network:
+    with open(path) as handle:
+        return parse_blif(handle.read(), filename=path)
+
+
+def parse_blif(text: str, filename: str | None = None) -> Network:
+    """Parse BLIF source text into a :class:`Network`."""
+    lines = _logical_lines(text, filename)
+    network: Network | None = None
+    inputs: list[str] = []
+    outputs: list[str] = []
+    names_blocks: list[tuple[int, list[str], list[tuple[str, str]]]] = []
+    current_block: tuple[int, list[str], list[tuple[str, str]]] | None = None
+
+    for lineno, line in lines:
+        tokens = line.split()
+        if not tokens:
+            continue
+        head = tokens[0]
+        if head.startswith(".") and current_block is not None:
+            names_blocks.append(current_block)
+            current_block = None
+        if head == ".model":
+            name = tokens[1] if len(tokens) > 1 else "model"
+            if network is not None:
+                raise ParseError("multiple .model sections", filename, lineno)
+            network = Network(name)
+        elif head == ".inputs":
+            inputs.extend(tokens[1:])
+        elif head == ".outputs":
+            outputs.extend(tokens[1:])
+        elif head == ".names":
+            if len(tokens) < 2:
+                raise ParseError(".names needs at least an output", filename, lineno)
+            current_block = (lineno, tokens[1:], [])
+        elif head == ".latch":
+            raise ParseError(
+                ".latch found: cut sequential circuits at latch boundaries "
+                "first (see repro.timing.sequential.cut_at_latches)",
+                filename,
+                lineno,
+            )
+        elif head == ".end":
+            break
+        elif head.startswith("."):
+            raise ParseError(f"unsupported construct {head!r}", filename, lineno)
+        else:
+            if current_block is None:
+                raise ParseError(
+                    f"cover line outside .names block: {line!r}", filename, lineno
+                )
+            if len(tokens) == 1:
+                # single-column line of a constant node
+                current_block[2].append(("", tokens[0]))
+            elif len(tokens) == 2:
+                current_block[2].append((tokens[0], tokens[1]))
+            else:
+                raise ParseError(f"malformed cover line {line!r}", filename, lineno)
+    if current_block is not None:
+        names_blocks.append(current_block)
+
+    if network is None:
+        network = Network("model")
+    for pi in inputs:
+        network.add_input(pi)
+
+    for lineno, signals, rows in names_blocks:
+        *fanins, output = signals
+        width = len(fanins)
+        if not rows:
+            # empty .names block: constant zero
+            cover = Cover.zero(width)
+        else:
+            out_values = {v for _, v in rows}
+            if out_values <= {"1"}:
+                patterns = [p for p, _ in rows]
+                cover = _cover_from_patterns(width, patterns, filename, lineno)
+            elif out_values <= {"0"}:
+                patterns = [p for p, _ in rows]
+                cover = _cover_from_patterns(width, patterns, filename, lineno).complement()
+            else:
+                raise ParseError(
+                    f"mixed output polarity in .names {output}", filename, lineno
+                )
+        network.add_node(output, fanins, cover)
+
+    network.set_outputs(outputs)
+    network.validate()
+    return network
+
+
+def _cover_from_patterns(
+    width: int, patterns: list[str], filename: str | None, lineno: int
+) -> Cover:
+    cubes = []
+    for p in patterns:
+        if len(p) != width:
+            raise ParseError(
+                f"cover row {p!r} does not match {width} fanins", filename, lineno
+            )
+        try:
+            cubes.append(Cube.from_pattern(p))
+        except ValueError as exc:
+            raise ParseError(str(exc), filename, lineno) from None
+    return Cover(width, cubes)
+
+
+def _logical_lines(text: str, filename: str | None) -> list[tuple[int, str]]:
+    """Strip comments and join backslash continuations."""
+    result: list[tuple[int, str]] = []
+    pending = ""
+    pending_start = 0
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].rstrip()
+        if not line and not pending:
+            continue
+        if pending:
+            line = pending + " " + line.strip()
+        else:
+            pending_start = lineno
+        if line.endswith("\\"):
+            pending = line[:-1].rstrip()
+            continue
+        pending = ""
+        result.append((pending_start, line.strip()))
+    if pending:
+        raise ParseError("dangling line continuation", filename, pending_start)
+    return result
+
+
+def write_blif(network: Network, handle: TextIO | None = None) -> str:
+    """Serialize the network as BLIF; returns the text (and writes to
+    ``handle`` when given)."""
+    out = io.StringIO()
+    out.write(f".model {network.name}\n")
+    out.write(_wrapped(".inputs", network.inputs))
+    out.write(_wrapped(".outputs", network.outputs))
+    for name in network.topological_order():
+        node = network.nodes[name]
+        if node.is_input:
+            continue
+        out.write(f".names {' '.join(node.fanins + [name])}\n")
+        if node.cover.is_empty():
+            continue  # constant zero: empty cover
+        for cube in node.cover:
+            pattern = cube.to_pattern()
+            out.write(f"{pattern} 1\n" if pattern else "1\n")
+    out.write(".end\n")
+    text = out.getvalue()
+    if handle is not None:
+        handle.write(text)
+    return text
+
+
+def _wrapped(keyword: str, names: Iterable[str]) -> str:
+    names = list(names)
+    if not names:
+        return f"{keyword}\n"
+    return f"{keyword} {' '.join(names)}\n"

@@ -1,0 +1,62 @@
+"""Visualization and reporting helpers for networks."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.network.network import Network
+
+
+def to_dot(
+    network: Network,
+    node_labels: Mapping[str, str] | None = None,
+    highlight: set[str] | frozenset[str] | None = None,
+) -> str:
+    """Render the network as a Graphviz dot digraph.
+
+    ``node_labels`` appends extra text per node (e.g. slack values);
+    ``highlight`` draws the named nodes with a doubled border (e.g. a
+    critical path).
+    """
+    node_labels = node_labels or {}
+    highlight = highlight or set()
+    lines = [f"digraph {network.name.replace('-', '_')} {{", "  rankdir=LR;"]
+    for name, node in network.nodes.items():
+        label = name
+        extra = node_labels.get(name)
+        if extra:
+            label += f"\\n{extra}"
+        shape = "box" if node.is_input else "ellipse"
+        peripheries = ",peripheries=2" if name in highlight else ""
+        outline = ",style=bold" if name in network.outputs else ""
+        lines.append(
+            f'  "{name}" [shape={shape},label="{label}"{peripheries}{outline}];'
+        )
+    for name, node in network.nodes.items():
+        for fanin in node.fanins:
+            lines.append(f'  "{fanin}" -> "{name}";')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def summary(network: Network) -> dict[str, object]:
+    """A size/shape profile of the network."""
+    fanouts = network.fanouts()
+    gate_fanins = [
+        len(n.fanins) for n in network.nodes.values() if not n.is_input
+    ]
+    return {
+        "name": network.name,
+        "inputs": network.num_inputs,
+        "outputs": network.num_outputs,
+        "gates": network.num_gates,
+        "depth": network.depth(),
+        "max_fanin": max(gate_fanins, default=0),
+        "max_fanout": max((len(v) for v in fanouts.values()), default=0),
+        "literals": sum(
+            cube.num_literals
+            for n in network.nodes.values()
+            if not n.is_input
+            for cube in n.cover
+        ),
+    }

@@ -1,0 +1,198 @@
+"""Hierarchical BLIF: multiple ``.model`` sections and ``.subckt`` calls.
+
+``parse_blif_hierarchy`` reads a BLIF file containing several models,
+resolves ``.subckt`` instantiations recursively, and returns the
+*flattened* network of the top model (the first one, or the one named via
+``top``).  Instance-local signals are namespaced ``<instancepath>/<name>``
+so flattening never collides; formal/actual port bindings follow the
+standard ``.subckt model formal=actual ...`` syntax.
+
+This is the front end the hierarchical-analysis features (Section 3 latch
+cutting, Section 5 flexibility, the [7] macro-models) want: design entry
+stays hierarchical, analysis runs on the flattened network or per box.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ParseError
+from repro.network.blif import _cover_from_patterns, _logical_lines
+from repro.network.network import Network
+from repro.sop import Cover
+
+
+@dataclass
+class _Model:
+    name: str
+    inputs: list[str] = field(default_factory=list)
+    outputs: list[str] = field(default_factory=list)
+    #: (lineno, [fanins..., output], [(pattern, value), ...])
+    names: list[tuple[int, list[str], list[tuple[str, str]]]] = field(
+        default_factory=list
+    )
+    #: (lineno, model_name, {formal: actual})
+    subckts: list[tuple[int, str, dict[str, str]]] = field(default_factory=list)
+
+
+def _split_models(text: str, filename: str | None) -> list[_Model]:
+    models: list[_Model] = []
+    current: _Model | None = None
+    block: tuple[int, list[str], list[tuple[str, str]]] | None = None
+
+    def flush_block():
+        nonlocal block
+        if block is not None and current is not None:
+            current.names.append(block)
+        block = None
+
+    for lineno, line in _logical_lines(text, filename):
+        tokens = line.split()
+        head = tokens[0]
+        if head.startswith("."):
+            flush_block()
+        if head == ".model":
+            current = _Model(tokens[1] if len(tokens) > 1 else f"model{len(models)}")
+            models.append(current)
+        elif head == ".inputs":
+            if current is None:
+                raise ParseError(".inputs before .model", filename, lineno)
+            current.inputs.extend(tokens[1:])
+        elif head == ".outputs":
+            if current is None:
+                raise ParseError(".outputs before .model", filename, lineno)
+            current.outputs.extend(tokens[1:])
+        elif head == ".names":
+            if current is None:
+                raise ParseError(".names before .model", filename, lineno)
+            block = (lineno, tokens[1:], [])
+        elif head == ".subckt":
+            if current is None:
+                raise ParseError(".subckt before .model", filename, lineno)
+            if len(tokens) < 2:
+                raise ParseError(".subckt needs a model name", filename, lineno)
+            binding: dict[str, str] = {}
+            for pair in tokens[2:]:
+                if "=" not in pair:
+                    raise ParseError(
+                        f"malformed port binding {pair!r}", filename, lineno
+                    )
+                formal, actual = pair.split("=", 1)
+                binding[formal] = actual
+            current.subckts.append((lineno, tokens[1], binding))
+        elif head == ".latch":
+            raise ParseError(
+                ".latch found: cut sequential circuits first "
+                "(repro.timing.sequential.cut_at_latches)",
+                filename,
+                lineno,
+            )
+        elif head == ".end":
+            flush_block()
+            current = None
+        elif head.startswith("."):
+            raise ParseError(f"unsupported construct {head!r}", filename, lineno)
+        else:
+            if block is None:
+                raise ParseError(
+                    f"cover line outside .names block: {line!r}", filename, lineno
+                )
+            if len(tokens) == 1:
+                block[2].append(("", tokens[0]))
+            elif len(tokens) == 2:
+                block[2].append((tokens[0], tokens[1]))
+            else:
+                raise ParseError(f"malformed cover line {line!r}", filename, lineno)
+    flush_block()
+    if not models:
+        raise ParseError("no .model section found", filename, 1)
+    return models
+
+
+def parse_blif_hierarchy(
+    text: str, top: str | None = None, filename: str | None = None
+) -> Network:
+    """Parse multi-model BLIF and flatten the ``top`` model (default: the
+    first model in the file)."""
+    models = {m.name: m for m in _split_models(text, filename)}
+    first = next(iter(models))
+    top_name = top if top is not None else first
+    if top_name not in models:
+        raise ParseError(f"top model {top_name!r} not defined", filename)
+
+    network = Network(top_name)
+    top_model = models[top_name]
+    for pi in top_model.inputs:
+        network.add_input(pi)
+
+    def instantiate(
+        model: _Model,
+        prefix: str,
+        binding: dict[str, str],
+        stack: tuple[str, ...],
+    ) -> None:
+        if model.name in stack:
+            raise ParseError(
+                f"recursive instantiation of model {model.name!r}", filename
+            )
+
+        def resolve(signal: str) -> str:
+            if signal in binding:
+                return binding[signal]
+            return f"{prefix}{signal}" if prefix else signal
+
+        for lineno, signals, rows in model.names:
+            *fanins, output = signals
+            width = len(fanins)
+            if not rows:
+                cover = Cover.zero(width)
+            else:
+                values = {v for _, v in rows}
+                patterns = [p for p, _ in rows]
+                if values <= {"1"}:
+                    cover = _cover_from_patterns(width, patterns, filename, lineno)
+                elif values <= {"0"}:
+                    cover = _cover_from_patterns(
+                        width, patterns, filename, lineno
+                    ).complement()
+                else:
+                    raise ParseError(
+                        f"mixed output polarity in .names {output}", filename, lineno
+                    )
+            network.add_node(
+                resolve(output), [resolve(f) for f in fanins], cover
+            )
+        for lineno, sub_name, ports in model.subckts:
+            if sub_name not in models:
+                raise ParseError(
+                    f"unknown subcircuit model {sub_name!r}", filename, lineno
+                )
+            sub = models[sub_name]
+            child_prefix = f"{prefix}{sub_name}{lineno}/"
+            child_binding: dict[str, str] = {}
+            for formal in sub.inputs:
+                if formal not in ports:
+                    raise ParseError(
+                        f"unbound input {formal!r} of {sub_name!r}", filename, lineno
+                    )
+                child_binding[formal] = resolve(ports[formal])
+            for formal in sub.outputs:
+                if formal in ports:
+                    child_binding[formal] = resolve(ports[formal])
+                # unbound outputs stay internal (namespaced) signals
+            extra = set(ports) - set(sub.inputs) - set(sub.outputs)
+            if extra:
+                raise ParseError(
+                    f"unknown ports {sorted(extra)} on {sub_name!r}", filename, lineno
+                )
+            instantiate(sub, child_prefix, child_binding, stack + (model.name,))
+
+    instantiate(top_model, "", {}, ())
+    network.set_outputs(list(top_model.outputs))
+    network.validate()
+    return network
+
+
+def parse_blif_hierarchy_file(path: str, top: str | None = None) -> Network:
+    with open(path) as handle:
+        return parse_blif_hierarchy(handle.read(), top=top, filename=path)

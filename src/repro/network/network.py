@@ -1,0 +1,284 @@
+"""The Boolean network data structure.
+
+Terminology follows the paper: a network N has primary inputs X and primary
+outputs Z; every internal node has a completely specified local function of
+its immediate fanins, given as a SOP cover (BLIF ``.names`` semantics).  A
+node may simultaneously be a primary output and feed other nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Mapping
+
+from repro.errors import NetworkError
+from repro.sop import Cover, blake_primes
+
+
+class Node:
+    """One node of a Boolean network.
+
+    ``cover`` is the on-set SOP over the fanins, column *i* of each cube
+    corresponding to ``fanins[i]``.  Primary inputs have no cover.
+    """
+
+    __slots__ = ("name", "fanins", "cover", "is_input", "_primes_cache")
+
+    def __init__(
+        self,
+        name: str,
+        fanins: list[str] | None = None,
+        cover: Cover | None = None,
+        is_input: bool = False,
+    ):
+        self.name = name
+        self.fanins: list[str] = list(fanins or [])
+        self.cover = cover
+        self.is_input = is_input
+        self._primes_cache: tuple[Cover, Cover] | None = None
+        if is_input:
+            if self.fanins or cover is not None:
+                raise NetworkError(f"primary input {name!r} cannot have logic")
+        else:
+            if cover is None:
+                raise NetworkError(f"internal node {name!r} needs a cover")
+            if cover.width != len(self.fanins):
+                raise NetworkError(
+                    f"node {name!r}: cover width {cover.width} != "
+                    f"{len(self.fanins)} fanins"
+                )
+
+    def local_value(self, fanin_values: Mapping[str, bool]) -> bool:
+        """Evaluate the local function given fanin values."""
+        if self.is_input:
+            raise NetworkError(f"primary input {self.name!r} has no local function")
+        assignment = 0
+        for i, fanin in enumerate(self.fanins):
+            if fanin_values[fanin]:
+                assignment |= 1 << i
+        return self.cover.evaluate(assignment)
+
+    def primes(self) -> tuple[Cover, Cover]:
+        """Primes of the local function and of its complement (cached).
+
+        These are the paper's :math:`P_n^1` and :math:`P_n^0`, the covers
+        the χ-function recursion of Section 2.3 sums over.
+        """
+        if self.is_input:
+            raise NetworkError(f"primary input {self.name!r} has no local function")
+        if self._primes_cache is None:
+            onset = blake_primes(self.cover)
+            offset = blake_primes(self.cover.complement())
+            self._primes_cache = (onset, offset)
+        return self._primes_cache
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "PI" if self.is_input else f"{len(self.fanins)}-input"
+        return f"<Node {self.name} ({kind})>"
+
+
+class Network:
+    """A combinational Boolean network (DAG of :class:`Node`)."""
+
+    def __init__(self, name: str = "network"):
+        self.name = name
+        self.nodes: dict[str, Node] = {}
+        self.inputs: list[str] = []
+        self.outputs: list[str] = []
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_input(self, name: str) -> Node:
+        if name in self.nodes:
+            raise NetworkError(f"node {name!r} already exists")
+        node = Node(name, is_input=True)
+        self.nodes[name] = node
+        self.inputs.append(name)
+        return node
+
+    def add_node(self, name: str, fanins: list[str], cover: Cover) -> Node:
+        if name in self.nodes:
+            raise NetworkError(f"node {name!r} already exists")
+        node = Node(name, fanins, cover)
+        self.nodes[name] = node
+        return node
+
+    def add_gate(self, name: str, kind: str, fanins: list[str]) -> Node:
+        """Convenience constructor for standard gate types.
+
+        ``kind`` ∈ {AND, OR, NAND, NOR, NOT/INV, BUF/BUFF, XOR, XNOR}.
+        """
+        k = len(fanins)
+        kind = kind.upper()
+        if kind in ("NOT", "INV"):
+            if k != 1:
+                raise NetworkError("NOT takes exactly one fanin")
+            cover = Cover.from_patterns(["0"])
+        elif kind in ("BUF", "BUFF"):
+            if k != 1:
+                raise NetworkError("BUF takes exactly one fanin")
+            cover = Cover.from_patterns(["1"])
+        elif kind == "AND":
+            cover = Cover.from_patterns(["1" * k])
+        elif kind == "NAND":
+            cover = Cover.from_patterns(["1" * k]).complement()
+        elif kind == "OR":
+            cover = Cover.from_patterns(
+                ["-" * i + "1" + "-" * (k - i - 1) for i in range(k)]
+            )
+        elif kind == "NOR":
+            cover = Cover.from_patterns(["0" * k])
+        elif kind == "XOR":
+            cover = Cover.from_minterms(
+                k, [m for m in range(1 << k) if bin(m).count("1") % 2 == 1]
+            )
+        elif kind == "XNOR":
+            cover = Cover.from_minterms(
+                k, [m for m in range(1 << k) if bin(m).count("1") % 2 == 0]
+            )
+        elif kind in ("ZERO", "CONST0"):
+            cover = Cover.zero(k)
+        elif kind in ("ONE", "CONST1"):
+            cover = Cover.one(k)
+        else:
+            raise NetworkError(f"unknown gate kind {kind!r}")
+        return self.add_node(name, fanins, cover)
+
+    def set_outputs(self, names: Iterable[str]) -> None:
+        names = list(names)
+        for n in names:
+            if n not in self.nodes:
+                raise NetworkError(f"unknown output node {n!r}")
+        self.outputs = names
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def node(self, name: str) -> Node:
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise NetworkError(f"unknown node {name!r}") from None
+
+    def fanouts(self) -> dict[str, list[str]]:
+        """Fanout adjacency: node name -> names of nodes it feeds."""
+        result: dict[str, list[str]] = {name: [] for name in self.nodes}
+        for node in self.nodes.values():
+            for fanin in node.fanins:
+                result[fanin].append(node.name)
+        return result
+
+    def validate(self) -> None:
+        """Check structural sanity: fanins exist, DAG, outputs known."""
+        for node in self.nodes.values():
+            for fanin in node.fanins:
+                if fanin not in self.nodes:
+                    raise NetworkError(
+                        f"node {node.name!r} references unknown fanin {fanin!r}"
+                    )
+        for out in self.outputs:
+            if out not in self.nodes:
+                raise NetworkError(f"unknown primary output {out!r}")
+        # cycle detection via the topological sort
+        self.topological_order()
+
+    def topological_order(self) -> list[str]:
+        """Node names sorted so fanins precede fanouts.  Raises on cycles."""
+        order: list[str] = []
+        state: dict[str, int] = {}  # 0 = visiting, 1 = done
+
+        for root in self.nodes:
+            if root in state:
+                continue
+            stack: list[tuple[str, int]] = [(root, 0)]
+            while stack:
+                name, idx = stack.pop()
+                if idx == 0:
+                    if state.get(name) == 1:
+                        continue
+                    if state.get(name) == 0:
+                        raise NetworkError(f"combinational cycle through {name!r}")
+                    state[name] = 0
+                node = self.nodes[name]
+                if idx < len(node.fanins):
+                    stack.append((name, idx + 1))
+                    fanin = node.fanins[idx]
+                    if state.get(fanin) != 1:
+                        if state.get(fanin) == 0:
+                            raise NetworkError(
+                                f"combinational cycle through {fanin!r}"
+                            )
+                        stack.append((fanin, 0))
+                else:
+                    state[name] = 1
+                    order.append(name)
+        return order
+
+    def reverse_topological_order(self) -> list[str]:
+        return list(reversed(self.topological_order()))
+
+    # ------------------------------------------------------------------
+    # simulation
+    # ------------------------------------------------------------------
+    def simulate(self, input_values: Mapping[str, bool | int]) -> dict[str, bool]:
+        """Evaluate every node under a full primary-input assignment."""
+        values: dict[str, bool] = {}
+        for name in self.inputs:
+            try:
+                values[name] = bool(input_values[name])
+            except KeyError:
+                raise NetworkError(f"missing value for primary input {name!r}") from None
+        for name in self.topological_order():
+            node = self.nodes[name]
+            if node.is_input:
+                continue
+            values[name] = node.local_value(values)
+        return values
+
+    def output_values(self, input_values: Mapping[str, bool | int]) -> dict[str, bool]:
+        values = self.simulate(input_values)
+        return {out: values[out] for out in self.outputs}
+
+    # ------------------------------------------------------------------
+    # stats
+    # ------------------------------------------------------------------
+    @property
+    def num_inputs(self) -> int:
+        return len(self.inputs)
+
+    @property
+    def num_outputs(self) -> int:
+        return len(self.outputs)
+
+    @property
+    def num_gates(self) -> int:
+        return sum(1 for n in self.nodes.values() if not n.is_input)
+
+    def depth(self) -> int:
+        """Longest input-to-output path length in gate counts."""
+        level: dict[str, int] = {}
+        for name in self.topological_order():
+            node = self.nodes[name]
+            if node.is_input:
+                level[name] = 0
+            else:
+                level[name] = 1 + max((level[f] for f in node.fanins), default=0)
+        return max((level[o] for o in self.outputs), default=0)
+
+    def copy(self, name: str | None = None) -> "Network":
+        clone = Network(name or self.name)
+        for pi in self.inputs:
+            clone.add_input(pi)
+        for node_name in self.topological_order():
+            node = self.nodes[node_name]
+            if node.is_input:
+                continue
+            clone.add_node(node_name, list(node.fanins), node.cover.copy())
+        clone.set_outputs(list(self.outputs))
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Network {self.name}: {self.num_inputs} PI, "
+            f"{self.num_outputs} PO, {self.num_gates} gates>"
+        )

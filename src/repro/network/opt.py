@@ -1,0 +1,162 @@
+"""Structural network clean-up passes.
+
+Small, classical transforms used before/after resynthesis:
+
+* :func:`propagate_constants` — fold constant nodes into their fanouts;
+* :func:`sweep` — remove nodes that reach no primary output;
+* :func:`collapse_output` — flatten one output's logic into a single
+  two-level node over the primary inputs (via BDD path cubes), the
+  textbook "collapse" step;
+* :func:`buffer_chains` — report/remove single-input BUF chains.
+
+All passes preserve I/O functionality (asserted in the test suite with
+BDD equivalence checking).
+"""
+
+from __future__ import annotations
+
+from repro.errors import NetworkError
+from repro.network.network import Network
+from repro.network.transform import transitive_fanin
+from repro.network.verify import global_functions
+from repro.sop import Cover, Cube
+
+
+def propagate_constants(network: Network) -> int:
+    """Fold constant-function nodes into their fanouts.
+
+    Returns the number of node references simplified.  Constant nodes
+    that remain (e.g. as primary outputs) are kept.
+    """
+    changed = 0
+    # identify constant nodes (empty cover or tautological cover)
+    constants: dict[str, int] = {}
+    for name in network.topological_order():
+        node = network.nodes[name]
+        if node.is_input:
+            continue
+        # a node is constant if its cover is constant OR all its fanins are
+        # known constants
+        if node.cover.is_empty():
+            constants[name] = 0
+            continue
+        if any(c.is_tautology() for c in node.cover):
+            constants[name] = 1
+            continue
+        if all(f in constants for f in node.fanins):
+            assignment = 0
+            for i, f in enumerate(node.fanins):
+                if constants[f]:
+                    assignment |= 1 << i
+            constants[name] = int(node.cover.evaluate(assignment))
+
+    for name, node in network.nodes.items():
+        if node.is_input or not node.fanins:
+            continue
+        const_positions = [
+            (i, constants[f])
+            for i, f in enumerate(node.fanins)
+            if f in constants
+        ]
+        if not const_positions:
+            continue
+        cover = node.cover
+        for i, value in const_positions:
+            cover = cover.cofactor(i, value)
+        # rebuild over the remaining fanins
+        keep = [
+            (i, f) for i, f in enumerate(node.fanins) if f not in constants
+        ]
+        new_fanins = [f for _, f in keep]
+        remap = {old: new for new, (old, _) in enumerate(keep)}
+        new_cubes = []
+        for cube in cover:
+            literals = {
+                remap[v]: cube.literal(v)
+                for v in cube.variables()
+                if v in remap
+            }
+            new_cubes.append(Cube.from_literals(len(new_fanins), literals))
+        node.fanins = new_fanins
+        node.cover = Cover(len(new_fanins), new_cubes).single_cube_containment()
+        node._primes_cache = None
+        changed += len(const_positions)
+    return changed
+
+
+def sweep(network: Network) -> int:
+    """Delete nodes not in the transitive fanin of any primary output."""
+    needed = transitive_fanin(network, list(network.outputs))
+    victims = [
+        name
+        for name, node in network.nodes.items()
+        if name not in needed and not node.is_input
+    ]
+    for name in victims:
+        del network.nodes[name]
+    return len(victims)
+
+
+def collapse_output(network: Network, output: str, max_cubes: int = 10_000) -> Network:
+    """A new single-node network computing ``output`` over the primary
+    inputs, extracted from the BDD's disjoint path cubes."""
+    if output not in network.nodes:
+        raise NetworkError(f"unknown node {output!r}")
+    funcs = global_functions(network)
+    manager = funcs[output].manager
+    support_inputs = list(network.inputs)
+    width = len(support_inputs)
+    index = {name: i for i, name in enumerate(support_inputs)}
+
+    cubes = []
+    for cube_dict in manager.cube_iter(funcs[output]):
+        cubes.append(
+            Cube.from_literals(
+                width, {index[n]: v for n, v in cube_dict.items()}
+            )
+        )
+        if len(cubes) > max_cubes:
+            raise NetworkError(
+                f"collapse of {output!r} exceeds {max_cubes} cubes"
+            )
+
+    flat = Network(f"{network.name}_{output}_flat")
+    for pi in support_inputs:
+        flat.add_input(pi)
+    flat.add_node(output, support_inputs, Cover(width, cubes))
+    flat.set_outputs([output])
+    return flat
+
+
+def buffer_chains(network: Network) -> list[list[str]]:
+    """Maximal chains of single-fanin BUF nodes (candidates for removal in
+    area-driven flows; deliberately *kept* by timing flows, where padding
+    is meaningful)."""
+    buf_cover = Cover.from_patterns(["1"])
+    is_buf = {
+        name
+        for name, node in network.nodes.items()
+        if not node.is_input
+        and len(node.fanins) == 1
+        and node.cover.equivalent(buf_cover)
+    }
+    fanouts = network.fanouts()
+    chains = []
+    seen: set[str] = set()
+    for name in network.topological_order():
+        if name not in is_buf or name in seen:
+            continue
+        # walk forward while the next node is also a lone buf
+        chain = [name]
+        seen.add(name)
+        current = name
+        while True:
+            outs = fanouts[current]
+            if len(outs) == 1 and outs[0] in is_buf and outs[0] not in seen:
+                current = outs[0]
+                chain.append(current)
+                seen.add(current)
+            else:
+                break
+        chains.append(chain)
+    return chains

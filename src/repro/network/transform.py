@@ -1,0 +1,173 @@
+"""Structural transforms used by the Section 5 flexibility analysis.
+
+Given a network N and a subcircuit boundary, the paper analyzes two derived
+networks (Figure 5):
+
+* N_FI — the transitive fanin of the subcircuit inputs U, with U as its
+  primary outputs; the arrival-time analysis of Section 5.1 runs on it.
+* N_FO — N with the subcircuit outputs V relabeled as primary inputs; the
+  required-time analysis of Section 5.2 runs on it.
+
+Both are built with the functions in this module.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import NetworkError
+from repro.network.network import Network
+
+
+def transitive_fanin(network: Network, roots: Sequence[str]) -> set[str]:
+    """All node names on paths from primary inputs to ``roots`` (inclusive)."""
+    seen: set[str] = set()
+    stack = list(roots)
+    while stack:
+        name = stack.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        stack.extend(network.node(name).fanins)
+    return seen
+
+
+def transitive_fanout(network: Network, roots: Sequence[str]) -> set[str]:
+    """All node names reachable from ``roots`` following fanout (inclusive)."""
+    fanouts = network.fanouts()
+    seen: set[str] = set()
+    stack = list(roots)
+    while stack:
+        name = stack.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        stack.extend(fanouts[name])
+    return seen
+
+
+def fanin_network(network: Network, boundary: Sequence[str], name: str | None = None) -> Network:
+    """The paper's N_FI: transitive fanin of ``boundary``, with ``boundary``
+    as the primary outputs."""
+    for b in boundary:
+        network.node(b)  # raises on unknown names
+    keep = transitive_fanin(network, boundary)
+    result = Network(name or f"{network.name}_FI")
+    for pi in network.inputs:
+        if pi in keep:
+            result.add_input(pi)
+    for node_name in network.topological_order():
+        if node_name not in keep:
+            continue
+        node = network.nodes[node_name]
+        if node.is_input:
+            continue
+        result.add_node(node_name, list(node.fanins), node.cover.copy())
+    result.set_outputs(list(boundary))
+    result.validate()
+    return result
+
+
+def fanout_network(network: Network, boundary: Sequence[str], name: str | None = None) -> Network:
+    """The paper's N_FO: ``network`` with the ``boundary`` nodes relabeled as
+    primary inputs (their driving logic removed along with any logic that
+    only feeds them)."""
+    for b in boundary:
+        node = network.node(b)
+        if node.is_input:
+            raise NetworkError(
+                f"{b!r} is already a primary input; cutting it is a no-op"
+            )
+    boundary_set = set(boundary)
+    # Nodes still needed: transitive fanin of the primary outputs, with the
+    # search stopping at boundary nodes (they become PIs).
+    needed: set[str] = set()
+    stack = [o for o in network.outputs]
+    while stack:
+        n = stack.pop()
+        if n in needed:
+            continue
+        needed.add(n)
+        if n in boundary_set:
+            continue
+        stack.extend(network.node(n).fanins)
+
+    result = Network(name or f"{network.name}_FO")
+    for b in boundary:
+        if b in needed:
+            result.add_input(b)
+    for pi in network.inputs:
+        if pi in needed and pi not in boundary_set:
+            result.add_input(pi)
+    for node_name in network.topological_order():
+        if node_name not in needed or node_name in boundary_set:
+            continue
+        node = network.nodes[node_name]
+        if node.is_input:
+            continue
+        result.add_node(node_name, list(node.fanins), node.cover.copy())
+    result.set_outputs([o for o in network.outputs])
+    result.validate()
+    return result
+
+
+def extract_subnetwork(
+    network: Network,
+    sub_inputs: Sequence[str],
+    sub_outputs: Sequence[str],
+    name: str | None = None,
+) -> Network:
+    """Cut out the subcircuit N' with boundary (U=sub_inputs, V=sub_outputs).
+
+    The subcircuit consists of every node on a path from U to V that does
+    not pass through another U node.  The paper's footnote 2 requires that
+    no path leads from a subcircuit output back to a subcircuit input; this
+    is checked.
+    """
+    u_set = set(sub_inputs)
+    for n in list(sub_inputs) + list(sub_outputs):
+        network.node(n)
+
+    # check footnote 2: V must not reach U
+    reach_from_v = transitive_fanout(network, list(sub_outputs))
+    offenders = (reach_from_v - set(sub_outputs)) & u_set
+    if offenders:
+        raise NetworkError(
+            f"illegal cut: path from subcircuit outputs back to inputs {sorted(offenders)}"
+        )
+
+    # nodes between U and V: transitive fanin of V, stopping at U
+    keep: set[str] = set()
+    stack = list(sub_outputs)
+    while stack:
+        n = stack.pop()
+        if n in keep:
+            continue
+        keep.add(n)
+        if n in u_set:
+            continue
+        stack.extend(network.node(n).fanins)
+
+    dangling = {
+        n
+        for n in keep
+        if n not in u_set and network.node(n).is_input
+    }
+    if dangling:
+        raise NetworkError(
+            f"subcircuit depends on signals outside its input boundary: {sorted(dangling)}"
+        )
+
+    result = Network(name or f"{network.name}_sub")
+    for u in sub_inputs:
+        result.add_input(u)
+    for node_name in network.topological_order():
+        if node_name not in keep or node_name in u_set:
+            continue
+        node = network.nodes[node_name]
+        if node.is_input:
+            continue
+        result.add_node(node_name, list(node.fanins), node.cover.copy())
+    result.set_outputs(list(sub_outputs))
+    result.validate()
+    return result

@@ -1,0 +1,81 @@
+"""Global functions and equivalence checking via BDDs.
+
+Builds the BDD of every node in terms of the primary inputs (in topological
+order, evaluating each SOP cover over the fanin BDDs) and compares two
+networks output-by-output.  Used throughout the test suite and by the
+Section 5 analyses, which need the onset/offset of outputs and the global
+functions of subcircuit inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.bdd import BddManager, BddNode
+from repro.errors import NetworkError
+from repro.network.network import Network
+
+
+def global_functions(
+    network: Network,
+    manager: BddManager | None = None,
+    input_map: Mapping[str, BddNode] | None = None,
+) -> dict[str, BddNode]:
+    """BDDs of every node in terms of the primary inputs.
+
+    ``input_map`` lets the caller supply existing BDDs for the primary
+    inputs (e.g. variables of a shared manager, or global functions of a
+    surrounding network); otherwise a fresh variable per input is declared
+    in ``manager`` (a fresh manager when none is given).
+    """
+    if manager is None:
+        manager = BddManager()
+    functions: dict[str, BddNode] = {}
+    for pi in network.inputs:
+        if input_map is not None and pi in input_map:
+            functions[pi] = input_map[pi]
+        elif manager.has_var(pi):
+            functions[pi] = manager.var(pi)
+        else:
+            functions[pi] = manager.add_var(pi)
+
+    for name in network.topological_order():
+        node = network.nodes[name]
+        if node.is_input:
+            continue
+        fanin_bdds = [functions[f] for f in node.fanins]
+        functions[name] = _cover_bdd(manager, node.cover, fanin_bdds)
+    return functions
+
+
+def _cover_bdd(
+    manager: BddManager, cover, fanin_bdds: Sequence[BddNode]
+) -> BddNode:
+    """Evaluate a SOP cover over fanin BDDs."""
+    result = manager.false
+    for cube in cover:
+        term = manager.true
+        for i, fanin in enumerate(fanin_bdds):
+            lit = cube.literal(i)
+            if lit == 1:
+                term = term & fanin
+            elif lit == 0:
+                term = term & ~fanin
+            if term.is_false:
+                break
+        result = result | term
+        if result.is_true:
+            break
+    return result
+
+
+def equivalent(a: Network, b: Network) -> bool:
+    """Combinational equivalence: same I/O names, same output functions."""
+    if set(a.inputs) != set(b.inputs):
+        raise NetworkError("networks have different primary inputs")
+    if list(a.outputs) != list(b.outputs):
+        raise NetworkError("networks have different primary outputs")
+    manager = BddManager()
+    fa = global_functions(a, manager)
+    fb = global_functions(b, manager)
+    return all(fa[o] == fb[o] for o in a.outputs)

@@ -1,0 +1,130 @@
+"""Tseitin encoding of Boolean networks and the miter construction.
+
+``CircuitEncoder`` maps every network node to a CNF variable and adds
+clauses making each node variable equivalent to its SOP local function of
+the fanin variables.  ``miter`` builds the classical difference-checking
+formula between two networks over the same primary inputs: it is
+satisfiable iff the networks differ on some input vector — exactly the
+check [9] performs between a χ function and the output's onset/offset.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import SatError
+from repro.network.network import Network
+from repro.sat.cnf import Cnf
+
+
+class CircuitEncoder:
+    """Encode one or more networks into a shared :class:`Cnf`."""
+
+    def __init__(self, cnf: Cnf | None = None):
+        self.cnf = cnf if cnf is not None else Cnf()
+
+    def lit_for(self, name: str) -> int:
+        """The CNF variable of a previously encoded signal."""
+        return self.cnf.var(name)
+
+    def encode(self, network: Network, prefix: str = "") -> dict[str, int]:
+        """Add clauses for every node; returns signal-name -> CNF variable.
+
+        ``prefix`` namespaces internal node variables so that several
+        networks can share primary-input variables while keeping their
+        internal nodes distinct (primary inputs are *not* prefixed).
+        """
+        mapping: dict[str, int] = {}
+        for pi in network.inputs:
+            if self.cnf.has_var(pi):
+                mapping[pi] = self.cnf.var(pi)
+            else:
+                mapping[pi] = self.cnf.new_var(pi)
+
+        for name in network.topological_order():
+            node = network.nodes[name]
+            if node.is_input:
+                continue
+            full_name = prefix + name
+            if self.cnf.has_var(full_name):
+                raise SatError(f"signal {full_name!r} encoded twice")
+            out = self.cnf.new_var(full_name)
+            mapping[name] = out
+            fanin_lits = [mapping[f] for f in node.fanins]
+            self._encode_cover(out, node.cover, fanin_lits)
+        return mapping
+
+    def _encode_cover(self, out: int, cover, fanin_lits: Sequence[int]) -> None:
+        cnf = self.cnf
+        if cover.is_empty():
+            cnf.add_clause([-out])
+            return
+        if any(cube.is_tautology() for cube in cover):
+            cnf.add_clause([out])
+            return
+
+        term_lits: list[int] = []
+        for cube in cover:
+            lits = []
+            for i, lit_var in enumerate(fanin_lits):
+                phase = cube.literal(i)
+                if phase == 1:
+                    lits.append(lit_var)
+                elif phase == 0:
+                    lits.append(-lit_var)
+            if len(lits) == 1:
+                term_lits.append(lits[0])
+                continue
+            aux = cnf.new_var()
+            # aux -> each literal
+            for lit in lits:
+                cnf.add_clause([-aux, lit])
+            # all literals -> aux
+            cnf.add_clause([aux] + [-lit for lit in lits])
+            term_lits.append(aux)
+
+        # out -> some term
+        cnf.add_clause([-out] + term_lits)
+        # each term -> out
+        for t in term_lits:
+            cnf.add_clause([out, -t])
+
+
+def miter(
+    a: Network,
+    b: Network,
+    outputs: Sequence[str] | None = None,
+) -> tuple[Cnf, dict[str, int]]:
+    """CNF satisfiable iff networks ``a`` and ``b`` differ on some output.
+
+    Both networks must have the same primary inputs (shared variables) and
+    the compared ``outputs`` (default: ``a.outputs``, which must equal
+    ``b.outputs`` as a set).  Returns the CNF and the primary-input
+    variable map for model decoding.
+    """
+    if set(a.inputs) != set(b.inputs):
+        raise SatError("miter requires identical primary inputs")
+    if outputs is None:
+        if set(a.outputs) != set(b.outputs):
+            raise SatError("networks expose different outputs; pass `outputs`")
+        outputs = list(a.outputs)
+
+    encoder = CircuitEncoder()
+    map_a = encoder.encode(a, prefix="A/")
+    map_b = encoder.encode(b, prefix="B/")
+    cnf = encoder.cnf
+
+    diff_lits = []
+    for out in outputs:
+        xa, xb = map_a[out], map_b[out]
+        d = cnf.new_var()
+        # d <-> xa XOR xb
+        cnf.add_clause([-d, xa, xb])
+        cnf.add_clause([-d, -xa, -xb])
+        cnf.add_clause([d, -xa, xb])
+        cnf.add_clause([d, xa, -xb])
+        diff_lits.append(d)
+    cnf.add_clause(diff_lits)
+
+    input_map = {pi: map_a[pi] for pi in a.inputs}
+    return cnf, input_map

@@ -1,0 +1,31 @@
+"""Two-level (sum-of-products) logic manipulation.
+
+This package provides the cube/cover algebra that the rest of the library is
+built on:
+
+* :class:`~repro.sop.cube.Cube` — a product term over a fixed-width local
+  variable space, stored as a pair of bit masks.
+* :class:`~repro.sop.cover.Cover` — a list of cubes with the classical
+  espresso-style operations (cofactor, tautology, complement, containment).
+* :mod:`~repro.sop.primes` — prime-implicant generation via iterated
+  consensus (Blake canonical form) and Quine–McCluskey, used by the
+  χ-function recursion of McGeer et al. which is defined over the primes of
+  each node function and of its complement.
+"""
+
+from repro.sop.cube import Cube
+from repro.sop.cover import Cover
+from repro.sop.primes import blake_primes, primes_of_function, quine_mccluskey_primes
+from repro.sop.espresso import expand, irredundant, minimize, minimize_network
+
+__all__ = [
+    "Cube",
+    "Cover",
+    "blake_primes",
+    "primes_of_function",
+    "quine_mccluskey_primes",
+    "expand",
+    "irredundant",
+    "minimize",
+    "minimize_network",
+]

@@ -1,0 +1,274 @@
+"""Covers (sums of cubes) with the classical espresso-style operations.
+
+A :class:`Cover` represents a completely specified single-output Boolean
+function over a fixed local variable space as a list of cubes.  The
+operations implemented here are the ones the χ-function machinery and the
+BLIF front end need:
+
+* evaluation, cofactoring, single-cube containment,
+* recursive tautology checking with unate reduction,
+* recursive complementation (De Morgan on the Shannon expansion),
+* irredundancy by single-cube containment.
+
+Covers are deliberately small objects: node functions in the networks we
+analyze have a handful of fanins, so the exponential corner cases of these
+recursions never bite in practice.  The algorithms are nevertheless the
+textbook-correct general ones.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.sop.cube import Cube
+
+
+class Cover:
+    """A sum of cubes over ``width`` local variables."""
+
+    __slots__ = ("width", "cubes")
+
+    def __init__(self, width: int, cubes: Iterable[Cube] = ()):
+        self.width = width
+        self.cubes: list[Cube] = []
+        for cube in cubes:
+            if cube.width != width:
+                raise ValueError(
+                    f"cube width {cube.width} does not match cover width {width}"
+                )
+            self.cubes.append(cube)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def zero(cls, width: int) -> "Cover":
+        return cls(width, [])
+
+    @classmethod
+    def one(cls, width: int) -> "Cover":
+        return cls(width, [Cube.tautology(width)])
+
+    @classmethod
+    def from_patterns(cls, patterns: Sequence[str]) -> "Cover":
+        """Build from BLIF-style pattern strings (all the same length)."""
+        if not patterns:
+            raise ValueError("from_patterns needs at least one pattern; use zero()")
+        width = len(patterns[0])
+        return cls(width, [Cube.from_pattern(p) for p in patterns])
+
+    @classmethod
+    def from_minterms(cls, width: int, minterms: Iterable[int]) -> "Cover":
+        cubes = []
+        for m in minterms:
+            pos = m & ((1 << width) - 1)
+            neg = ~m & ((1 << width) - 1)
+            cubes.append(Cube(width, pos, neg))
+        return cls(width, cubes)
+
+    def copy(self) -> "Cover":
+        return Cover(self.width, list(self.cubes))
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.cubes)
+
+    def __iter__(self) -> Iterator[Cube]:
+        return iter(self.cubes)
+
+    def is_empty(self) -> bool:
+        return not self.cubes
+
+    def evaluate(self, assignment: int) -> bool:
+        return any(cube.evaluate(assignment) for cube in self.cubes)
+
+    def minterms(self) -> set[int]:
+        """The on-set as a set of assignment bit vectors (exponential!)."""
+        result: set[int] = set()
+        for cube in self.cubes:
+            result.update(cube.minterms())
+        return result
+
+    def support(self) -> set[int]:
+        """Variables appearing in at least one cube."""
+        vars_: set[int] = set()
+        for cube in self.cubes:
+            vars_.update(cube.variables())
+        return vars_
+
+    # ------------------------------------------------------------------
+    # cofactor / containment
+    # ------------------------------------------------------------------
+    def cofactor(self, var: int, phase: int) -> "Cover":
+        cubes = []
+        for cube in self.cubes:
+            cf = cube.cofactor(var, phase)
+            if cf is not None:
+                cubes.append(cf)
+        return Cover(self.width, cubes)
+
+    def cube_cofactor(self, cube: Cube) -> "Cover":
+        """Cofactor with respect to every literal of ``cube``."""
+        result = self
+        for var in cube.variables():
+            result = result.cofactor(var, cube.literal(var))
+        return result
+
+    def single_cube_containment(self) -> "Cover":
+        """Remove cubes covered by another single cube of the cover."""
+        kept: list[Cube] = []
+        # Sort by decreasing literal count so large cubes are kept first.
+        for cube in sorted(self.cubes, key=lambda c: c.num_literals):
+            if not any(other.contains(cube) for other in kept):
+                kept.append(cube)
+        return Cover(self.width, kept)
+
+    # ------------------------------------------------------------------
+    # tautology
+    # ------------------------------------------------------------------
+    def is_tautology(self) -> bool:
+        """Recursive unate-reduction tautology check."""
+        return _tautology(self)
+
+    # ------------------------------------------------------------------
+    # complement
+    # ------------------------------------------------------------------
+    def complement(self) -> "Cover":
+        """Complement via recursive Shannon expansion.
+
+        The recursion bottoms out on covers that are empty, tautological, or
+        consist of a single cube (whose complement is the De Morgan expansion
+        into one cube per literal).
+        """
+        return _complement(self).single_cube_containment()
+
+    # ------------------------------------------------------------------
+    # algebra
+    # ------------------------------------------------------------------
+    def union(self, other: "Cover") -> "Cover":
+        if other.width != self.width:
+            raise ValueError("cover widths differ")
+        return Cover(self.width, self.cubes + other.cubes)
+
+    def intersection(self, other: "Cover") -> "Cover":
+        if other.width != self.width:
+            raise ValueError("cover widths differ")
+        cubes = []
+        for a in self.cubes:
+            for b in other.cubes:
+                c = a.intersection(b)
+                if c is not None:
+                    cubes.append(c)
+        return Cover(self.width, cubes).single_cube_containment()
+
+    def covers_cube(self, cube: Cube) -> bool:
+        """True iff ``cube ⊆ this cover`` (cofactor-tautology test)."""
+        return self.cube_cofactor(cube).is_tautology()
+
+    def equivalent(self, other: "Cover") -> bool:
+        """Semantic equality of the two covers."""
+        return all(other.covers_cube(c) for c in self.cubes) and all(
+            self.covers_cube(c) for c in other.cubes
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        if not self.cubes:
+            return "<zero>"
+        return " + ".join(c.to_pattern() for c in self.cubes)
+
+
+# ----------------------------------------------------------------------
+# recursive helpers
+# ----------------------------------------------------------------------
+
+def _select_binate_var(cover: Cover) -> int | None:
+    """Most-binate variable, or None if the cover is unate in every variable."""
+    best_var = None
+    best_score = -1
+    counts: dict[int, list[int]] = {}
+    for cube in cover.cubes:
+        for var in cube.variables():
+            entry = counts.setdefault(var, [0, 0])
+            entry[cube.literal(var)] += 1
+    for var, (zeros, ones) in counts.items():
+        if zeros and ones:
+            score = min(zeros, ones)
+            if score > best_score:
+                best_score = score
+                best_var = var
+    return best_var
+
+
+def _most_frequent_var(cover: Cover) -> int | None:
+    counts: dict[int, int] = {}
+    for cube in cover.cubes:
+        for var in cube.variables():
+            counts[var] = counts.get(var, 0) + 1
+    if not counts:
+        return None
+    return max(counts, key=counts.get)
+
+
+def _tautology(cover: Cover) -> bool:
+    if any(cube.is_tautology() for cube in cover.cubes):
+        return True
+    if not cover.cubes:
+        return False
+    # Unate reduction: a cover unate in some variable is a tautology iff the
+    # sub-cover of cubes independent of that variable is a tautology.
+    var = _select_binate_var(cover)
+    if var is None:
+        # Fully unate cover: tautology iff it contains the universal cube,
+        # already checked above... unless a variable appears in one phase
+        # only, in which case cofactoring against that phase removes it.
+        var = _most_frequent_var(cover)
+        if var is None:
+            return False  # non-empty cover of non-tautology impossible here
+        # All cubes have the same phase for var (or don't care).  The
+        # cofactor against the *opposite* phase drops every cube mentioning
+        # var, which is the binding constraint.
+        phases = {c.literal(var) for c in cover.cubes} - {None}
+        phase = phases.pop()
+        reduced = cover.cofactor(var, 1 - phase)
+        return _tautology(reduced)
+    return _tautology(cover.cofactor(var, 0)) and _tautology(cover.cofactor(var, 1))
+
+
+def _complement(cover: Cover) -> Cover:
+    width = cover.width
+    if not cover.cubes:
+        return Cover.one(width)
+    if any(cube.is_tautology() for cube in cover.cubes):
+        return Cover.zero(width)
+    if len(cover.cubes) == 1:
+        return _complement_cube(cover.cubes[0])
+    var = _select_binate_var(cover)
+    if var is None:
+        var = _most_frequent_var(cover)
+    assert var is not None
+    neg_part = _complement(cover.cofactor(var, 0))
+    pos_part = _complement(cover.cofactor(var, 1))
+    cubes: list[Cube] = []
+    for cube in neg_part.cubes:
+        cf = cube.cofactor(var, 0)
+        if cf is not None:
+            cubes.append(Cube(width, cf.pos, cf.neg | (1 << var)))
+    for cube in pos_part.cubes:
+        cf = cube.cofactor(var, 1)
+        if cf is not None:
+            cubes.append(Cube(width, cf.pos | (1 << var), cf.neg))
+    return Cover(width, cubes)
+
+
+def _complement_cube(cube: Cube) -> Cover:
+    """De Morgan: the complement of a cube is one cube per literal."""
+    cubes = []
+    for var in cube.variables():
+        bit = 1 << var
+        if cube.pos & bit:
+            cubes.append(Cube(cube.width, 0, bit))
+        else:
+            cubes.append(Cube(cube.width, bit, 0))
+    return Cover(cube.width, cubes)

@@ -1,0 +1,192 @@
+"""Cubes (product terms) over a fixed-width local variable space.
+
+A cube over ``width`` variables is stored as two bit masks:
+
+* ``pos`` — bit *i* set means the positive literal ``x_i`` appears,
+* ``neg`` — bit *i* set means the negative literal ``~x_i`` appears.
+
+A variable whose bit is set in neither mask is a don't-care in the cube.  A
+variable whose bit is set in *both* masks makes the cube empty (the constant
+zero function); such cubes are never constructed by the public API.
+
+Cubes are immutable and hashable so they can live in sets and dict keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class Cube:
+    """An immutable product term over ``width`` local variables."""
+
+    width: int
+    pos: int
+    neg: int
+
+    def __post_init__(self) -> None:
+        mask = (1 << self.width) - 1
+        if self.pos & ~mask or self.neg & ~mask:
+            raise ValueError(f"literal mask out of range for width {self.width}")
+        if self.pos & self.neg:
+            raise ValueError("cube has a variable in both phases (empty cube)")
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def tautology(cls, width: int) -> "Cube":
+        """The universal cube (no literals): the constant-one function."""
+        return cls(width, 0, 0)
+
+    @classmethod
+    def from_pattern(cls, pattern: str) -> "Cube":
+        """Build a cube from a BLIF-style pattern string such as ``"01-"``.
+
+        Character *i* of the pattern constrains variable *i*:
+        ``'1'`` positive literal, ``'0'`` negative literal, ``'-'`` don't-care.
+        """
+        pos = neg = 0
+        for i, ch in enumerate(pattern):
+            if ch == "1":
+                pos |= 1 << i
+            elif ch == "0":
+                neg |= 1 << i
+            elif ch != "-":
+                raise ValueError(f"bad pattern character {ch!r} in {pattern!r}")
+        return cls(len(pattern), pos, neg)
+
+    @classmethod
+    def from_literals(cls, width: int, literals: dict[int, int]) -> "Cube":
+        """Build a cube from ``{var_index: phase}`` with phase 0 or 1."""
+        pos = neg = 0
+        for var, phase in literals.items():
+            if not 0 <= var < width:
+                raise ValueError(f"variable {var} out of range for width {width}")
+            if phase == 1:
+                pos |= 1 << var
+            elif phase == 0:
+                neg |= 1 << var
+            else:
+                raise ValueError(f"phase must be 0 or 1, got {phase}")
+        return cls(width, pos, neg)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def literal(self, var: int) -> int | None:
+        """Phase of ``var`` in this cube: 1, 0, or None for don't-care."""
+        bit = 1 << var
+        if self.pos & bit:
+            return 1
+        if self.neg & bit:
+            return 0
+        return None
+
+    @property
+    def num_literals(self) -> int:
+        return bin(self.pos | self.neg).count("1")
+
+    def variables(self) -> Iterator[int]:
+        """Indices of the variables that appear (in either phase)."""
+        both = self.pos | self.neg
+        i = 0
+        while both:
+            if both & 1:
+                yield i
+            both >>= 1
+            i += 1
+
+    def is_tautology(self) -> bool:
+        return self.pos == 0 and self.neg == 0
+
+    def evaluate(self, assignment: int) -> bool:
+        """Evaluate under a full assignment given as a bit vector.
+
+        Bit *i* of ``assignment`` is the value of variable *i*.
+        """
+        if self.pos & ~assignment:
+            return False
+        if self.neg & assignment:
+            return False
+        return True
+
+    def contains(self, other: "Cube") -> bool:
+        """True iff this cube covers ``other`` (``other ⊆ self`` as sets)."""
+        return (self.pos & ~other.pos) == 0 and (self.neg & ~other.neg) == 0
+
+    def intersects(self, other: "Cube") -> bool:
+        """True iff the two cubes share at least one minterm."""
+        return (self.pos & other.neg) == 0 and (self.neg & other.pos) == 0
+
+    def intersection(self, other: "Cube") -> "Cube | None":
+        """The cube of common minterms, or None if disjoint."""
+        if not self.intersects(other):
+            return None
+        return Cube(self.width, self.pos | other.pos, self.neg | other.neg)
+
+    def distance(self, other: "Cube") -> int:
+        """Number of variables in which the cubes have opposite literals."""
+        return bin((self.pos & other.neg) | (self.neg & other.pos)).count("1")
+
+    def consensus(self, other: "Cube") -> "Cube | None":
+        """Consensus (resolvent) of two cubes, defined when distance == 1."""
+        clash = (self.pos & other.neg) | (self.neg & other.pos)
+        if bin(clash).count("1") != 1:
+            return None
+        pos = (self.pos | other.pos) & ~clash
+        neg = (self.neg | other.neg) & ~clash
+        if pos & neg:
+            return None
+        return Cube(self.width, pos, neg)
+
+    # ------------------------------------------------------------------
+    # transformations
+    # ------------------------------------------------------------------
+    def cofactor(self, var: int, phase: int) -> "Cube | None":
+        """Shannon cofactor with respect to ``var = phase``.
+
+        Returns None when the cube vanishes under the assignment.
+        """
+        bit = 1 << var
+        if phase == 1:
+            if self.neg & bit:
+                return None
+            return Cube(self.width, self.pos & ~bit, self.neg)
+        if self.pos & bit:
+            return None
+        return Cube(self.width, self.pos, self.neg & ~bit)
+
+    def drop(self, var: int) -> "Cube":
+        """Remove any literal of ``var`` (cube expansion)."""
+        bit = 1 << var
+        return Cube(self.width, self.pos & ~bit, self.neg & ~bit)
+
+    def minterms(self) -> Iterator[int]:
+        """Enumerate the minterms (as assignment bit vectors) of the cube."""
+        free = [i for i in range(self.width) if not ((self.pos | self.neg) >> i) & 1]
+        base = self.pos
+        for k in range(1 << len(free)):
+            value = base
+            for j, var in enumerate(free):
+                if (k >> j) & 1:
+                    value |= 1 << var
+            yield value
+
+    def to_pattern(self) -> str:
+        """Render as a BLIF-style pattern string."""
+        chars = []
+        for i in range(self.width):
+            bit = 1 << i
+            if self.pos & bit:
+                chars.append("1")
+            elif self.neg & bit:
+                chars.append("0")
+            else:
+                chars.append("-")
+        return "".join(chars)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return self.to_pattern()

@@ -1,0 +1,87 @@
+"""A compact two-level minimizer (espresso-style EXPAND / IRREDUNDANT).
+
+Not part of the paper's algorithms, but the natural companion of a
+required-time library: once the analysis has produced a looser timing
+budget, the resynthesis step the paper motivates needs a logic minimizer.
+This implementation follows the classical loop in simplified form:
+
+* **EXPAND** — grow each cube literal-by-literal while it stays inside the
+  on-set (checked with the cofactor-tautology containment test), then drop
+  cubes covered by the expanded one;
+* **IRREDUNDANT** — greedily remove cubes covered by the union of the
+  others;
+* iterate until a pass makes no progress.
+
+The result is a prime and irredundant cover of the same function (both
+properties are asserted by the test suite against the Blake canonical
+form and a brute-force oracle).
+"""
+
+from __future__ import annotations
+
+from repro.sop.cover import Cover
+from repro.sop.cube import Cube
+
+
+def expand(cover: Cover) -> Cover:
+    """Make every cube prime by greedy literal removal."""
+    current = list(cover.single_cube_containment().cubes)
+    expanded: list[Cube] = []
+    for i, cube in enumerate(current):
+        grown = cube
+        changed = True
+        while changed:
+            changed = False
+            for var in list(grown.variables()):
+                candidate = grown.drop(var)
+                if cover.covers_cube(candidate):
+                    grown = candidate
+                    changed = True
+        expanded.append(grown)
+    return Cover(cover.width, expanded).single_cube_containment()
+
+
+def irredundant(cover: Cover) -> Cover:
+    """Remove cubes covered by the union of the remaining cubes."""
+    cubes = list(cover.cubes)
+    # try to discard the largest cubes last (they are likelier essential)
+    order = sorted(range(len(cubes)), key=lambda i: -cubes[i].num_literals)
+    kept = set(range(len(cubes)))
+    for i in order:
+        if len(kept) == 1:
+            break
+        rest = Cover(cover.width, [cubes[j] for j in kept if j != i])
+        if rest.covers_cube(cubes[i]):
+            kept.discard(i)
+    return Cover(cover.width, [cubes[i] for i in sorted(kept)])
+
+
+def minimize(cover: Cover, max_passes: int = 8) -> Cover:
+    """The EXPAND / IRREDUNDANT loop, to a fixpoint."""
+    if cover.is_empty():
+        return Cover.zero(cover.width)
+    current = cover
+    for _ in range(max_passes):
+        before = {c.to_pattern() for c in current.cubes}
+        current = irredundant(expand(current))
+        after = {c.to_pattern() for c in current.cubes}
+        if after == before:
+            break
+    return current
+
+
+def minimize_network(network, max_passes: int = 8) -> int:
+    """Minimize every node cover of a network in place.
+
+    Returns the total number of cubes removed.  Functionality is preserved
+    node-by-node (and therefore globally); prime caches are invalidated.
+    """
+    removed = 0
+    for node in network.nodes.values():
+        if node.is_input:
+            continue
+        before = len(node.cover)
+        node.cover = minimize(node.cover, max_passes)
+        node._primes_cache = None
+        removed += before - len(node.cover)
+    return removed

@@ -1,0 +1,105 @@
+"""Delay models.
+
+The paper analyzes circuits under the **extended bounded delay-0 (XBD0)**
+model (Section 2.2): each gate has a maximum positive delay and a minimum
+delay of zero, and sensitization reasons over *all* delay assignments in
+between.  The monotone-speedup property of viability analysis corresponds
+exactly to the zero minimum.  Operationally, only the maximum delays enter
+the χ-function recursion, so a delay model here maps each gate to its
+maximum delay.
+
+The experiments in the paper use the **unit delay model** (every gate's
+maximum delay is 1); :func:`unit_delay` builds it.
+
+Rise/fall distinction (the paper's footnote 1: "it is possible to
+differentiate rise delays from fall delays") is supported as an extension:
+an override may be a single number or a ``(rise, fall)`` pair, and the χ
+recursion applies the rise delay when stabilizing a node to 1 and the fall
+delay when stabilizing it to 0.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import TimingError
+from repro.network.network import Network
+
+DelaySpec = "float | tuple[float, float]"
+
+
+def _normalize(delay) -> tuple[float, float]:
+    """(fall, rise) pair from a scalar or 2-tuple specification."""
+    if isinstance(delay, (tuple, list)):
+        if len(delay) != 2:
+            raise TimingError(f"delay pair must have two entries, got {delay!r}")
+        rise, fall = float(delay[0]), float(delay[1])
+    else:
+        rise = fall = float(delay)
+    if rise < 0 or fall < 0:
+        raise TimingError(f"gate delay must be non-negative, got {delay!r}")
+    return (fall, rise)
+
+
+class DelayModel:
+    """Maximum gate delays under the XBD0 model.
+
+    ``overrides`` assigns specific delays by node name; every other gate
+    gets ``default``.  Each delay is a scalar or a ``(rise, fall)`` pair.
+    Primary inputs have no delay (arrival times are boundary conditions,
+    not gate properties).
+    """
+
+    def __init__(self, default=1.0, overrides: Mapping[str, object] | None = None):
+        self._default = _normalize(default)
+        self._overrides: dict[str, tuple[float, float]] = {
+            name: _normalize(d) for name, d in (overrides or {}).items()
+        }
+
+    @property
+    def default(self) -> float:
+        """The default maximum delay (max of rise/fall)."""
+        return max(self._default)
+
+    @property
+    def overrides(self) -> dict[str, float]:
+        """Per-gate maximum delays (max of rise/fall), for reporting."""
+        return {name: max(pair) for name, pair in self._overrides.items()}
+
+    def of(self, node_name: str) -> float:
+        """Maximum delay of the named gate (max over rise/fall)."""
+        return max(self._overrides.get(node_name, self._default))
+
+    def of_value(self, node_name: str, value: int) -> float:
+        """Delay toward stabilizing at ``value``: rise delay for 1, fall
+        delay for 0 (footnote 1 of the paper)."""
+        fall, rise = self._overrides.get(node_name, self._default)
+        return rise if value else fall
+
+    def is_value_dependent(self) -> bool:
+        """True when any gate distinguishes rise from fall."""
+        if self._default[0] != self._default[1]:
+            return True
+        return any(fall != rise for fall, rise in self._overrides.values())
+
+    def with_override(self, node_name: str, delay) -> "DelayModel":
+        model = DelayModel.__new__(DelayModel)
+        model._default = self._default
+        model._overrides = dict(self._overrides)
+        model._overrides[node_name] = _normalize(delay)
+        return model
+
+    def validate(self, network: Network) -> None:
+        for name in self._overrides:
+            network.node(name)  # raises on unknown nodes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<DelayModel default={self._default} "
+            f"overrides={len(self._overrides)}>"
+        )
+
+
+def unit_delay() -> DelayModel:
+    """The paper's experimental delay model: every gate has delay 1."""
+    return DelayModel(default=1.0)

@@ -1,0 +1,137 @@
+"""Consolidated timing datasheets.
+
+`timing_report` bundles everything the library knows about one circuit —
+topological and exact arrival times, false-path counts, per-input
+required times by a chosen method, optional per-node slack — into one
+plain-data structure with a text renderer, for the CLI's ``report``
+command and for notebook-style exploration.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Literal, Mapping
+
+from repro.core.required_time import (
+    RequiredTimeReport,
+    analyze_required_times,
+    format_time,
+    topological_input_required_times,
+)
+from repro.network.network import Network
+from repro.timing.delay import DelayModel, unit_delay
+from repro.timing.functional import FunctionalTiming
+from repro.timing.topological import TopologicalTiming
+
+
+@dataclass
+class TimingReport:
+    """The full timing picture of one circuit."""
+
+    circuit: str
+    num_inputs: int
+    num_outputs: int
+    num_gates: int
+    depth: int
+    #: per output: (topological arrival, exact arrival)
+    arrivals: dict[str, tuple[float, float]]
+    #: outputs whose structurally longest path is false
+    false_longest: list[str]
+    #: the per-input topological baseline (r_bottom)
+    topological_required: dict[str, float]
+    #: the chosen method's result record
+    required: RequiredTimeReport | None = None
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def functional_delay(self) -> float:
+        return max(t for _, t in self.arrivals.values())
+
+    @property
+    def topological_delay(self) -> float:
+        return max(t for t, _ in self.arrivals.values())
+
+    def render(self) -> str:
+        out = io.StringIO()
+        out.write(f"=== timing report: {self.circuit} ===\n")
+        out.write(
+            f"{self.num_inputs} PI, {self.num_outputs} PO, "
+            f"{self.num_gates} gates, depth {self.depth}\n\n"
+        )
+        out.write("arrival times (topological -> exact):\n")
+        for name, (topo, true) in sorted(self.arrivals.items()):
+            marker = "   <- longest path false" if name in self.false_longest else ""
+            out.write(f"  {name}: {topo:g} -> {true:g}{marker}\n")
+        out.write(
+            f"\ncircuit delay: topological {self.topological_delay:g}, "
+            f"exact {self.functional_delay:g}\n"
+        )
+        if self.required is not None:
+            out.write(
+                f"\nrequired-time analysis ({self.required.method}): "
+                f"{'non-trivial' if self.required.nontrivial else 'trivial'}"
+            )
+            if self.required.aborted:
+                out.write(f"  [aborted: {self.required.abort_reason}]")
+            out.write("\n")
+        for note in self.notes:
+            out.write(f"note: {note}\n")
+        return out.getvalue()
+
+
+def timing_report(
+    network: Network,
+    delays: DelayModel | None = None,
+    input_arrivals: Mapping[str, float] | None = None,
+    output_required: Mapping[str, float] | float = 0.0,
+    method: Literal["none", "topological", "exact", "approx1", "approx2"] = "approx2",
+    engine: Literal["bdd", "sat"] = "bdd",
+    time_budget: float | None = 30.0,
+) -> TimingReport:
+    """Compute the consolidated report (see :class:`TimingReport`)."""
+    delays = delays or unit_delay()
+    ft = FunctionalTiming(network, delays, input_arrivals, engine=engine)
+    topo = ft.topological_arrivals()
+    arrivals: dict[str, tuple[float, float]] = {}
+    false_longest: list[str] = []
+    for out_name in network.outputs:
+        true = ft.true_arrival(out_name)
+        arrivals[out_name] = (topo[out_name], true)
+        if true < topo[out_name]:
+            false_longest.append(out_name)
+
+    baseline = topological_input_required_times(network, delays, output_required)
+
+    required = None
+    notes: list[str] = []
+    if method != "none":
+        options = {}
+        if method == "approx2":
+            options = {"engine": engine, "time_budget": time_budget}
+        required = analyze_required_times(
+            network, method, delays, output_required, **options
+        )
+        if required.aborted:
+            notes.append(
+                "required-time analysis hit its resource budget; the "
+                "reported flags reflect the best validated state"
+            )
+    if false_longest:
+        notes.append(
+            f"{len(false_longest)} output(s) have false longest paths; "
+            "topological timing is pessimistic here"
+        )
+
+    return TimingReport(
+        circuit=network.name,
+        num_inputs=network.num_inputs,
+        num_outputs=network.num_outputs,
+        num_gates=network.num_gates,
+        depth=network.depth(),
+        arrivals=arrivals,
+        false_longest=false_longest,
+        topological_required=baseline,
+        required=required,
+        notes=notes,
+    )

@@ -1,0 +1,102 @@
+"""Cutting sequential circuits at latch boundaries (Section 3).
+
+"Sequential circuits using edge-triggered latches ... can be easily handled
+with the same framework by assuming all the latch inputs and outputs as
+primary outputs and inputs respectively, where the required times and
+arrival times of those are determined by the clock edge minus the setup
+time and the clock edge itself."
+
+:func:`cut_at_latches` performs exactly that transformation on BLIF text
+containing ``.latch`` statements, returning the combinational network plus
+the boundary timing constraints for a given cycle time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ParseError
+from repro.network.blif import parse_blif
+from repro.network.network import Network
+
+
+@dataclass
+class CutResult:
+    """A combinational analysis problem derived from a sequential circuit."""
+
+    network: Network
+    #: arrival time for every primary input of the cut network: 0 (the clock
+    #: edge) at latch outputs and at original primary inputs.
+    arrivals: dict[str, float] = field(default_factory=dict)
+    #: required time for every primary output: ``cycle_time - setup_time``
+    #: at latch inputs, ``cycle_time`` at original primary outputs.
+    required: dict[str, float] = field(default_factory=dict)
+    #: latch-input signal names (subset of network.outputs)
+    latch_inputs: list[str] = field(default_factory=list)
+    #: latch-output signal names (subset of network.inputs)
+    latch_outputs: list[str] = field(default_factory=list)
+
+
+def cut_at_latches(
+    blif_text: str,
+    cycle_time: float = 0.0,
+    setup_time: float = 0.0,
+    filename: str | None = None,
+) -> CutResult:
+    """Parse sequential BLIF and cut it into a combinational problem.
+
+    Every ``.latch D Q [type clock] [init]`` line is removed; Q becomes a
+    primary input (arrival = clock edge = 0) and D a primary output
+    (required = ``cycle_time - setup_time``).
+    """
+    latches: list[tuple[str, str]] = []
+    kept_lines: list[str] = []
+    for lineno, raw in enumerate(blif_text.splitlines(), start=1):
+        stripped = raw.split("#", 1)[0].strip()
+        if stripped.startswith(".latch"):
+            tokens = stripped.split()
+            if len(tokens) < 3:
+                raise ParseError(".latch needs input and output", filename, lineno)
+            latches.append((tokens[1], tokens[2]))
+            continue
+        kept_lines.append(raw)
+
+    if not latches:
+        network = parse_blif("\n".join(kept_lines), filename)
+        return CutResult(
+            network=network,
+            arrivals={pi: 0.0 for pi in network.inputs},
+            required={po: float(cycle_time) for po in network.outputs},
+        )
+
+    # splice the latch boundary into .inputs/.outputs
+    latch_inputs = [d for d, _ in latches]
+    latch_outputs = [q for _, q in latches]
+    text = "\n".join(kept_lines)
+    lines = text.splitlines()
+    out_lines: list[str] = []
+    added_io = False
+    for line in lines:
+        out_lines.append(line)
+        if line.strip().startswith(".model") and not added_io:
+            added_io = True
+    if not added_io:
+        out_lines.insert(0, ".model cut")
+    # append boundary declarations right after existing declarations by
+    # simply adding extra .inputs/.outputs lines (BLIF allows repeats)
+    insert_at = 1
+    out_lines.insert(insert_at, ".inputs " + " ".join(latch_outputs))
+    out_lines.insert(insert_at + 1, ".outputs " + " ".join(latch_inputs))
+    network = parse_blif("\n".join(out_lines), filename)
+
+    arrivals = {pi: 0.0 for pi in network.inputs}
+    required = {po: float(cycle_time) for po in network.outputs}
+    for d in latch_inputs:
+        required[d] = float(cycle_time) - float(setup_time)
+    return CutResult(
+        network=network,
+        arrivals=arrivals,
+        required=required,
+        latch_inputs=latch_inputs,
+        latch_outputs=latch_outputs,
+    )

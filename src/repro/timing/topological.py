@@ -1,0 +1,147 @@
+"""Topological (static) timing analysis.
+
+Arrival times propagate forward with longest-path semantics; required times
+propagate backward with the paper's Figure 3 algorithm (reverse topological
+order, earliest requirement wins at multi-fanout nodes).  This analysis is
+the baseline everything in the paper is compared against: it is safe but
+pessimistic because it ignores false paths.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors import TimingError
+from repro.network.network import Network
+from repro.timing.delay import DelayModel, unit_delay
+
+
+def arrival_times(
+    network: Network,
+    delays: DelayModel | None = None,
+    input_arrivals: Mapping[str, float] | None = None,
+) -> dict[str, float]:
+    """Topological (longest-path) arrival time of every node.
+
+    ``input_arrivals`` defaults to 0 at every primary input.
+    """
+    delays = delays or unit_delay()
+    input_arrivals = input_arrivals or {}
+    arr: dict[str, float] = {}
+    for name in network.topological_order():
+        node = network.nodes[name]
+        if node.is_input:
+            given = input_arrivals.get(name, 0.0)
+            if isinstance(given, (tuple, list)):
+                # per-value arrival pair: longest-path analysis is
+                # conservative, so take the later of the two
+                given = max(given)
+            arr[name] = float(given)
+        else:
+            if not node.fanins:
+                # constant node: stable once its own delay has elapsed
+                arr[name] = delays.of(name)
+                continue
+            arr[name] = delays.of(name) + max(arr[f] for f in node.fanins)
+    return arr
+
+
+def required_times(
+    network: Network,
+    delays: DelayModel | None = None,
+    output_required: Mapping[str, float] | float = 0.0,
+) -> dict[str, float]:
+    """The paper's Figure 3 algorithm.
+
+    Sort nodes in reverse topological order, initialize every non-output
+    node's required time to +inf, then for every node n and fanin m set
+    ``req(m) = min(req(m), req(n) - d_n)``.  ``output_required`` is either a
+    single number applied to every primary output or a per-output mapping.
+    """
+    delays = delays or unit_delay()
+    if isinstance(output_required, Mapping):
+        req_out = dict(output_required)
+        missing = set(network.outputs) - set(req_out)
+        if missing:
+            raise TimingError(f"missing required times for outputs {sorted(missing)}")
+    else:
+        req_out = {o: float(output_required) for o in network.outputs}
+
+    req: dict[str, float] = {name: math.inf for name in network.nodes}
+    for out, t in req_out.items():
+        req[out] = min(req[out], float(t))
+
+    for name in network.reverse_topological_order():
+        node = network.nodes[name]
+        if node.is_input:
+            continue
+        here = req[name]
+        if here == math.inf:
+            continue
+        d = delays.of(name)
+        for fanin in node.fanins:
+            if here - d < req[fanin]:
+                req[fanin] = here - d
+    return req
+
+
+def slacks(
+    network: Network,
+    delays: DelayModel | None = None,
+    input_arrivals: Mapping[str, float] | None = None,
+    output_required: Mapping[str, float] | float = 0.0,
+) -> dict[str, float]:
+    """Topological slack = required - arrival at every node."""
+    arr = arrival_times(network, delays, input_arrivals)
+    req = required_times(network, delays, output_required)
+    return {name: req[name] - arr[name] for name in network.nodes}
+
+
+@dataclass
+class TopologicalTiming:
+    """Bundled STA result with convenience accessors."""
+
+    network: Network
+    delays: DelayModel
+    arrival: dict[str, float]
+    required: dict[str, float]
+    slack: dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def analyze(
+        cls,
+        network: Network,
+        delays: DelayModel | None = None,
+        input_arrivals: Mapping[str, float] | None = None,
+        output_required: Mapping[str, float] | float = 0.0,
+    ) -> "TopologicalTiming":
+        delays = delays or unit_delay()
+        arr = arrival_times(network, delays, input_arrivals)
+        req = required_times(network, delays, output_required)
+        slack = {n: req[n] - arr[n] for n in network.nodes}
+        return cls(network, delays, arr, req, slack)
+
+    @property
+    def worst_slack(self) -> float:
+        return min(self.slack[n] for n in self.network.nodes)
+
+    def critical_path(self) -> list[str]:
+        """One most-critical input-to-output path (minimum slack)."""
+        # start from the PO with the worst slack
+        start = min(self.network.outputs, key=lambda o: self.slack[o])
+        path = [start]
+        current = self.network.nodes[start]
+        while not current.is_input:
+            # predecessor on the longest path: arrival + delay == our arrival
+            d = self.delays.of(current.name)
+            best = max(current.fanins, key=lambda f: self.arrival[f])
+            path.append(best)
+            current = self.network.nodes[best]
+        path.reverse()
+        return path
+
+    def topological_delay(self) -> float:
+        """Longest-path delay from inputs to any primary output."""
+        return max(self.arrival[o] for o in self.network.outputs)

@@ -1,0 +1,112 @@
+"""End-to-end workflow: the use case the paper's introduction motivates.
+
+1. Start from a system with a subcircuit to optimize.
+2. Compute the subcircuit's timing specification with false-path-aware
+   analysis (arrival flexibility at its inputs, required times at its
+   outputs).
+3. 'Resynthesize' the subcircuit (here: two-level-minimize its nodes and
+   restructure) within that budget.
+4. Verify that the replacement preserves functionality and that the whole
+   system still meets its timing constraint.
+"""
+
+import pytest
+
+from repro.network import Network, equivalent
+from repro.sop import Cover, minimize_network
+from repro.timing import FunctionalTiming, TopologicalTiming
+from repro.timing.topological import required_times
+from repro.core.flexibility import required_flexibility
+from repro.core import true_slack
+
+
+def build_system() -> Network:
+    """Driver cone feeding a carry-skip block (false-path rich)."""
+    net = Network("system")
+    for pi in ["d0", "d1", "d2", "p0", "p1", "g0", "g1"]:
+        net.add_input(pi)
+    # the driver subcircuit (redundant cover on purpose: resynthesis bait)
+    net.add_node(
+        "drv_t",
+        ["d0", "d1", "d2"],
+        Cover.from_patterns(["11-", "0-1", "-11"]),  # -11 is redundant
+    )
+    net.add_gate("drv", "OR", ["drv_t", "d0"])
+    # the driven carry-skip block, cin = drv
+    net.add_gate("cin_d1", "BUF", ["drv"])
+    net.add_gate("cin_d2", "BUF", ["cin_d1"])
+    net.add_gate("np0", "NOT", ["p0"])
+    net.add_gate("np1", "NOT", ["p1"])
+    net.add_gate("a1", "AND", ["p0", "cin_d2"])
+    net.add_gate("b1", "AND", ["np0", "g0"])
+    net.add_gate("c1", "OR", ["a1", "b1"])
+    net.add_gate("a2", "AND", ["p1", "c1"])
+    net.add_gate("b2", "AND", ["np1", "g1"])
+    net.add_gate("c2", "OR", ["a2", "b2"])
+    net.add_gate("sk", "AND", ["p0", "p1"])
+    net.add_gate("nsk", "NOT", ["sk"])
+    net.add_gate("u", "AND", ["sk", "drv"])
+    net.add_gate("v", "AND", ["nsk", "c2"])
+    net.add_gate("cout", "OR", ["u", "v"])
+    net.set_outputs(["cout"])
+    return net
+
+
+class TestWorkflow:
+    @pytest.fixture(scope="class")
+    def system(self):
+        net = build_system()
+        cycle = TopologicalTiming.analyze(net, output_required=0.0).topological_delay()
+        return net, cycle
+
+    def test_step1_timing_budget_is_looser_than_topological(self, system):
+        net, cycle = system
+        topo_req = required_times(net, output_required=cycle)["drv"]
+        flex = required_flexibility(net, ["drv"], output_required=cycle)
+        budgets = [
+            profile.of("drv")[vec[0]]
+            for vec, profiles in flex.rows()
+            for profile in profiles
+        ]
+        assert budgets
+        assert min(budgets) > topo_req  # false paths bought real slack
+
+    def test_step2_resynthesis_within_budget(self, system):
+        net, cycle = system
+        reference = net.copy()
+        working = net.copy()
+        removed = minimize_network(working)
+        assert removed >= 1  # the redundant consensus cube went away
+        # functionality preserved
+        assert equivalent(working, reference)
+
+    def test_step3_system_still_meets_timing(self, system):
+        net, cycle = system
+        working = net.copy()
+        minimize_network(working)
+        ft = FunctionalTiming(working, engine="bdd")
+        assert ft.all_stable_by(cycle)
+
+    def test_step4_true_slack_reports_the_headroom(self, system):
+        net, cycle = system
+        report = true_slack(net, "drv", output_required=cycle)
+        assert report.slack_recovered > 0
+        # and the exact arrival of drv's own cone is what the budget is
+        # compared against
+        assert report.true_arrival <= report.topo_arrival
+
+    def test_step5_a_deliberately_slow_driver_fails_the_check(self, system):
+        net, cycle = system
+        # replace the driver with a padded (slower) equivalent that blows
+        # the false-path-aware budget: the final verification must catch it
+        slow = net.copy()
+        # lengthen the driver cone by rebuilding drv as a buffered chain
+        drv_node = slow.nodes.pop("drv")
+        for i in range(8):
+            name = f"pad{i}"
+            src = "drv_t" if i == 0 else f"pad{i - 1}"
+            slow.add_gate(name, "BUF", [src])
+        slow.add_node("drv", ["pad7", "d0"], Cover.from_patterns(["1-", "-1"]))
+        slow.validate()
+        ft = FunctionalTiming(slow, engine="bdd")
+        assert not ft.all_stable_by(cycle)

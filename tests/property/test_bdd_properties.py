@@ -1,0 +1,190 @@
+"""Property-based tests for the BDD manager: canonicity, Boolean algebra,
+quantifier laws, reordering invariance, lattice operators."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import BddManager, minimal_elements, upward_closure
+from repro.bdd.reorder import sift
+
+NVARS = 4
+NAMES = [f"v{i}" for i in range(NVARS)]
+
+
+@st.composite
+def expressions(draw, depth=3):
+    """A random Boolean expression tree over NAMES."""
+    if depth == 0 or draw(st.booleans()):
+        return ("var", draw(st.sampled_from(NAMES)))
+    op = draw(st.sampled_from(["and", "or", "xor", "not"]))
+    if op == "not":
+        return ("not", draw(expressions(depth=depth - 1)))
+    return (op, draw(expressions(depth=depth - 1)), draw(expressions(depth=depth - 1)))
+
+
+def build(mgr, expr):
+    if expr[0] == "var":
+        return mgr.var(expr[1])
+    if expr[0] == "not":
+        return ~build(mgr, expr[1])
+    a = build(mgr, expr[1])
+    b = build(mgr, expr[2])
+    return {"and": a & b, "or": a | b, "xor": a ^ b}[expr[0]]
+
+
+def eval_expr(expr, env):
+    if expr[0] == "var":
+        return env[expr[1]]
+    if expr[0] == "not":
+        return not eval_expr(expr[1], env)
+    a = eval_expr(expr[1], env)
+    b = eval_expr(expr[2], env)
+    return {"and": a and b, "or": a or b, "xor": a != b}[expr[0]]
+
+
+def fresh_manager():
+    mgr = BddManager()
+    for n in NAMES:
+        mgr.add_var(n)
+    return mgr
+
+
+class TestSemantics:
+    @given(expressions())
+    @settings(max_examples=80)
+    def test_bdd_matches_expression(self, expr):
+        mgr = fresh_manager()
+        f = build(mgr, expr)
+        for bits in itertools.product((0, 1), repeat=NVARS):
+            env = dict(zip(NAMES, bits))
+            assert mgr.evaluate(f, env) == bool(eval_expr(expr, env))
+
+    @given(expressions(), expressions())
+    @settings(max_examples=60)
+    def test_canonicity(self, e1, e2):
+        """Two expressions get the same node iff they are equivalent."""
+        mgr = fresh_manager()
+        f, g = build(mgr, e1), build(mgr, e2)
+        equal_semantically = all(
+            eval_expr(e1, dict(zip(NAMES, bits)))
+            == eval_expr(e2, dict(zip(NAMES, bits)))
+            for bits in itertools.product((0, 1), repeat=NVARS)
+        )
+        assert (f == g) == equal_semantically
+
+    @given(expressions())
+    @settings(max_examples=40)
+    def test_sat_count_matches_truth_table(self, expr):
+        mgr = fresh_manager()
+        f = build(mgr, expr)
+        brute = sum(
+            1
+            for bits in itertools.product((0, 1), repeat=NVARS)
+            if eval_expr(expr, dict(zip(NAMES, bits)))
+        )
+        assert mgr.sat_count(f, NVARS) == brute
+
+    @given(expressions())
+    @settings(max_examples=40)
+    def test_double_negation(self, expr):
+        mgr = fresh_manager()
+        f = build(mgr, expr)
+        assert ~~f == f
+
+
+class TestQuantifiers:
+    @given(expressions(), st.sampled_from(NAMES))
+    @settings(max_examples=60)
+    def test_shannon_expansion_of_exists(self, expr, name):
+        mgr = fresh_manager()
+        f = build(mgr, expr)
+        ex = mgr.exists([name], f)
+        expected = mgr.restrict(f, {name: 0}) | mgr.restrict(f, {name: 1})
+        assert ex == expected
+
+    @given(expressions(), st.sampled_from(NAMES))
+    @settings(max_examples=60)
+    def test_forall_dual(self, expr, name):
+        mgr = fresh_manager()
+        f = build(mgr, expr)
+        fa = mgr.forall([name], f)
+        assert fa == ~mgr.exists([name], ~f)
+
+    @given(expressions(), st.sampled_from(NAMES))
+    @settings(max_examples=40)
+    def test_compose_with_constant_is_restrict(self, expr, name):
+        mgr = fresh_manager()
+        f = build(mgr, expr)
+        assert mgr.compose(f, name, mgr.true) == mgr.restrict(f, {name: 1})
+        assert mgr.compose(f, name, mgr.false) == mgr.restrict(f, {name: 0})
+
+
+class TestReorderInvariance:
+    @given(expressions(), st.permutations(NAMES))
+    @settings(max_examples=40)
+    def test_explicit_reorder_preserves_semantics(self, expr, order):
+        from repro.bdd.reorder import reorder_to
+
+        mgr = fresh_manager()
+        f = build(mgr, expr)
+        table = {
+            bits: mgr.evaluate(f, dict(zip(NAMES, bits)))
+            for bits in itertools.product((0, 1), repeat=NVARS)
+        }
+        reorder_to(mgr, list(order))
+        for bits, expected in table.items():
+            assert mgr.evaluate(f, dict(zip(NAMES, bits))) == expected
+
+    @given(expressions())
+    @settings(max_examples=30)
+    def test_sifting_preserves_semantics(self, expr):
+        mgr = fresh_manager()
+        f = build(mgr, expr)
+        table = {
+            bits: mgr.evaluate(f, dict(zip(NAMES, bits)))
+            for bits in itertools.product((0, 1), repeat=NVARS)
+        }
+        sift(mgr)
+        for bits, expected in table.items():
+            assert mgr.evaluate(f, dict(zip(NAMES, bits))) == expected
+
+
+class TestLatticeOperators:
+    @given(st.sets(st.tuples(*([st.integers(0, 1)] * NVARS)), max_size=10))
+    @settings(max_examples=60)
+    def test_minimal_elements_against_bruteforce(self, vectors):
+        mgr = fresh_manager()
+        f = mgr.false
+        for bits in vectors:
+            f = f | mgr.from_cube(dict(zip(NAMES, bits)))
+        got = set()
+        minimal = minimal_elements(f, NAMES)
+        for bits in itertools.product((0, 1), repeat=NVARS):
+            if mgr.evaluate(minimal, dict(zip(NAMES, bits))):
+                got.add(bits)
+        expected = {
+            v
+            for v in vectors
+            if not any(
+                w != v and all(a <= b for a, b in zip(w, v)) for w in vectors
+            )
+        }
+        assert got == expected
+
+    @given(st.sets(st.tuples(*([st.integers(0, 1)] * NVARS)), max_size=10))
+    @settings(max_examples=40)
+    def test_upward_closure_is_monotone_superset(self, vectors):
+        mgr = fresh_manager()
+        f = mgr.false
+        for bits in vectors:
+            f = f | mgr.from_cube(dict(zip(NAMES, bits)))
+        up = upward_closure(f)
+        assert f.implies(up).is_true
+        # upward-closed: raising any coordinate keeps membership
+        for bits in itertools.product((0, 1), repeat=NVARS):
+            if mgr.evaluate(up, dict(zip(NAMES, bits))):
+                for i in range(NVARS):
+                    if not bits[i]:
+                        raised = bits[:i] + (1,) + bits[i + 1:]
+                        assert mgr.evaluate(up, dict(zip(NAMES, raised)))

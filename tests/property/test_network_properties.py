@@ -1,0 +1,98 @@
+"""Property-based tests for network transforms and I/O."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.network import Network, equivalent, parse_blif, write_blif
+from repro.network.opt import propagate_constants, sweep
+from repro.sop import Cover, minimize_network
+
+
+@st.composite
+def random_networks(draw, n_inputs=4, max_gates=8, with_constants=False):
+    net = Network("hyp_net")
+    signals = []
+    for i in range(n_inputs):
+        net.add_input(f"x{i}")
+        signals.append(f"x{i}")
+    if with_constants and draw(st.booleans()):
+        net.add_node("k0", [], Cover.zero(0))
+        net.add_node("k1", [], Cover.one(0))
+        signals += ["k0", "k1"]
+    n = draw(st.integers(2, max_gates))
+    for g in range(n):
+        kind = draw(st.sampled_from(["AND", "OR", "NAND", "NOR", "XOR", "NOT"]))
+        if kind == "NOT":
+            fanins = [draw(st.sampled_from(signals))]
+        else:
+            k = draw(st.integers(2, min(3, len(signals))))
+            fanins = draw(
+                st.lists(st.sampled_from(signals), min_size=k, max_size=k, unique=True)
+            )
+        name = f"g{g}"
+        net.add_gate(name, kind, fanins)
+        signals.append(name)
+    net.set_outputs([signals[-1]])
+    return net
+
+
+def io_truth(net):
+    table = []
+    for bits in itertools.product((0, 1), repeat=len(net.inputs)):
+        env = dict(zip(net.inputs, bits))
+        table.append(tuple(net.output_values(env).items()))
+    return table
+
+
+class TestBlifRoundtrip:
+    @given(random_networks())
+    @settings(max_examples=40, deadline=None)
+    def test_write_parse_equivalent(self, net):
+        again = parse_blif(write_blif(net))
+        assert equivalent(net, again)
+
+    @given(random_networks(with_constants=True))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_with_constants(self, net):
+        again = parse_blif(write_blif(net))
+        assert io_truth(net) == io_truth(again)
+
+
+class TestOptPasses:
+    @given(random_networks(with_constants=True))
+    @settings(max_examples=30, deadline=None)
+    def test_constant_propagation_preserves_io(self, net):
+        before = io_truth(net)
+        propagate_constants(net)
+        net.validate()
+        assert io_truth(net) == before
+
+    @given(random_networks())
+    @settings(max_examples=30, deadline=None)
+    def test_sweep_preserves_io(self, net):
+        before = io_truth(net)
+        sweep(net)
+        net.validate()
+        assert io_truth(net) == before
+
+    @given(random_networks())
+    @settings(max_examples=20, deadline=None)
+    def test_minimize_network_preserves_io(self, net):
+        before = io_truth(net)
+        minimize_network(net)
+        net.validate()
+        assert io_truth(net) == before
+
+
+class TestCopySemantics:
+    @given(random_networks())
+    @settings(max_examples=20, deadline=None)
+    def test_copy_is_deep_for_covers(self, net):
+        clone = net.copy()
+        minimize_network(clone)
+        # mutating the clone's covers must not touch the original
+        assert io_truth(net) == io_truth(clone)
+        for name, node in net.nodes.items():
+            if not node.is_input:
+                assert node.cover is not clone.nodes[name].cover

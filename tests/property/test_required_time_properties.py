@@ -1,0 +1,108 @@
+"""Property-based end-to-end safety of the required-time algorithms.
+
+The central soundness claim of the paper is that every required-time
+assignment the algorithms report is *safe*: if the primary inputs arrive
+by the reported times, every primary output is stable by its required
+time.  These tests check that claim on random circuits by feeding each
+algorithm's answer back into an independent functional timing analysis.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.approx1 import Approx1Analysis
+from repro.core.approx2 import Approx2Analysis
+from repro.core.exact import ExactAnalysis
+from repro.core.required_time import topological_input_required_times
+from repro.network import Network
+from repro.timing import FunctionalTiming
+
+
+@st.composite
+def small_networks(draw, n_inputs=3, max_gates=6):
+    net = Network("hyp_req")
+    signals = []
+    for i in range(n_inputs):
+        net.add_input(f"x{i}")
+        signals.append(f"x{i}")
+    n = draw(st.integers(2, max_gates))
+    for g in range(n):
+        kind = draw(st.sampled_from(["AND", "OR", "NAND", "NOR", "XOR", "NOT"]))
+        if kind == "NOT":
+            fanins = [draw(st.sampled_from(signals))]
+        else:
+            fanins = draw(
+                st.lists(st.sampled_from(signals), min_size=2, max_size=2, unique=True)
+            )
+        name = f"g{g}"
+        net.add_gate(name, kind, fanins)
+        signals.append(name)
+    net.set_outputs([signals[-1]])
+    return net
+
+
+class TestApprox1Safety:
+    @given(small_networks())
+    @settings(max_examples=25, deadline=None)
+    def test_every_profile_is_safe(self, net):
+        result = Approx1Analysis(net, output_required=0.0).run()
+        for profile in result.profiles:
+            arrivals = {
+                x: (r0, r1) for x, (r0, r1) in profile.as_dict().items()
+            }
+            ft = FunctionalTiming(net, arrivals=arrivals, engine="bdd")
+            assert ft.all_stable_by(0.0), f"profile {profile} unsafe"
+
+    @given(small_networks())
+    @settings(max_examples=25, deadline=None)
+    def test_profiles_dominate_topological(self, net):
+        baseline = topological_input_required_times(net, output_required=0.0)
+        result = Approx1Analysis(net, output_required=0.0).run()
+        for profile in result.profiles:
+            assert profile.is_at_least_as_loose_as(baseline)
+
+
+class TestApprox2Safety:
+    @given(small_networks())
+    @settings(max_examples=20, deadline=None)
+    def test_maximal_vectors_are_safe(self, net):
+        result = Approx2Analysis(net, output_required=0.0, engine="bdd").run()
+        for r in result.maximal:
+            ft = FunctionalTiming(net, arrivals=r, engine="bdd")
+            assert ft.all_stable_by(0.0)
+
+    @given(small_networks())
+    @settings(max_examples=20, deadline=None)
+    def test_maximal_dominates_bottom(self, net):
+        result = Approx2Analysis(net, output_required=0.0, engine="bdd").run()
+        for r in result.maximal:
+            assert all(r[x] >= result.r_bottom[x] for x in r)
+
+
+class TestExactSafety:
+    @given(small_networks())
+    @settings(max_examples=15, deadline=None)
+    def test_relation_contains_topological(self, net):
+        rel = ExactAnalysis(net, output_required=0.0).relation()
+        assert rel.contains_topological()
+
+    @given(small_networks())
+    @settings(max_examples=15, deadline=None)
+    def test_compatible_choice_verifies(self, net):
+        rel = ExactAnalysis(net, output_required=0.0).relation()
+        chosen = rel.choose_compatible()
+        assert rel.verify_assignment(chosen)
+
+
+class TestCrossMethod:
+    @given(small_networks())
+    @settings(max_examples=15, deadline=None)
+    def test_nontriviality_hierarchy(self, net):
+        # exact sees everything approx1 sees; approx1 sees everything
+        # approx2 sees
+        a2 = Approx2Analysis(net, output_required=0.0, engine="bdd").run()
+        a1 = Approx1Analysis(net, output_required=0.0).run()
+        if a2.nontrivial:
+            assert a1.nontrivial
+        if a1.nontrivial:
+            rel = ExactAnalysis(net, output_required=0.0).relation()
+            assert rel.nontrivial()

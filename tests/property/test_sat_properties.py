@@ -1,0 +1,108 @@
+"""Property-based tests for the SAT solver and circuit encoding."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.network import Network
+from repro.sat import Cnf, CircuitEncoder, miter, solve
+
+NVARS = 6
+
+
+@st.composite
+def formulas(draw, nvars=NVARS, max_clauses=20):
+    n = draw(st.integers(0, max_clauses))
+    clauses = []
+    for _ in range(n):
+        k = draw(st.integers(1, 3))
+        vars_ = draw(
+            st.lists(
+                st.integers(1, nvars), min_size=k, max_size=k, unique=True
+            )
+        )
+        clause = [v if draw(st.booleans()) else -v for v in vars_]
+        clauses.append(clause)
+    return clauses
+
+
+def brute_sat(nvars, clauses):
+    for bits in itertools.product((False, True), repeat=nvars):
+        env = dict(zip(range(1, nvars + 1), bits))
+        if all(any(env[abs(l)] == (l > 0) for l in c) for c in clauses):
+            return True
+    return False
+
+
+class TestSolverAgainstBruteForce:
+    @given(formulas())
+    @settings(max_examples=80, deadline=None)
+    def test_sat_decision(self, clauses):
+        cnf = Cnf()
+        for _ in range(NVARS):
+            cnf.new_var()
+        for c in clauses:
+            cnf.add_clause(c)
+        assert (solve(cnf) is not None) == brute_sat(NVARS, clauses)
+
+    @given(formulas())
+    @settings(max_examples=60, deadline=None)
+    def test_model_is_genuine(self, clauses):
+        cnf = Cnf()
+        for _ in range(NVARS):
+            cnf.new_var()
+        for c in clauses:
+            cnf.add_clause(c)
+        model = solve(cnf)
+        if model is not None:
+            for clause in cnf.clauses:
+                assert any(model[abs(l)] == (l > 0) for l in clause)
+
+
+@st.composite
+def random_networks(draw, n_inputs=4, max_gates=8):
+    net = Network("hyp")
+    signals = []
+    for i in range(n_inputs):
+        net.add_input(f"x{i}")
+        signals.append(f"x{i}")
+    n = draw(st.integers(1, max_gates))
+    for g in range(n):
+        kind = draw(st.sampled_from(["AND", "OR", "NAND", "NOR", "XOR", "NOT"]))
+        if kind == "NOT":
+            fanins = [draw(st.sampled_from(signals))]
+        else:
+            k = draw(st.integers(2, min(3, len(signals))))
+            fanins = draw(
+                st.lists(
+                    st.sampled_from(signals), min_size=k, max_size=k, unique=True
+                )
+            )
+        name = f"g{g}"
+        net.add_gate(name, kind, fanins)
+        signals.append(name)
+    net.set_outputs([signals[-1]])
+    return net
+
+
+class TestEncodingAgainstSimulation:
+    @given(random_networks())
+    @settings(max_examples=40, deadline=None)
+    def test_tseitin_agrees_with_simulation(self, net):
+        encoder = CircuitEncoder()
+        mapping = encoder.encode(net)
+        out = net.outputs[0]
+        for bits in itertools.product((0, 1), repeat=len(net.inputs)):
+            env = dict(zip(net.inputs, bits))
+            assumptions = [
+                mapping[pi] if v else -mapping[pi] for pi, v in env.items()
+            ]
+            model = solve(encoder.cnf, assumptions)
+            assert model is not None, "consistent circuit must be satisfiable"
+            assert model[mapping[out]] == net.output_values(env)[out]
+
+    @given(random_networks())
+    @settings(max_examples=30, deadline=None)
+    def test_self_miter_unsat(self, net):
+        cnf, _ = miter(net, net.copy())
+        assert solve(cnf) is None

@@ -1,0 +1,86 @@
+"""Property-based tests for the two-level logic substrate."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sop import Cover, Cube, blake_primes, quine_mccluskey_primes
+
+WIDTH = 4
+
+
+@st.composite
+def covers(draw, width=WIDTH, max_cubes=5):
+    n = draw(st.integers(0, max_cubes))
+    cubes = []
+    for _ in range(n):
+        pattern = "".join(draw(st.sampled_from("01-")) for _ in range(width))
+        cubes.append(Cube.from_pattern(pattern))
+    return Cover(width, cubes)
+
+
+def truth(cover: Cover) -> int:
+    bits = 0
+    for m in range(1 << cover.width):
+        if cover.evaluate(m):
+            bits |= 1 << m
+    return bits
+
+
+class TestCoverAlgebra:
+    @given(covers())
+    def test_complement_is_involution(self, cover):
+        assert truth(cover.complement().complement()) == truth(cover)
+
+    @given(covers())
+    def test_complement_is_pointwise_negation(self, cover):
+        full = (1 << (1 << WIDTH)) - 1
+        assert truth(cover.complement()) == (~truth(cover)) & full
+
+    @given(covers(), covers())
+    def test_union_is_bitwise_or(self, a, b):
+        assert truth(a.union(b)) == (truth(a) | truth(b))
+
+    @given(covers(), covers())
+    def test_intersection_is_bitwise_and(self, a, b):
+        assert truth(a.intersection(b)) == (truth(a) & truth(b))
+
+    @given(covers())
+    def test_tautology_agrees_with_truth_table(self, cover):
+        full = (1 << (1 << WIDTH)) - 1
+        assert cover.is_tautology() == (truth(cover) == full)
+
+    @given(covers())
+    def test_scc_preserves_function(self, cover):
+        assert truth(cover.single_cube_containment()) == truth(cover)
+
+
+class TestPrimes:
+    @given(covers())
+    @settings(max_examples=60)
+    def test_blake_preserves_function(self, cover):
+        assert truth(blake_primes(cover)) == truth(cover)
+
+    @given(covers())
+    @settings(max_examples=60)
+    def test_blake_matches_quine_mccluskey(self, cover):
+        minterms = [m for m in range(1 << WIDTH) if cover.evaluate(m)]
+        qm = quine_mccluskey_primes(WIDTH, minterms)
+        blake = blake_primes(cover)
+        assert {c.to_pattern() for c in blake} == {c.to_pattern() for c in qm}
+
+    @given(covers())
+    @settings(max_examples=60)
+    def test_every_prime_is_an_implicant(self, cover):
+        for prime in blake_primes(cover):
+            for m in prime.minterms():
+                assert cover.evaluate(m)
+
+    @given(covers())
+    @settings(max_examples=60)
+    def test_primes_are_maximal(self, cover):
+        # expanding any literal out of a prime must leave the on-set
+        for prime in blake_primes(cover):
+            for var in prime.variables():
+                grown = prime.drop(var)
+                assert any(
+                    not cover.evaluate(m) for m in grown.minterms()
+                ), f"{prime.to_pattern()} not maximal in {var}"

@@ -1,0 +1,190 @@
+"""Unit tests for lattice operators: closures, minimal/maximal, primes."""
+
+import itertools
+
+import pytest
+
+from repro.bdd import (
+    BddManager,
+    downward_closure,
+    maximal_elements,
+    minimal_elements,
+    monotone_primes,
+    upward_closure,
+)
+from repro.bdd.minimal import is_monotone_increasing
+
+
+@pytest.fixture
+def mgr():
+    return BddManager()
+
+
+def vectors_of(mgr, f, names):
+    """All satisfying assignments as bit tuples, oracle-style."""
+    result = set()
+    for bits in itertools.product((0, 1), repeat=len(names)):
+        if mgr.evaluate(f, dict(zip(names, bits))):
+            result.add(bits)
+    return result
+
+
+def brute_minimal(vectors):
+    def leq(x, y):
+        return all(a <= b for a, b in zip(x, y))
+
+    return {v for v in vectors if not any(w != v and leq(w, v) for w in vectors)}
+
+
+def brute_maximal(vectors):
+    def leq(x, y):
+        return all(a <= b for a, b in zip(x, y))
+
+    return {v for v in vectors if not any(w != v and leq(v, w) for w in vectors)}
+
+
+def brute_up(vectors, n):
+    result = set()
+    for y in itertools.product((0, 1), repeat=n):
+        if any(all(a <= b for a, b in zip(x, y)) for x in vectors):
+            result.add(y)
+    return result
+
+
+class TestClosures:
+    def test_upward_closure_of_single_point(self, mgr):
+        names = ["a", "b", "c"]
+        vs = [mgr.add_var(n) for n in names]
+        point = vs[0] & ~vs[1] & ~vs[2]  # (1,0,0)
+        up = upward_closure(point)
+        assert vectors_of(mgr, up, names) == {
+            (1, 0, 0), (1, 0, 1), (1, 1, 0), (1, 1, 1)
+        }
+
+    def test_downward_closure_of_single_point(self, mgr):
+        names = ["a", "b"]
+        vs = [mgr.add_var(n) for n in names]
+        point = vs[0] & vs[1]
+        down = downward_closure(point)
+        assert vectors_of(mgr, down, names) == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_upward_closure_random(self, mgr, seed):
+        import random
+
+        rng = random.Random(seed)
+        names = ["a", "b", "c", "d"]
+        vs = {n: mgr.add_var(n) for n in names}
+        f = mgr.false
+        chosen = set()
+        for bits in itertools.product((0, 1), repeat=4):
+            if rng.random() < 0.3:
+                chosen.add(bits)
+                f = f | mgr.from_cube(dict(zip(names, bits)))
+        up = upward_closure(f)
+        assert vectors_of(mgr, up, names) == brute_up(chosen, 4)
+
+    def test_closure_fixpoint(self, mgr):
+        names = ["a", "b", "c"]
+        vs = [mgr.add_var(n) for n in names]
+        f = (vs[0] & vs[1]) | ~vs[2]
+        up = upward_closure(f)
+        assert upward_closure(up) == up
+        down = downward_closure(f)
+        assert downward_closure(down) == down
+
+
+class TestMinimalMaximal:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_minimal_matches_bruteforce(self, mgr, seed):
+        import random
+
+        rng = random.Random(seed + 100)
+        names = ["a", "b", "c", "d"]
+        for n in names:
+            mgr.add_var(n)
+        f = mgr.false
+        chosen = set()
+        for bits in itertools.product((0, 1), repeat=4):
+            if rng.random() < 0.4:
+                chosen.add(bits)
+                f = f | mgr.from_cube(dict(zip(names, bits)))
+        got = vectors_of(mgr, minimal_elements(f), names)
+        # minimal_elements keeps cylinders over variables absent from the
+        # BDD; restrict the comparison to chosen vectors.
+        assert got & chosen == brute_minimal(chosen)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_maximal_matches_bruteforce(self, mgr, seed):
+        import random
+
+        rng = random.Random(seed + 200)
+        names = ["a", "b", "c", "d"]
+        for n in names:
+            mgr.add_var(n)
+        f = mgr.false
+        chosen = set()
+        for bits in itertools.product((0, 1), repeat=4):
+            if rng.random() < 0.4:
+                chosen.add(bits)
+                f = f | mgr.from_cube(dict(zip(names, bits)))
+        got = vectors_of(mgr, maximal_elements(f), names)
+        assert got & chosen == brute_maximal(chosen)
+
+    def test_minimal_of_paper_row(self, mgr):
+        # Paper Section 4.1, input minterm 00 of the Figure 4 example: the
+        # permissible set {000100,000101,000001,000011,000111} has minimal
+        # elements {000100, 000001}.
+        names = [f"v{i}" for i in range(6)]
+        for n in names:
+            mgr.add_var(n)
+        rows = ["000100", "000101", "000001", "000011", "000111"]
+        f = mgr.false
+        for row in rows:
+            f = f | mgr.from_cube({n: int(ch) for n, ch in zip(names, row)})
+        got = vectors_of(mgr, minimal_elements(f), names)
+        expected = {tuple(int(c) for c in "000100"), tuple(int(c) for c in "000001")}
+        all_rows = {tuple(int(c) for c in r) for r in rows}
+        assert got & all_rows == expected
+
+
+class TestMonotone:
+    def test_is_monotone_detects(self, mgr):
+        a, b = mgr.add_var("a"), mgr.add_var("b")
+        assert is_monotone_increasing(a & b)
+        assert is_monotone_increasing(a | b)
+        assert not is_monotone_increasing(a ^ b)
+        assert not is_monotone_increasing(~a)
+
+    def test_primes_of_conjunction(self, mgr):
+        a, b = mgr.add_var("a"), mgr.add_var("b")
+        primes = set(monotone_primes(a & b))
+        assert primes == {frozenset({"a", "b"})}
+
+    def test_primes_of_disjunction(self, mgr):
+        a, b = mgr.add_var("a"), mgr.add_var("b")
+        primes = set(monotone_primes(a | b))
+        assert primes == {frozenset({"a"}), frozenset({"b"})}
+
+    def test_primes_of_majority(self, mgr):
+        a, b, c = mgr.add_var("a"), mgr.add_var("b"), mgr.add_var("c")
+        maj = (a & b) | (a & c) | (b & c)
+        primes = set(monotone_primes(maj))
+        assert primes == {
+            frozenset({"a", "b"}),
+            frozenset({"a", "c"}),
+            frozenset({"b", "c"}),
+        }
+
+    def test_primes_of_true(self, mgr):
+        mgr.add_var("a")
+        assert set(monotone_primes(mgr.true)) == {frozenset()}
+
+    def test_primes_of_false(self, mgr):
+        mgr.add_var("a")
+        assert set(monotone_primes(mgr.false)) == set()
+
+    def test_primes_ignore_irrelevant_vars(self, mgr):
+        a, b, c = mgr.add_var("a"), mgr.add_var("b"), mgr.add_var("c")
+        primes = set(monotone_primes(a))
+        assert primes == {frozenset({"a"})}

@@ -1,0 +1,138 @@
+"""Unit tests for in-place swaps and sifting reordering."""
+
+import itertools
+
+import pytest
+
+from repro.bdd import BddManager
+from repro.bdd.reorder import reorder_to, sift
+from repro.errors import BddError
+
+
+def build_interleaved_function(mgr, n):
+    """The classic order-sensitive function a1 b1 + a2 b2 + ... .
+
+    Under the order a1 b1 a2 b2 ... it is linear-size; under
+    a1 a2 ... b1 b2 ... it is exponential.
+    """
+    avars = [mgr.add_var(f"a{i}") for i in range(n)]
+    bvars = [mgr.add_var(f"b{i}") for i in range(n)]
+    f = mgr.false
+    for a, b in zip(avars, bvars):
+        f = f | (a & b)
+    return f
+
+
+class TestSwap:
+    def test_swap_preserves_functions(self):
+        mgr = BddManager()
+        a, b, c = mgr.add_var("a"), mgr.add_var("b"), mgr.add_var("c")
+        f = (a & b) | (~a & c)
+        table = {
+            bits: mgr.evaluate(f, dict(zip("abc", bits)))
+            for bits in itertools.product((0, 1), repeat=3)
+        }
+        for level in [0, 1, 0, 1, 0]:
+            mgr.swap_levels(level)
+            for bits, expected in table.items():
+                assert mgr.evaluate(f, dict(zip("abc", bits))) == expected
+
+    def test_swap_updates_order(self):
+        mgr = BddManager()
+        mgr.add_var("a")
+        mgr.add_var("b")
+        mgr.swap_levels(0)
+        assert mgr.current_order() == ["b", "a"]
+
+    def test_swap_out_of_range(self):
+        mgr = BddManager()
+        mgr.add_var("a")
+        with pytest.raises(BddError):
+            mgr.swap_levels(0)
+
+    def test_swap_preserves_node_ids(self):
+        mgr = BddManager()
+        a, b = mgr.add_var("a"), mgr.add_var("b")
+        f = a & b
+        fid = f.id
+        mgr.swap_levels(0)
+        assert f.id == fid  # handle survives
+        assert mgr.evaluate(f, {"a": 1, "b": 1})
+        assert not mgr.evaluate(f, {"a": 0, "b": 1})
+
+    def test_swap_independent_levels(self):
+        # Swapping levels that do not interact must be a pure relabeling.
+        mgr = BddManager()
+        a, b, c, d = (mgr.add_var(n) for n in "abcd")
+        f = (a & b) | (c & d)
+        mgr.swap_levels(1)  # b <-> c: they do interact through the BDD
+        for bits in itertools.product((0, 1), repeat=4):
+            env = dict(zip("abcd", bits))
+            expected = (env["a"] and env["b"]) or (env["c"] and env["d"])
+            assert mgr.evaluate(f, env) == bool(expected)
+
+
+class TestReorderTo:
+    def test_exact_permutation(self):
+        mgr = BddManager()
+        for n in "abc":
+            mgr.add_var(n)
+        a, b, c = mgr.var("a"), mgr.var("b"), mgr.var("c")
+        f = a.ite(b, c)
+        reorder_to(mgr, ["c", "a", "b"])
+        assert mgr.current_order() == ["c", "a", "b"]
+        assert mgr.evaluate(f, {"a": 1, "b": 0, "c": 1}) is False
+        assert mgr.evaluate(f, {"a": 0, "b": 0, "c": 1}) is True
+
+    def test_rejects_non_permutation(self):
+        mgr = BddManager()
+        mgr.add_var("a")
+        with pytest.raises(ValueError):
+            reorder_to(mgr, ["a", "b"])
+
+
+class TestSifting:
+    def test_sift_shrinks_bad_order(self):
+        mgr = BddManager()
+        n = 5
+        # Deliberately declare in the bad order: all a's then all b's.
+        avars = [mgr.add_var(f"a{i}") for i in range(n)]
+        bvars = [mgr.add_var(f"b{i}") for i in range(n)]
+        f = mgr.false
+        for a, b in zip(avars, bvars):
+            f = f | (a & b)
+        bad_size = mgr.size(f)
+        sift(mgr)
+        good_size = mgr.size(f)
+        assert good_size < bad_size
+        # linear-size optimum is 2n + 2 nodes (incl. terminals)
+        assert good_size <= 2 * n + 2
+
+    def test_sift_preserves_semantics(self):
+        mgr = BddManager()
+        f = build_interleaved_function(mgr, 3)
+        names = mgr.var_names
+        table = {}
+        for bits in itertools.product((0, 1), repeat=len(names)):
+            env = dict(zip(names, bits))
+            table[bits] = mgr.evaluate(f, env)
+        sift(mgr)
+        for bits, expected in table.items():
+            assert mgr.evaluate(f, dict(zip(names, bits))) == expected
+
+    def test_sift_trivial_manager(self):
+        mgr = BddManager()
+        sift(mgr)  # no variables: no-op
+        mgr.add_var("a")
+        sift(mgr)  # single variable: no-op
+
+    def test_auto_reorder_triggers(self):
+        mgr = BddManager(auto_reorder=True, reorder_threshold=40)
+        f = build_interleaved_function(mgr, 4)
+        # After enough growth the manager reorders automatically; function
+        # values must be unchanged.
+        names = mgr.var_names
+        env = {n: 1 for n in names}
+        assert mgr.evaluate(f, env)
+        env0 = {n: 0 for n in names}
+        assert not mgr.evaluate(f, env0)

@@ -1,0 +1,197 @@
+"""Unit tests for the benchmark circuit generators and suites."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.circuits import (
+    array_multiplier,
+    c17,
+    carry_select_adder,
+    carry_skip_adder,
+    carry_skip_block,
+    cascaded_mux_chain,
+    clustered_logic,
+    figure4,
+    figure6,
+    iscas_suite,
+    mcnc_suite,
+    parity_tree,
+    random_reconvergent,
+    ripple_adder,
+)
+from repro.errors import NetworkError
+from repro.timing import has_false_paths
+
+
+def assert_adds(net, bits, trials=120, seed=7):
+    rng = random.Random(seed)
+    for _ in range(trials):
+        a = rng.randrange(1 << bits)
+        b = rng.randrange(1 << bits)
+        cin = rng.randrange(2)
+        env = {"cin": cin}
+        for i in range(bits):
+            env[f"a{i}"] = (a >> i) & 1
+            env[f"b{i}"] = (b >> i) & 1
+        out = net.output_values(env)
+        got = sum(1 << i for i in range(bits) if out[f"s{i}"])
+        got += (1 << bits) if out[net.outputs[-1]] else 0
+        assert got == a + b + cin, (a, b, cin)
+
+
+class TestAdders:
+    def test_ripple_adds(self):
+        assert_adds(ripple_adder(4), 4)
+
+    def test_carry_skip_adds(self):
+        assert_adds(carry_skip_adder(2, 3), 6)
+
+    def test_carry_skip_one_block(self):
+        assert_adds(carry_skip_adder(1, 2), 2)
+
+    def test_carry_select_adds(self):
+        assert_adds(carry_select_adder(2, 2), 4)
+
+    def test_carry_select_single_bit_blocks(self):
+        assert_adds(carry_select_adder(3, 1), 3)
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(NetworkError):
+            ripple_adder(0)
+        with pytest.raises(NetworkError):
+            carry_skip_adder(0)
+        with pytest.raises(NetworkError):
+            carry_skip_adder(1, 1)
+
+    def test_ripple_has_no_false_paths(self):
+        assert not has_false_paths(ripple_adder(3))
+
+    def test_carry_skip_has_false_paths(self):
+        assert has_false_paths(carry_skip_adder(2, 3))
+
+
+class TestMultiplier:
+    def test_multiplies_exhaustively(self):
+        net = array_multiplier(3)
+        for a in range(8):
+            for b in range(8):
+                env = {}
+                for i in range(3):
+                    env[f"a{i}"] = (a >> i) & 1
+                    env[f"b{i}"] = (b >> i) & 1
+                out = net.output_values(env)
+                got = sum(
+                    1 << k for k, name in enumerate(net.outputs) if out[name]
+                )
+                assert got == a * b, (a, b)
+
+    def test_output_width(self):
+        assert len(array_multiplier(4).outputs) == 8
+
+    def test_min_size_rejected(self):
+        with pytest.raises(NetworkError):
+            array_multiplier(1)
+
+
+class TestStructuralFamilies:
+    def test_parity_tree_function(self):
+        net = parity_tree(6)
+        for bits in itertools.product((0, 1), repeat=6):
+            env = {f"x{i}": bits[i] for i in range(6)}
+            assert net.output_values(env)[net.outputs[0]] == (sum(bits) % 2 == 1)
+
+    def test_parity_tree_no_false_paths(self):
+        assert not has_false_paths(parity_tree(8))
+
+    def test_mux_chain_function(self):
+        net = cascaded_mux_chain(3)
+        # stage 0 selects chain when s=1, stage 1 when s=0, stage 2 when s=1
+        env = {"s": 1, "d": 1, "e0": 0, "e1": 0, "e2": 0}
+        # m0 = d (s=1), m1 = e1 (s=1 -> picks e1), m2 = m1 (s=1)
+        assert net.output_values(env)[net.outputs[0]] is False
+        env["e1"] = 1
+        assert net.output_values(env)[net.outputs[0]] is True
+
+    def test_mux_chain_has_false_paths(self):
+        assert has_false_paths(cascaded_mux_chain(4))
+
+    def test_random_reconvergent_deterministic(self):
+        a = random_reconvergent(8, 20, seed=3)
+        b = random_reconvergent(8, 20, seed=3)
+        from repro.network import equivalent
+
+        assert equivalent(a, b)
+
+    def test_random_reconvergent_seed_changes_circuit(self):
+        import itertools
+
+        a = random_reconvergent(8, 20, seed=3, n_outputs=1)
+        b = random_reconvergent(8, 20, seed=4, n_outputs=1)
+        # same input names; almost surely different output behaviour
+        differs = False
+        for bits in itertools.product((0, 1), repeat=8):
+            env = {f"x{i}": bits[i] for i in range(8)}
+            va = a.output_values(env)[a.outputs[0]]
+            vb = b.output_values(env)[b.outputs[0]]
+            if va != vb:
+                differs = True
+                break
+        assert differs
+
+    def test_clustered_logic_structure(self):
+        net = clustered_logic(3, 4, 6, seed=5)
+        assert net.num_inputs == 12
+        net.validate()
+
+
+class TestExamples:
+    def test_figure4_function(self):
+        net = figure4()
+        for v1, v2 in itertools.product((0, 1), repeat=2):
+            assert net.output_values({"x1": v1, "x2": v2})["z"] == bool(v1 and v2)
+
+    def test_figure6_function(self):
+        net = figure6()
+        vals = net.output_values({"x1": 1, "x2": 1, "x3": 1})
+        assert vals["u1"] and vals["u2"]
+
+    def test_c17_shape(self):
+        net = c17()
+        assert net.num_inputs == 5
+        assert net.num_outputs == 2
+        assert net.num_gates == 6
+
+    def test_carry_skip_block_false_path(self):
+        assert has_false_paths(carry_skip_block())
+
+
+class TestSuites:
+    def test_mcnc_suite_builds_and_validates(self):
+        specs = mcnc_suite()
+        assert [s.name for s in specs] == [f"m{i}" for i in range(1, 11)]
+        for spec in specs:
+            spec.network.validate()
+            assert spec.paper_name.startswith("i")
+
+    def test_iscas_suite_builds_and_validates(self):
+        specs = iscas_suite()
+        assert len(specs) == 10
+        for spec in specs:
+            spec.network.validate()
+            assert spec.paper_name.startswith("C")
+
+    def test_suites_deterministic(self):
+        from repro.network import equivalent
+
+        a = {s.name: s.network for s in mcnc_suite()}
+        b = {s.name: s.network for s in mcnc_suite()}
+        assert equivalent(a["m1"], b["m1"])
+        assert equivalent(a["m8"], b["m8"])
+
+    def test_pi_scale_tracks_paper(self):
+        pis = {s.name: s.network.num_inputs for s in mcnc_suite()}
+        # the ordering of circuit sizes mirrors Table 1
+        assert pis["m1"] < pis["m3"] < pis["m2"]
+        assert pis["m10"] == max(pis.values())

@@ -1,0 +1,99 @@
+"""Unit tests for the ALU and priority-encoder generators."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.circuits import alu, alu_slice, priority_encoder
+from repro.errors import NetworkError
+
+
+class TestPriorityEncoder:
+    def test_exhaustive(self):
+        net = priority_encoder(4)
+        for bits in itertools.product((0, 1), repeat=4):
+            env = {f"r{i}": bits[i] for i in range(4)}
+            out = net.output_values(env)
+            winner = next((i for i in range(4) if bits[i]), None)
+            for i in range(4):
+                assert out[f"grant{i}"] == (i == winner), (bits, i)
+
+    def test_min_size(self):
+        with pytest.raises(NetworkError):
+            priority_encoder(1)
+
+
+class TestAluSlice:
+    def test_all_ops(self):
+        net = alu_slice()
+        ops = {
+            (0, 0): lambda a, b, c: (a and b, False),
+            (1, 0): lambda a, b, c: (a or b, False),
+            (0, 1): lambda a, b, c: (a != b, False),
+            (1, 1): lambda a, b, c: ((a + b + c) % 2 == 1, False),
+        }
+        for (s0, s1), fn in ops.items():
+            for a, b, c in itertools.product((0, 1), repeat=3):
+                env = {"a": a, "b": b, "cin": c, "s0": s0, "s1": s1}
+                out = net.output_values(env)
+                expect_res, _ = fn(a, b, c)
+                assert out["res"] == bool(expect_res), (s0, s1, a, b, c)
+                # cout is always the majority (unconditional adder row)
+                assert out["cout"] == (a + b + c >= 2)
+
+
+class TestAlu:
+    @pytest.mark.parametrize("bits", [2, 3])
+    def test_add_mode_adds(self, bits):
+        net = alu(bits)
+        rng = random.Random(1)
+        for _ in range(60):
+            a = rng.randrange(1 << bits)
+            b = rng.randrange(1 << bits)
+            cin = rng.randrange(2)
+            env = {"cin": cin, "s0": 1, "s1": 1}
+            for i in range(bits):
+                env[f"a{i}"] = (a >> i) & 1
+                env[f"b{i}"] = (b >> i) & 1
+            out = net.output_values(env)
+            got = sum(1 << i for i in range(bits) if out[f"res{i}"])
+            got += (1 << bits) if out[net.outputs[-1]] else 0
+            assert got == a + b + cin
+
+    def test_logic_modes_ignore_carry(self):
+        net = alu(2)
+        for s0, s1, fn in [
+            (0, 0, lambda a, b: a & b),
+            (1, 0, lambda a, b: a | b),
+            (0, 1, lambda a, b: a ^ b),
+        ]:
+            for a in range(4):
+                for b in range(4):
+                    for cin in (0, 1):
+                        env = {"cin": cin, "s0": s0, "s1": s1}
+                        for i in range(2):
+                            env[f"a{i}"] = (a >> i) & 1
+                            env[f"b{i}"] = (b >> i) & 1
+                        out = net.output_values(env)
+                        got = sum(1 << i for i in range(2) if out[f"res{i}"])
+                        assert got == fn(a, b), (s0, s1, a, b, cin)
+
+    def test_carry_ripple_false_in_logic_modes(self):
+        # required-time view: when the op is not ADD, the carry chain's
+        # contribution to the result muxes is false — approx2 must find
+        # nothing at cin only if the carry-out is also an output (it is),
+        # so instead we check the forward gap on the result bit
+        from repro.timing import FunctionalTiming
+
+        net = alu(3)
+        # drop the final carry from the outputs: only result bits remain
+        net.set_outputs([f"res{i}" for i in range(3)])
+        ft = FunctionalTiming(net, engine="bdd")
+        topo = ft.topological_arrivals()["res2"]
+        true = ft.true_arrival("res2")
+        assert true <= topo  # sanity; equality allowed (ADD mode is real)
+
+    def test_min_size(self):
+        with pytest.raises(NetworkError):
+            alu(0)

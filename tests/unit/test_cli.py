@@ -1,0 +1,133 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.circuits import carry_skip_block, figure4
+from repro.cli import main
+from repro.network import write_bench, write_blif
+
+
+@pytest.fixture
+def fig4_blif(tmp_path):
+    path = tmp_path / "fig4.blif"
+    path.write_text(write_blif(figure4()))
+    return str(path)
+
+
+@pytest.fixture
+def cskip_bench(tmp_path):
+    path = tmp_path / "cskip.bench"
+    path.write_text(write_bench(carry_skip_block()))
+    return str(path)
+
+
+class TestStats:
+    def test_blif(self, fig4_blif, capsys):
+        assert main(["stats", fig4_blif]) == 0
+        out = capsys.readouterr().out
+        assert "inputs:  2" in out
+        assert "gates:   2" in out
+
+    def test_bench(self, cskip_bench, capsys):
+        assert main(["stats", cskip_bench]) == 0
+        out = capsys.readouterr().out
+        assert "inputs:  5" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["stats", "/nonexistent.blif"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestDelay:
+    def test_reports_false_longest_path(self, cskip_bench, capsys):
+        assert main(["delay", cskip_bench]) == 0
+        out = capsys.readouterr().out
+        assert "longest path false" in out
+        assert "1 of 1 outputs" in out
+
+    def test_no_false_paths_on_fig4(self, fig4_blif, capsys):
+        assert main(["delay", fig4_blif]) == 0
+        out = capsys.readouterr().out
+        assert "0 of 1 outputs" in out
+
+
+class TestRequired:
+    def test_approx1_on_fig4(self, fig4_blif, capsys):
+        assert main(
+            ["required", fig4_blif, "--method", "approx1", "--required", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "non-trivial: yes" in out
+        assert "prime 1:" in out
+
+    def test_approx2_on_cskip(self, cskip_bench, capsys):
+        assert main(
+            ["required", cskip_bench, "--method", "approx2", "--engine", "bdd"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "non-trivial: yes" in out
+        assert "loosest validated required times" in out
+
+    def test_json_output(self, fig4_blif, capsys):
+        assert main(
+            [
+                "required",
+                fig4_blif,
+                "--method",
+                "topological",
+                "--required",
+                "2",
+                "--json",
+            ]
+        ) == 0
+        row = json.loads(capsys.readouterr().out)
+        assert row["method"] == "topological"
+        assert row["nontrivial"] is False
+
+    def test_exact_with_node_budget_abort(self, cskip_bench, capsys):
+        assert main(
+            [
+                "required",
+                cskip_bench,
+                "--method",
+                "exact",
+                "--max-nodes",
+                "200",
+            ]
+        ) == 0
+        assert "ABORTED" in capsys.readouterr().out
+
+
+class TestSlack:
+    def test_default_required_is_topo_delay(self, cskip_bench, capsys):
+        assert main(["slack", cskip_bench]) == 0
+        out = capsys.readouterr().out
+        assert "required time at outputs: 8" in out
+        assert "inf" in out  # the padding buffers recover infinite slack
+
+
+class TestPaths:
+    def test_longest_paths_classified(self, cskip_bench, capsys):
+        assert main(["paths", cskip_bench]) == 0
+        out = capsys.readouterr().out
+        assert "false" in out
+        assert "->" in out
+
+
+class TestReport:
+    def test_report_datasheet(self, cskip_bench, capsys):
+        assert main(
+            ["report", cskip_bench, "--required", "8", "--method", "approx2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "timing report" in out
+        assert "longest path false" in out
+        assert "non-trivial" in out
+
+    def test_report_without_required_analysis(self, fig4_blif, capsys):
+        assert main(["report", fig4_blif, "--method", "none", "--required", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "circuit delay" in out
+        assert "required-time analysis" not in out

@@ -1,0 +1,71 @@
+"""Unit tests for footnote 3: incompletely specified output functions."""
+
+import pytest
+
+from repro.core.exact import ExactAnalysis
+from repro.network import Network
+from repro.sop import Cover
+
+
+def and_gate() -> Network:
+    net = Network("and2")
+    net.add_input("a")
+    net.add_input("b")
+    net.add_gate("z", "AND", ["a", "b"])
+    net.set_outputs(["z"])
+    return net
+
+
+class TestDontCares:
+    def test_dc_enlarges_relation(self):
+        net = and_gate()
+        strict = ExactAnalysis(net, output_required=1.0).relation()
+        # don't care about the (1,1) vector
+        dc = {"z": Cover.from_patterns(["11"])}
+        relaxed = ExactAnalysis(
+            net, output_required=1.0, output_dc=dc
+        ).relation()
+        mt = {"a": 1, "b": 1}
+        assert strict.rows(mt) < relaxed.rows(mt)
+
+    def test_dc_minterm_fully_unconstrained(self):
+        net = and_gate()
+        dc = {"z": Cover.from_patterns(["11"])}
+        relation = ExactAnalysis(
+            net, output_required=1.0, output_dc=dc
+        ).relation()
+        # at (1,1) only the order/bound constraints remain: leaf variables
+        # for value 0 are forced to 0 by the bound, value-1 vars are free
+        rows = relation.rows({"a": 1, "b": 1})
+        assert len(rows) == 4  # 2 free value-1 leaves
+
+    def test_care_minterms_unchanged(self):
+        net = and_gate()
+        strict = ExactAnalysis(net, output_required=1.0).relation()
+        dc = {"z": Cover.from_patterns(["11"])}
+        relaxed = ExactAnalysis(
+            net, output_required=1.0, output_dc=dc
+        ).relation()
+        for mt in [{"a": 0, "b": 0}, {"a": 0, "b": 1}, {"a": 1, "b": 0}]:
+            assert strict.rows(mt) == relaxed.rows(mt)
+
+    def test_full_dc_trivializes_everything(self):
+        net = and_gate()
+        dc = {"z": Cover.one(2)}
+        relation = ExactAnalysis(
+            net, output_required=1.0, output_dc=dc
+        ).relation()
+        # with everything don't care, the all-zeros stability vector is
+        # permissible at every minterm: nothing ever needs to arrive
+        for a in (0, 1):
+            for b in (0, 1):
+                rows = relation.rows({"a": a, "b": b})
+                assert "0" * relation.num_leaf_variables in rows
+
+    def test_topological_still_contained(self):
+        net = and_gate()
+        dc = {"z": Cover.from_patterns(["1-"])}
+        relation = ExactAnalysis(
+            net, output_required=1.0, output_dc=dc
+        ).relation()
+        assert relation.contains_topological()

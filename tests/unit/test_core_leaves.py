@@ -1,0 +1,62 @@
+"""Unit tests for leaf χ variable enumeration."""
+
+import pytest
+
+from repro.circuits import figure4, carry_skip_block
+from repro.core.leaves import enumerate_leaf_times
+from repro.errors import ResourceLimitError, TimingError
+
+
+class TestFigure4:
+    def test_leaf_inventory_matches_paper(self):
+        # Section 4: x1 is needed at time 0 for both values; x2 at times 0
+        # and 1 for both values.
+        leaves = enumerate_leaf_times(figure4(), output_required=2.0)
+        assert leaves.for_one == {"x1": [0.0], "x2": [0.0, 1.0]}
+        assert leaves.for_zero == {"x1": [0.0], "x2": [0.0, 1.0]}
+
+    def test_leaf_variable_count(self):
+        leaves = enumerate_leaf_times(figure4(), output_required=2.0)
+        assert leaves.num_leaf_variables() == 6  # the paper's six columns
+
+    def test_merged_axis(self):
+        leaves = enumerate_leaf_times(figure4(), output_required=2.0)
+        assert leaves.merged("x1") == [0.0]
+        assert leaves.merged("x2") == [0.0, 1.0]
+
+    def test_lattice_size(self):
+        leaves = enumerate_leaf_times(figure4(), output_required=2.0)
+        assert leaves.lattice_size() == 2  # 1 * 2
+
+
+class TestGeneral:
+    def test_required_time_shift(self):
+        # shifting the output requirement shifts every leaf time
+        l0 = enumerate_leaf_times(figure4(), output_required=2.0)
+        l5 = enumerate_leaf_times(figure4(), output_required=7.0)
+        assert l5.for_one["x2"] == [t + 5.0 for t in l0.for_one["x2"]]
+
+    def test_per_output_required(self):
+        net = figure4()
+        leaves = enumerate_leaf_times(net, output_required={"z": 0.0})
+        assert leaves.for_one["x1"] == [-2.0]
+
+    def test_missing_output_rejected(self):
+        with pytest.raises(TimingError):
+            enumerate_leaf_times(figure4(), output_required={})
+
+    def test_budget_enforced(self):
+        net = carry_skip_block()
+        with pytest.raises(ResourceLimitError):
+            enumerate_leaf_times(net, output_required=0.0, max_leaves=3)
+
+    def test_carry_skip_multiplicity(self):
+        # reconvergence gives cin several distinct leaf times
+        leaves = enumerate_leaf_times(carry_skip_block(), output_required=0.0)
+        assert len(leaves.merged("cin")) >= 2
+
+    def test_visited_includes_internal_nodes(self):
+        leaves = enumerate_leaf_times(figure4(), output_required=2.0)
+        visited_names = {name for name, _, _ in leaves.visited}
+        assert "w" in visited_names
+        assert "z" in visited_names

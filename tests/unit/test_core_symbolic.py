@@ -1,0 +1,93 @@
+"""Unit tests for the symbolic χ engine (unknown leaves)."""
+
+import pytest
+
+from repro.bdd import BddManager
+from repro.circuits import figure4
+from repro.core.symbolic import SymbolicChi, known_arrival_leaf_fn
+from repro.errors import TimingError
+
+
+class TestSymbolicChi:
+    def test_matches_concrete_engine_with_known_leaves(self):
+        from repro.timing import ChiEngine
+
+        net = figure4()
+        concrete = ChiEngine(net)
+
+        m = BddManager()
+        for pi in net.inputs:
+            m.add_var(pi)
+        sym = SymbolicChi(net, m, known_arrival_leaf_fn(m, {"x1": 0.0, "x2": 0.0}))
+        for t in [0.0, 1.0, 2.0]:
+            for v in (0, 1):
+                a = sym.chi("z", v, t)
+                b = concrete.chi("z", v, t)
+                # different managers: compare by evaluation
+                for bits in [(0, 0), (0, 1), (1, 0), (1, 1)]:
+                    env = {"x1": bits[0], "x2": bits[1]}
+                    assert m.evaluate(a, env) == concrete.manager.evaluate(b, env)
+
+    def test_custom_leaf_fn_invoked_per_triple(self):
+        net = figure4()
+        m = BddManager()
+        for pi in net.inputs:
+            m.add_var(pi)
+        calls = []
+
+        def leaf(name, value, t):
+            calls.append((name, value, t))
+            # non-constant leaves so the recursion cannot short-circuit
+            return m.var(name) if value else m.nvar(name)
+
+        sym = SymbolicChi(net, m, leaf)
+        result = sym.chi("z", 1, 2.0)
+        assert result == (m.var("x1") & m.var("x2"))
+        assert ("x1", 1, 0.0) in calls
+        assert ("x2", 1, 1.0) in calls
+        assert ("x2", 1, 0.0) in calls
+
+    def test_memoization(self):
+        net = figure4()
+        m = BddManager()
+        for pi in net.inputs:
+            m.add_var(pi)
+        counter = {"n": 0}
+
+        def leaf(name, value, t):
+            counter["n"] += 1
+            return m.var(name) if value else m.nvar(name)
+
+        sym = SymbolicChi(net, m, leaf)
+        sym.chi("z", 1, 2.0)
+        first = counter["n"]
+        sym.chi("z", 1, 2.0)
+        assert counter["n"] == first  # fully memoized
+
+    def test_bad_value_rejected(self):
+        net = figure4()
+        m = BddManager()
+        for pi in net.inputs:
+            m.add_var(pi)
+        sym = SymbolicChi(net, m, lambda *a: m.false)
+        with pytest.raises(TimingError):
+            sym.chi("z", 3, 1.0)
+
+
+class TestKnownArrivalLeafFn:
+    def test_scalar_and_pair(self):
+        m = BddManager()
+        m.add_var("x")
+        leaf = known_arrival_leaf_fn(m, {"x": (2.0, 5.0)})
+        # value 0 arrives at 2, value 1 at 5
+        assert leaf("x", 0, 2.0) == m.nvar("x")
+        assert leaf("x", 0, 1.0).is_false
+        assert leaf("x", 1, 4.0).is_false
+        assert leaf("x", 1, 5.0) == m.var("x")
+
+    def test_unknown_input_rejected(self):
+        m = BddManager()
+        m.add_var("x")
+        leaf = known_arrival_leaf_fn(m, {"x": 0.0})
+        with pytest.raises(TimingError):
+            leaf("ghost", 1, 0.0)

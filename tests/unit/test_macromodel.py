@@ -1,0 +1,149 @@
+"""Unit tests for the black-box timing macro-model ([7] extension)."""
+
+import itertools
+
+import pytest
+
+from repro.circuits import carry_skip_block, figure4, figure6
+from repro.core.macromodel import (
+    TimingMacroModel,
+    compose_arrivals,
+    evaluate_expression,
+)
+from repro.errors import ResourceLimitError, TimingError
+from repro.network import Network
+from repro.timing import DelayModel
+from repro.timing.ternary import stabilization_times
+
+
+class TestExtraction:
+    def test_figure4_model(self):
+        model = TimingMacroModel.extract(figure4())
+        # vector (1,1): z rises through w; arrival = max(x1, x2)+2
+        t = model.arrival("z", {"x1": 1, "x2": 1}, {"x1": 0.0, "x2": 0.0})
+        assert t == 2.0
+        # vector (0,0): x2=0 controls z directly -> min(x1+2, x2+1...)
+        t = model.arrival("z", {"x1": 0, "x2": 0}, {"x1": 0.0, "x2": 5.0})
+        # z can stabilize via x1=0 through w (x1+2) or x2=0 directly (x2+1)
+        assert t == 2.0
+
+    def test_truth_table_carried(self):
+        model = TimingMacroModel.extract(figure4())
+        assert model.value("z", {"x1": 1, "x2": 1}) == 1
+        assert model.value("z", {"x1": 1, "x2": 0}) == 0
+
+    def test_matches_oracle_on_every_vector_and_random_arrivals(self):
+        import random
+
+        rng = random.Random(42)
+        net = figure6()
+        model = TimingMacroModel.extract(net)
+        for bits in itertools.product((0, 1), repeat=3):
+            env = dict(zip(net.inputs, bits))
+            for _ in range(5):
+                arr = {pi: rng.uniform(0, 4) for pi in net.inputs}
+                stab = stabilization_times(net, env, arrivals=arr)
+                for out in net.outputs:
+                    assert model.arrival(out, env, arr) == pytest.approx(
+                        stab[out]
+                    ), (bits, arr, out)
+
+    def test_carry_skip_block_false_path_in_model(self):
+        net = carry_skip_block()
+        model = TimingMacroModel.extract(net)
+        # delay cin massively: the skip keeps cout's worst arrival bounded
+        # by cin + skip-path length, NOT cin + ripple length
+        arr = {pi: 0.0 for pi in net.inputs}
+        arr["cin"] = 100.0
+        worst = model.worst_arrival("cout", arr)
+        assert worst <= 100.0 + 3.0  # cin -> u -> cout is the only live path
+
+    def test_worst_arrival_with_zero_arrivals_is_true_delay(self):
+        from repro.timing import FunctionalTiming
+
+        net = carry_skip_block()
+        model = TimingMacroModel.extract(net)
+        flat = FunctionalTiming(net, engine="bdd").true_arrival("cout")
+        assert model.worst_arrival("cout", {}) == flat
+
+    def test_input_budget(self):
+        from repro.circuits import carry_skip_adder
+
+        with pytest.raises(ResourceLimitError):
+            TimingMacroModel.extract(carry_skip_adder(3, 3), max_inputs=6)
+
+    def test_rise_fall_respected(self):
+        net = Network("rf")
+        net.add_input("a")
+        net.add_gate("g", "BUF", ["a"])
+        net.set_outputs(["g"])
+        dm = DelayModel(default=1.0, overrides={"g": (3.0, 1.0)})
+        model = TimingMacroModel.extract(net, dm)
+        assert model.arrival("g", {"a": 1}, {"a": 0.0}) == 3.0
+        assert model.arrival("g", {"a": 0}, {"a": 0.0}) == 1.0
+
+
+class TestComposition:
+    def test_two_stage_composition_matches_flat(self):
+        # stage 1: figure6's N_FI; stage 2: a consumer of (u1, u2)
+        stage1 = figure6()
+        stage2 = Network("consumer")
+        stage2.add_input("u1")
+        stage2.add_input("u2")
+        stage2.add_gate("y", "OR", ["u1", "u2"])
+        stage2.set_outputs(["y"])
+
+        flat = Network("flat")
+        for pi in ["x1", "x2", "x3"]:
+            flat.add_input(pi)
+        flat.add_gate("a", "AND", ["x2", "x3"])
+        flat.add_gate("u1", "AND", ["x1", "a"])
+        flat.add_gate("u2", "OR", ["x1", "a"])
+        flat.add_gate("y", "OR", ["u1", "u2"])
+        flat.set_outputs(["y"])
+
+        m1 = TimingMacroModel.extract(stage1)
+        m2 = TimingMacroModel.extract(stage2)
+
+        for bits in itertools.product((0, 1), repeat=3):
+            env = dict(zip(["x1", "x2", "x3"], bits))
+            values = flat.simulate(env)
+            composed = compose_arrivals(
+                [m1, m2],
+                system_vector=env,
+                primary_arrivals={pi: 0.0 for pi in flat.inputs},
+            )
+            stab = stabilization_times(flat, env)
+            assert composed["y"] == stab["y"], env
+            assert composed["u1"] == stab["u1"], env
+
+    def test_composition_rejects_missing_inputs(self):
+        stage2 = Network("consumer")
+        stage2.add_input("u1")
+        stage2.add_gate("y", "BUF", ["u1"])
+        stage2.set_outputs(["y"])
+        m2 = TimingMacroModel.extract(stage2)
+        with pytest.raises(TimingError):
+            compose_arrivals([m2], system_vector={}, primary_arrivals={})
+
+
+class TestExpressionAlgebra:
+    def test_evaluate_min_of_max(self):
+        expr = frozenset(
+            {
+                frozenset({("a", 1.0), ("b", 2.0)}),
+                frozenset({("c", 0.5)}),
+            }
+        )
+        arr = {"a": 0.0, "b": 0.0, "c": 10.0}
+        assert evaluate_expression(expr, arr) == 2.0
+        arr = {"a": 0.0, "b": 0.0, "c": 0.0}
+        assert evaluate_expression(expr, arr) == 0.5
+
+    def test_empty_expression_rejected(self):
+        with pytest.raises(TimingError):
+            evaluate_expression(frozenset(), {})
+
+    def test_model_size_metric(self):
+        model = TimingMacroModel.extract(figure4())
+        assert model.size() > 0

@@ -1,0 +1,148 @@
+"""Unit tests for utility corners: dot export, manager stats, DIMACS edge
+cases, error types, harness helpers."""
+
+import pytest
+
+from repro.bdd import BddManager
+from repro.bdd.dump import manager_stats, to_dot
+from repro.errors import (
+    BddError,
+    NetworkError,
+    ParseError,
+    ReproError,
+    ResourceLimitError,
+    SatError,
+    TimingError,
+)
+from repro.sat import Cnf
+
+
+class TestDotExport:
+    def test_terminal_dot(self):
+        mgr = BddManager()
+        dot = to_dot(mgr.true)
+        assert "digraph" in dot
+        assert "root" in dot
+
+    def test_structure_appears(self):
+        mgr = BddManager()
+        a, b = mgr.add_var("a"), mgr.add_var("b")
+        dot = to_dot(a & b, name="conj")
+        assert "digraph conj" in dot
+        assert 'label="a"' in dot
+        assert 'label="b"' in dot
+        assert "style=dashed" in dot
+
+    def test_shared_nodes_once(self):
+        mgr = BddManager()
+        a, b = mgr.add_var("a"), mgr.add_var("b")
+        f = (a & b) | (~a & b)
+        dot = to_dot(f)
+        assert dot.count('label="b"') == 1  # reduced: b node shared
+
+
+class TestManagerStats:
+    def test_fields(self):
+        mgr = BddManager()
+        mgr.add_var("x")
+        stats = manager_stats(mgr)
+        assert stats["num_vars"] == 1
+        assert stats["order"] == ["x"]
+        assert isinstance(stats["num_nodes"], int)
+        assert isinstance(stats["level_sizes"], list)
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_reproerror(self):
+        for exc in [ParseError, NetworkError, BddError, SatError, TimingError, ResourceLimitError]:
+            assert issubclass(exc, ReproError)
+
+    def test_parse_error_location(self):
+        err = ParseError("bad token", filename="x.blif", lineno=7)
+        assert "x.blif" in str(err)
+        assert "7" in str(err)
+
+    def test_parse_error_without_location(self):
+        assert str(ParseError("oops")) == "oops"
+
+    def test_resource_limit_partial_result(self):
+        err = ResourceLimitError("budget", partial_result={"r": 1})
+        assert err.partial_result == {"r": 1}
+
+
+class TestDimacsEdges:
+    def test_from_dimacs_with_comments(self):
+        text = """c comment line
+p cnf 2 2
+1 -2 0
+2 0
+"""
+        cnf = Cnf.from_dimacs(text)
+        assert cnf.num_vars == 2
+        assert cnf.clauses == [[1, -2], [2]]
+
+    def test_from_dimacs_grows_vars_on_demand(self):
+        cnf = Cnf.from_dimacs("p cnf 1 1\n3 0\n")
+        assert cnf.num_vars >= 3
+
+    def test_malformed_problem_line(self):
+        with pytest.raises(SatError):
+            Cnf.from_dimacs("p dnf 1 1\n1 0\n")
+
+    def test_to_dimacs_names_in_comments(self):
+        cnf = Cnf()
+        cnf.new_var("alpha")
+        cnf.add_clause([1])
+        text = cnf.to_dimacs()
+        assert "c var 1 = alpha" in text
+
+
+class TestHarness:
+    def test_table_collector_renders(self):
+        import sys
+
+        sys.path.insert(0, "benchmarks")
+        from _harness import TableCollector, star
+
+        table = TableCollector("T", ["a", "b"])
+        table.add("x", 1.234567)
+        table.add(True, None)
+        out = table.render()
+        assert "T" in out
+        assert "1.235" in out
+        assert "Yes" in out
+        assert "-" in out
+        assert star(True) == "*"
+        assert star(False) == ""
+
+    def test_arity_checked(self):
+        import sys
+
+        sys.path.insert(0, "benchmarks")
+        from _harness import TableCollector
+
+        table = TableCollector("T", ["a"])
+        with pytest.raises(ValueError):
+            table.add(1, 2)
+
+
+class TestBddNodeBudget:
+    def test_budget_enforced(self):
+        mgr = BddManager(max_nodes=10)
+        vars_ = [mgr.add_var(f"v{i}") for i in range(4)]
+        with pytest.raises(ResourceLimitError):
+            f = mgr.false
+            for i, v in enumerate(vars_):
+                f = f | (v & vars_[(i + 1) % 4])
+            # keep combining until the table overflows
+            g = f
+            for v in vars_:
+                g = g ^ v
+
+    def test_unbudgeted_manager_grows(self):
+        mgr = BddManager()
+        vars_ = [mgr.add_var(f"v{i}") for i in range(6)]
+        f = mgr.true
+        for v in vars_:
+            f = f & v
+        assert mgr.num_nodes > 6

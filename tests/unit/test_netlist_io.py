@@ -1,0 +1,210 @@
+"""Unit tests for BLIF and .bench parsing/writing."""
+
+import itertools
+
+import pytest
+
+from repro.errors import ParseError
+from repro.network import (
+    equivalent,
+    parse_bench,
+    parse_blif,
+    write_bench,
+    write_blif,
+)
+
+FIG4_BLIF = """
+.model fig4
+.inputs x1 x2
+.outputs z
+.names x1 x2 w
+11 1
+.names w x2 z
+11 1
+.end
+"""
+
+C17_BENCH = """
+# ISCAS-85 C17
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+"""
+
+
+class TestBlifParsing:
+    def test_figure4(self):
+        net = parse_blif(FIG4_BLIF)
+        assert net.name == "fig4"
+        assert net.inputs == ["x1", "x2"]
+        assert net.outputs == ["z"]
+        for v1, v2 in itertools.product((0, 1), repeat=2):
+            assert net.output_values({"x1": v1, "x2": v2})["z"] == bool(v1 and v2)
+
+    def test_offset_polarity(self):
+        blif = """
+.model neg
+.inputs a b
+.outputs f
+.names a b f
+11 0
+.end
+"""
+        net = parse_blif(blif)
+        # cover rows with output 0 describe the OFF-set: f = NAND(a,b)
+        assert net.output_values({"a": 1, "b": 1})["f"] is False
+        assert net.output_values({"a": 0, "b": 1})["f"] is True
+
+    def test_constant_one_node(self):
+        blif = """
+.model const
+.inputs a
+.outputs k
+.names k
+1
+.end
+"""
+        net = parse_blif(blif)
+        assert net.output_values({"a": 0})["k"] is True
+
+    def test_constant_zero_node(self):
+        blif = """
+.model const
+.inputs a
+.outputs k
+.names k
+.end
+"""
+        net = parse_blif(blif)
+        assert net.output_values({"a": 0})["k"] is False
+
+    def test_comments_and_continuations(self):
+        blif = """
+# header comment
+.model c  # trailing comment
+.inputs a \\
+        b
+.outputs f
+.names a b f
+11 1
+.end
+"""
+        net = parse_blif(blif)
+        assert net.inputs == ["a", "b"]
+
+    def test_latch_rejected(self):
+        blif = """
+.model seq
+.inputs a
+.outputs q
+.latch a q re clk 0
+.end
+"""
+        with pytest.raises(ParseError, match="latch"):
+            parse_blif(blif)
+
+    def test_mixed_polarity_rejected(self):
+        blif = """
+.model bad
+.inputs a b
+.outputs f
+.names a b f
+11 1
+00 0
+.end
+"""
+        with pytest.raises(ParseError, match="polarity"):
+            parse_blif(blif)
+
+    def test_row_width_mismatch_rejected(self):
+        blif = """
+.model bad
+.inputs a b
+.outputs f
+.names a b f
+111 1
+.end
+"""
+        with pytest.raises(ParseError):
+            parse_blif(blif)
+
+    def test_cover_line_outside_block(self):
+        with pytest.raises(ParseError):
+            parse_blif(".model m\n11 1\n.end")
+
+
+class TestBlifRoundtrip:
+    def test_write_then_parse(self):
+        net = parse_blif(FIG4_BLIF)
+        text = write_blif(net)
+        again = parse_blif(text)
+        assert equivalent(net, again)
+
+    def test_roundtrip_offset_polarity(self):
+        blif = """
+.model neg
+.inputs a b
+.outputs f
+.names a b f
+0- 1
+-0 1
+.end
+"""
+        net = parse_blif(blif)
+        assert equivalent(net, parse_blif(write_blif(net)))
+
+
+class TestBenchParsing:
+    def test_c17(self):
+        net = parse_bench(C17_BENCH)
+        assert net.num_inputs == 5
+        assert net.num_outputs == 2
+        assert net.num_gates == 6
+
+    def test_c17_functionality(self):
+        net = parse_bench(C17_BENCH)
+        # reference: straight NAND evaluation
+        def ref(g1, g2, g3, g6, g7):
+            g10 = not (g1 and g3)
+            g11 = not (g3 and g6)
+            g16 = not (g2 and g11)
+            g19 = not (g11 and g7)
+            return (not (g10 and g16), not (g16 and g19))
+
+        for bits in itertools.product((0, 1), repeat=5):
+            env = dict(zip(["G1", "G2", "G3", "G6", "G7"], bits))
+            out = net.output_values(env)
+            expect = ref(*bits)
+            assert (out["G22"], out["G23"]) == expect
+
+    def test_dff_rejected(self):
+        with pytest.raises(ParseError, match="DFF"):
+            parse_bench("INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n")
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(ParseError):
+            parse_bench("INPUT(a)\nOUTPUT(f)\nf = MAJ3(a, a, a)\n")
+
+    def test_garbage_line_rejected(self):
+        with pytest.raises(ParseError):
+            parse_bench("hello world\n")
+
+    def test_roundtrip(self):
+        net = parse_bench(C17_BENCH)
+        again = parse_bench(write_bench(net))
+        assert equivalent(net, again)
+
+    def test_blif_bench_cross(self):
+        net = parse_bench(C17_BENCH)
+        via_blif = parse_blif(write_blif(net))
+        assert equivalent(net, via_blif)

@@ -1,0 +1,245 @@
+"""Unit tests for the Boolean network data structure and transforms."""
+
+import itertools
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.network import (
+    Network,
+    equivalent,
+    extract_subnetwork,
+    global_functions,
+    transitive_fanin,
+    transitive_fanout,
+)
+from repro.network.transform import fanin_network, fanout_network
+from repro.sop import Cover
+
+
+def make_figure4():
+    """The paper's Figure 4 circuit: w = x1&x2, z = w&x2 (so z = x1 x2)."""
+    net = Network("fig4")
+    net.add_input("x1")
+    net.add_input("x2")
+    net.add_gate("w", "AND", ["x1", "x2"])
+    net.add_gate("z", "AND", ["w", "x2"])
+    net.set_outputs(["z"])
+    return net
+
+
+def make_figure6():
+    """The paper's Figure 6 N_FI: a = x2&x3, u1 = x1&a, u2 = x1|a."""
+    net = Network("fig6")
+    for pi in ["x1", "x2", "x3"]:
+        net.add_input(pi)
+    net.add_gate("a", "AND", ["x2", "x3"])
+    net.add_gate("u1", "AND", ["x1", "a"])
+    net.add_gate("u2", "OR", ["x1", "a"])
+    net.set_outputs(["u1", "u2"])
+    return net
+
+
+class TestConstruction:
+    def test_figure4_shape(self):
+        net = make_figure4()
+        assert net.num_inputs == 2
+        assert net.num_outputs == 1
+        assert net.num_gates == 2
+        assert net.depth() == 2
+
+    def test_duplicate_node_rejected(self):
+        net = Network()
+        net.add_input("a")
+        with pytest.raises(NetworkError):
+            net.add_input("a")
+
+    def test_unknown_output_rejected(self):
+        net = Network()
+        with pytest.raises(NetworkError):
+            net.set_outputs(["ghost"])
+
+    def test_cover_width_checked(self):
+        net = Network()
+        net.add_input("a")
+        with pytest.raises(NetworkError):
+            net.add_node("f", ["a"], Cover.from_patterns(["11"]))
+
+    def test_cycle_detected(self):
+        net = Network()
+        net.add_input("a")
+        net.add_node("f", ["a", "g"], Cover.from_patterns(["11"]))
+        net.add_node("g", ["f"], Cover.from_patterns(["1"]))
+        with pytest.raises(NetworkError):
+            net.topological_order()
+
+    def test_gate_kinds(self):
+        net = Network()
+        for pi in ["a", "b"]:
+            net.add_input(pi)
+        specs = {
+            "and2": ("AND", lambda a, b: a and b),
+            "or2": ("OR", lambda a, b: a or b),
+            "nand2": ("NAND", lambda a, b: not (a and b)),
+            "nor2": ("NOR", lambda a, b: not (a or b)),
+            "xor2": ("XOR", lambda a, b: a != b),
+            "xnor2": ("XNOR", lambda a, b: a == b),
+        }
+        for name, (kind, _) in specs.items():
+            net.add_gate(name, kind, ["a", "b"])
+        net.add_gate("inv", "NOT", ["a"])
+        net.add_gate("buf", "BUF", ["a"])
+        net.set_outputs(list(specs) + ["inv", "buf"])
+        for va, vb in itertools.product((0, 1), repeat=2):
+            vals = net.simulate({"a": va, "b": vb})
+            for name, (_, fn) in specs.items():
+                assert vals[name] == bool(fn(va, vb)), name
+            assert vals["inv"] == (not va)
+            assert vals["buf"] == bool(va)
+
+    def test_unknown_gate_kind(self):
+        net = Network()
+        net.add_input("a")
+        with pytest.raises(NetworkError):
+            net.add_gate("g", "FROB", ["a"])
+
+
+class TestSimulation:
+    def test_figure4_truth_table(self):
+        net = make_figure4()
+        for v1, v2 in itertools.product((0, 1), repeat=2):
+            out = net.output_values({"x1": v1, "x2": v2})
+            assert out["z"] == bool(v1 and v2)
+
+    def test_figure6_truth_table(self):
+        net = make_figure6()
+        for bits in itertools.product((0, 1), repeat=3):
+            env = dict(zip(["x1", "x2", "x3"], bits))
+            vals = net.output_values(env)
+            a = bits[1] and bits[2]
+            assert vals["u1"] == bool(bits[0] and a)
+            assert vals["u2"] == bool(bits[0] or a)
+
+    def test_missing_input_rejected(self):
+        net = make_figure4()
+        with pytest.raises(NetworkError):
+            net.simulate({"x1": 1})
+
+    def test_topological_order_respects_fanins(self):
+        net = make_figure6()
+        order = net.topological_order()
+        assert order.index("a") < order.index("u1")
+        assert order.index("x1") < order.index("u2")
+
+
+class TestTransforms:
+    def test_transitive_fanin(self):
+        net = make_figure6()
+        assert transitive_fanin(net, ["u1"]) == {"u1", "x1", "a", "x2", "x3"}
+        assert transitive_fanin(net, ["a"]) == {"a", "x2", "x3"}
+
+    def test_transitive_fanout(self):
+        net = make_figure6()
+        assert transitive_fanout(net, ["a"]) == {"a", "u1", "u2"}
+        assert transitive_fanout(net, ["x1"]) == {"x1", "u1", "u2"}
+
+    def test_fanin_network(self):
+        net = make_figure6()
+        nfi = fanin_network(net, ["a"])
+        assert set(nfi.inputs) == {"x2", "x3"}
+        assert nfi.outputs == ["a"]
+        assert nfi.num_gates == 1
+
+    def test_fanout_network(self):
+        net = make_figure4()
+        nfo = fanout_network(net, ["w"])
+        assert set(nfo.inputs) == {"w", "x2"}
+        assert nfo.outputs == ["z"]
+        # z = w & x2 in the cut network
+        assert nfo.output_values({"w": 1, "x2": 1})["z"]
+        assert not nfo.output_values({"w": 0, "x2": 1})["z"]
+
+    def test_fanout_network_rejects_pi_boundary(self):
+        net = make_figure4()
+        with pytest.raises(NetworkError):
+            fanout_network(net, ["x1"])
+
+    def test_extract_subnetwork(self):
+        net = make_figure6()
+        sub = extract_subnetwork(net, ["x1", "a"], ["u1"])
+        assert set(sub.inputs) == {"x1", "a"}
+        assert sub.outputs == ["u1"]
+        assert sub.num_gates == 1
+
+    def test_extract_rejects_dangling(self):
+        net = make_figure6()
+        with pytest.raises(NetworkError):
+            # u1 depends on x1, which is not inside the boundary {a}
+            extract_subnetwork(net, ["a"], ["u1"])
+
+    def test_copy_is_equivalent(self):
+        net = make_figure6()
+        assert equivalent(net, net.copy())
+
+
+class TestGlobalFunctions:
+    def test_figure4_global(self):
+        net = make_figure4()
+        funcs = global_functions(net)
+        mgr = funcs["z"].manager
+        x1, x2 = mgr.var("x1"), mgr.var("x2")
+        assert funcs["z"] == (x1 & x2)
+        assert funcs["w"] == (x1 & x2)
+
+    def test_figure6_global(self):
+        net = make_figure6()
+        funcs = global_functions(net)
+        mgr = funcs["u1"].manager
+        x1, x2, x3 = mgr.var("x1"), mgr.var("x2"), mgr.var("x3")
+        assert funcs["u1"] == (x1 & x2 & x3)
+        assert funcs["u2"] == (x1 | (x2 & x3))
+
+    def test_equivalence_positive(self):
+        a = make_figure4()
+        b = Network("direct")
+        b.add_input("x1")
+        b.add_input("x2")
+        b.add_gate("z", "AND", ["x1", "x2"])
+        b.set_outputs(["z"])
+        assert equivalent(a, b)
+
+    def test_equivalence_negative(self):
+        a = make_figure4()
+        b = Network("or_version")
+        b.add_input("x1")
+        b.add_input("x2")
+        b.add_gate("z", "OR", ["x1", "x2"])
+        b.set_outputs(["z"])
+        assert not equivalent(a, b)
+
+    def test_equivalence_requires_same_interface(self):
+        a = make_figure4()
+        b = Network("different")
+        b.add_input("y")
+        b.add_gate("z", "BUF", ["y"])
+        b.set_outputs(["z"])
+        with pytest.raises(NetworkError):
+            equivalent(a, b)
+
+
+class TestNodePrimes:
+    def test_and_node_primes(self):
+        net = make_figure4()
+        onset, offset = net.node("w").primes()
+        assert {c.to_pattern() for c in onset} == {"11"}
+        assert {c.to_pattern() for c in offset} == {"0-", "-0"}
+
+    def test_primes_cached(self):
+        net = make_figure4()
+        node = net.node("w")
+        assert node.primes() is node.primes()
+
+    def test_pi_has_no_primes(self):
+        net = make_figure4()
+        with pytest.raises(NetworkError):
+            net.node("x1").primes()

@@ -1,0 +1,45 @@
+"""Unit tests for network visualization/reporting helpers."""
+
+from repro.circuits import figure4
+from repro.network.dump import summary, to_dot
+
+
+class TestDot:
+    def test_structure(self):
+        dot = to_dot(figure4())
+        assert "digraph figure4" in dot
+        assert '"x1" -> "w";' in dot
+        assert '"w" -> "z";' in dot
+        assert "shape=box" in dot  # inputs
+        assert "style=bold" in dot  # outputs
+
+    def test_labels_and_highlight(self):
+        dot = to_dot(
+            figure4(),
+            node_labels={"w": "slack 0"},
+            highlight={"w", "z"},
+        )
+        assert "slack 0" in dot
+        assert dot.count("peripheries=2") == 2
+
+
+class TestSummary:
+    def test_figure4(self):
+        s = summary(figure4())
+        assert s["inputs"] == 2
+        assert s["outputs"] == 1
+        assert s["gates"] == 2
+        assert s["depth"] == 2
+        assert s["max_fanin"] == 2
+        assert s["max_fanout"] == 2  # x2 feeds w and z
+        assert s["literals"] == 4  # two 2-literal AND cubes
+
+    def test_empty_network(self):
+        from repro.network import Network
+
+        net = Network("empty")
+        net.add_input("a")
+        net.set_outputs([])
+        s = summary(net)
+        assert s["gates"] == 0
+        assert s["max_fanin"] == 0

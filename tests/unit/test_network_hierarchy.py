@@ -1,0 +1,178 @@
+"""Unit tests for hierarchical BLIF (.subckt flattening)."""
+
+import itertools
+
+import pytest
+
+from repro.errors import ParseError
+from repro.network.hierarchy import parse_blif_hierarchy
+
+TWO_LEVEL = """
+.model top
+.inputs a b c
+.outputs y
+.subckt andor x1=a x2=b out=t
+.subckt andor x1=t x2=c out=y
+.end
+
+.model andor
+.inputs x1 x2
+.outputs out
+.names x1 x2 w
+11 1
+.names w x2 out
+1- 1
+-1 1
+.end
+"""
+
+
+class TestFlattening:
+    def test_two_instances(self):
+        net = parse_blif_hierarchy(TWO_LEVEL)
+        assert net.name == "top"
+        assert net.inputs == ["a", "b", "c"]
+        assert net.outputs == ["y"]
+        # andor(out) = (x1 & x2) | x2 = x2; so t = b, y = c
+        for bits in itertools.product((0, 1), repeat=3):
+            env = dict(zip("abc", bits))
+            assert net.output_values(env)["y"] == bool(bits[2])
+
+    def test_instances_namespaced(self):
+        net = parse_blif_hierarchy(TWO_LEVEL)
+        internal = [n for n in net.nodes if "/" in n]
+        assert len(internal) == 2  # one 'w' per instance
+
+    def test_top_selection(self):
+        net = parse_blif_hierarchy(TWO_LEVEL, top="andor")
+        assert net.name == "andor"
+        assert net.inputs == ["x1", "x2"]
+
+    def test_unknown_top_rejected(self):
+        with pytest.raises(ParseError):
+            parse_blif_hierarchy(TWO_LEVEL, top="ghost")
+
+
+class TestNestedHierarchy:
+    NESTED = """
+.model top
+.inputs a b
+.outputs z
+.subckt mid p=a q=b r=z
+.end
+
+.model mid
+.inputs p q
+.outputs r
+.subckt leaf u=p v=q w=r
+.end
+
+.model leaf
+.inputs u v
+.outputs w
+.names u v w
+11 1
+.end
+"""
+
+    def test_three_levels(self):
+        net = parse_blif_hierarchy(self.NESTED)
+        assert net.output_values({"a": 1, "b": 1})["z"] is True
+        assert net.output_values({"a": 1, "b": 0})["z"] is False
+
+    def test_recursion_detected(self):
+        loop = """
+.model a
+.inputs x
+.outputs y
+.subckt a x=x y=y
+.end
+"""
+        with pytest.raises(ParseError, match="recursive"):
+            parse_blif_hierarchy(loop)
+
+
+class TestErrors:
+    def test_unbound_input_rejected(self):
+        text = """
+.model top
+.inputs a
+.outputs y
+.subckt leaf u=a
+.end
+.model leaf
+.inputs u v
+.outputs w
+.names u v w
+11 1
+.end
+"""
+        with pytest.raises(ParseError, match="unbound input"):
+            parse_blif_hierarchy(text)
+
+    def test_unknown_model_rejected(self):
+        text = """
+.model top
+.inputs a
+.outputs y
+.subckt ghost u=a w=y
+.end
+"""
+        with pytest.raises(ParseError, match="unknown subcircuit"):
+            parse_blif_hierarchy(text)
+
+    def test_unknown_port_rejected(self):
+        text = """
+.model top
+.inputs a
+.outputs y
+.subckt leaf u=a w=y bogus=a
+.end
+.model leaf
+.inputs u
+.outputs w
+.names u w
+1 1
+.end
+"""
+        with pytest.raises(ParseError, match="unknown ports"):
+            parse_blif_hierarchy(text)
+
+    def test_no_models_rejected(self):
+        with pytest.raises(ParseError):
+            parse_blif_hierarchy("# nothing here\n")
+
+    def test_malformed_binding_rejected(self):
+        text = """
+.model top
+.inputs a
+.outputs y
+.subckt leaf u a
+.end
+"""
+        with pytest.raises(ParseError, match="malformed port binding"):
+            parse_blif_hierarchy(text)
+
+
+class TestUnboundOutputs:
+    def test_dangling_subckt_output_stays_internal(self):
+        text = """
+.model top
+.inputs a b
+.outputs y
+.subckt pair x1=a x2=b s=y
+.end
+.model pair
+.inputs x1 x2
+.outputs s c
+.names x1 x2 s
+10 1
+01 1
+.names x1 x2 c
+11 1
+.end
+"""
+        net = parse_blif_hierarchy(text)
+        assert net.output_values({"a": 1, "b": 0})["y"] is True
+        # the carry exists as a namespaced internal node
+        assert any(n.endswith("/c") for n in net.nodes)

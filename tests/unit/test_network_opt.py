@@ -1,0 +1,96 @@
+"""Unit tests for the structural clean-up passes."""
+
+import pytest
+
+from repro.circuits import carry_skip_block, figure4
+from repro.errors import NetworkError
+from repro.network import Network, equivalent
+from repro.network.opt import (
+    buffer_chains,
+    collapse_output,
+    propagate_constants,
+    sweep,
+)
+from repro.sop import Cover
+
+
+class TestConstantPropagation:
+    def test_folds_constant_into_and(self):
+        net = Network("c")
+        net.add_input("a")
+        net.add_node("one", [], Cover.one(0))
+        net.add_gate("z", "AND", ["a", "one"])
+        net.set_outputs(["z"])
+        reference = net.copy()
+        changed = propagate_constants(net)
+        assert changed == 1
+        # z now depends on a alone
+        assert net.node("z").fanins == ["a"]
+        assert equivalent(net, reference)
+
+    def test_transitive_constants(self):
+        net = Network("c2")
+        net.add_input("a")
+        net.add_node("zero", [], Cover.zero(0))
+        net.add_gate("nzero", "NOT", ["zero"])  # constant 1
+        net.add_gate("z", "AND", ["a", "nzero"])
+        net.set_outputs(["z"])
+        reference = net.copy()
+        propagate_constants(net)
+        assert net.node("z").fanins == ["a"]
+        assert equivalent(net, reference)
+
+    def test_noop_without_constants(self):
+        net = figure4()
+        assert propagate_constants(net) == 0
+
+
+class TestSweep:
+    def test_removes_dangling_logic(self):
+        net = figure4()
+        net.add_gate("dead", "NOT", ["x1"])
+        net.add_gate("deader", "AND", ["dead", "x2"])
+        assert sweep(net) == 2
+        assert "dead" not in net.nodes
+        net.validate()
+
+    def test_keeps_live_logic(self):
+        net = figure4()
+        assert sweep(net) == 0
+        assert net.num_gates == 2
+
+
+class TestCollapse:
+    def test_collapse_equals_original(self):
+        net = carry_skip_block()
+        flat = collapse_output(net, "cout")
+        assert flat.num_gates == 1
+        # compare pointwise (interfaces match on inputs)
+        import itertools
+
+        for bits in itertools.product((0, 1), repeat=len(net.inputs)):
+            env = dict(zip(net.inputs, bits))
+            assert (
+                flat.output_values(env)["cout"]
+                == net.output_values(env)["cout"]
+            ), env
+
+    def test_unknown_output_rejected(self):
+        with pytest.raises(NetworkError):
+            collapse_output(figure4(), "ghost")
+
+    def test_cube_budget(self):
+        from repro.circuits import parity_tree
+
+        with pytest.raises(NetworkError):
+            collapse_output(parity_tree(12), parity_tree(12).outputs[0], max_cubes=5)
+
+
+class TestBufferChains:
+    def test_finds_padding_chain(self):
+        net = carry_skip_block()  # cin_d1 -> cin_d2 padding
+        chains = buffer_chains(net)
+        assert ["cin_d1", "cin_d2"] in chains
+
+    def test_no_bufs(self):
+        assert buffer_chains(figure4()) == []

@@ -1,0 +1,163 @@
+"""Unit tests for covers: tautology, complement, containment, algebra."""
+
+import itertools
+
+import pytest
+
+from repro.sop import Cover, Cube
+
+
+def truth_table(cover: Cover) -> list[bool]:
+    return [cover.evaluate(m) for m in range(1 << cover.width)]
+
+
+class TestBasics:
+    def test_zero(self):
+        z = Cover.zero(3)
+        assert z.is_empty()
+        assert not any(truth_table(z))
+
+    def test_one(self):
+        assert all(truth_table(Cover.one(3)))
+
+    def test_from_patterns(self):
+        c = Cover.from_patterns(["11-", "--1"])
+        assert c.evaluate(0b011)
+        assert c.evaluate(0b100)
+        assert not c.evaluate(0b000)
+
+    def test_from_minterms(self):
+        c = Cover.from_minterms(2, [0b01, 0b10])
+        assert truth_table(c) == [False, True, True, False]
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Cover(3, [Cube.from_pattern("11")])
+
+    def test_support(self):
+        c = Cover.from_patterns(["1--", "-0-"])
+        assert c.support() == {0, 1}
+
+
+class TestCofactor:
+    def test_cofactor_positive(self):
+        c = Cover.from_patterns(["11-", "0-1"])
+        cf = c.cofactor(0, 1)
+        # x0=1: f = x1
+        assert cf.evaluate(0b010)
+        assert not cf.evaluate(0b000)
+
+    def test_cube_cofactor(self):
+        c = Cover.from_patterns(["111"])
+        cf = c.cube_cofactor(Cube.from_pattern("11-"))
+        assert cf.evaluate(0b100)
+        assert not cf.evaluate(0b000)
+
+
+class TestTautology:
+    def test_constant_one(self):
+        assert Cover.one(4).is_tautology()
+
+    def test_empty_is_not(self):
+        assert not Cover.zero(4).is_tautology()
+
+    def test_x_plus_not_x(self):
+        c = Cover.from_patterns(["1-", "0-"])
+        assert c.is_tautology()
+
+    def test_incomplete_cover_is_not(self):
+        c = Cover.from_patterns(["1-", "01"])
+        assert not c.is_tautology()
+
+    def test_three_var_tautology(self):
+        # x + y + x'y'  covers everything
+        c = Cover.from_patterns(["1--", "-1-", "00-"])
+        assert c.is_tautology()
+
+    def test_unate_cover_not_tautology(self):
+        c = Cover.from_patterns(["1--", "-1-", "--1"])
+        assert not c.is_tautology()
+
+    def test_exhaustive_small(self):
+        # Compare against brute-force on all 2-var covers of up to 2 cubes.
+        patterns = ["".join(p) for p in itertools.product("01-", repeat=2)]
+        for a in patterns:
+            for b in patterns:
+                cover = Cover.from_patterns([a, b])
+                brute = all(truth_table(cover))
+                assert cover.is_tautology() == brute, (a, b)
+
+
+class TestComplement:
+    @pytest.mark.parametrize(
+        "patterns",
+        [
+            ["11"],
+            ["1-", "-1"],
+            ["10-", "0-1", "11-"],
+            ["111"],
+            ["0--", "-0-", "--0"],
+        ],
+    )
+    def test_complement_truth_table(self, patterns):
+        cover = Cover.from_patterns(patterns)
+        comp = cover.complement()
+        for m in range(1 << cover.width):
+            assert comp.evaluate(m) == (not cover.evaluate(m)), bin(m)
+
+    def test_complement_of_zero(self):
+        assert Cover.zero(3).complement().is_tautology()
+
+    def test_complement_of_one(self):
+        assert Cover.one(3).complement().is_empty()
+
+    def test_double_complement(self):
+        cover = Cover.from_patterns(["10-", "0-1"])
+        twice = cover.complement().complement()
+        assert twice.equivalent(cover)
+
+
+class TestContainmentAndEquality:
+    def test_single_cube_containment(self):
+        c = Cover.from_patterns(["1--", "11-", "111"])
+        reduced = c.single_cube_containment()
+        assert len(reduced) == 1
+        assert reduced.cubes[0].to_pattern() == "1--"
+
+    def test_covers_cube(self):
+        c = Cover.from_patterns(["1-", "-1"])
+        assert c.covers_cube(Cube.from_pattern("11"))
+        assert not c.covers_cube(Cube.from_pattern("0-"))
+
+    def test_equivalent(self):
+        a = Cover.from_patterns(["1-", "-1"])
+        b = Cover.from_patterns(["-1", "10"])
+        assert a.equivalent(b)
+
+    def test_not_equivalent(self):
+        a = Cover.from_patterns(["1-"])
+        b = Cover.from_patterns(["-1"])
+        assert not a.equivalent(b)
+
+
+class TestAlgebra:
+    def test_union(self):
+        a = Cover.from_patterns(["1-"])
+        b = Cover.from_patterns(["-1"])
+        u = a.union(b)
+        assert truth_table(u) == [False, True, True, True]
+
+    def test_intersection(self):
+        a = Cover.from_patterns(["1-"])
+        b = Cover.from_patterns(["-1"])
+        i = a.intersection(b)
+        assert truth_table(i) == [False, False, False, True]
+
+    def test_intersection_disjoint(self):
+        a = Cover.from_patterns(["1-"])
+        b = Cover.from_patterns(["0-"])
+        assert a.intersection(b).is_empty()
+
+    def test_minterms(self):
+        c = Cover.from_patterns(["1-", "-1"])
+        assert c.minterms() == {0b01, 0b10, 0b11}

@@ -1,0 +1,128 @@
+"""Unit tests for the cube algebra."""
+
+import pytest
+
+from repro.sop import Cube
+
+
+class TestConstruction:
+    def test_from_pattern(self):
+        c = Cube.from_pattern("01-")
+        assert c.width == 3
+        assert c.literal(0) == 0
+        assert c.literal(1) == 1
+        assert c.literal(2) is None
+
+    def test_from_pattern_rejects_bad_char(self):
+        with pytest.raises(ValueError):
+            Cube.from_pattern("01x")
+
+    def test_from_literals(self):
+        c = Cube.from_literals(4, {0: 1, 3: 0})
+        assert c.to_pattern() == "1--0"
+
+    def test_from_literals_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Cube.from_literals(2, {5: 1})
+
+    def test_conflicting_phases_rejected(self):
+        with pytest.raises(ValueError):
+            Cube(2, pos=1, neg=1)
+
+    def test_tautology_cube(self):
+        c = Cube.tautology(3)
+        assert c.is_tautology()
+        assert c.num_literals == 0
+
+    def test_roundtrip_pattern(self):
+        for pattern in ["---", "000", "111", "0-1", "1-0"]:
+            assert Cube.from_pattern(pattern).to_pattern() == pattern
+
+
+class TestEvaluation:
+    def test_positive_literal(self):
+        c = Cube.from_pattern("1--")
+        assert c.evaluate(0b001)
+        assert not c.evaluate(0b000)
+
+    def test_mixed_literals(self):
+        c = Cube.from_pattern("10-")
+        assert c.evaluate(0b001)  # x0=1 x1=0 x2=0
+        assert c.evaluate(0b101)
+        assert not c.evaluate(0b011)
+
+    def test_minterms_of_full_cube(self):
+        c = Cube.from_pattern("01")
+        assert set(c.minterms()) == {0b10}
+
+    def test_minterms_expand_dont_cares(self):
+        c = Cube.from_pattern("1-")
+        assert set(c.minterms()) == {0b01, 0b11}
+
+    def test_minterm_count_matches_free_vars(self):
+        c = Cube.from_pattern("1--0")
+        assert len(list(c.minterms())) == 4
+
+
+class TestRelations:
+    def test_containment(self):
+        big = Cube.from_pattern("1--")
+        small = Cube.from_pattern("1-0")
+        assert big.contains(small)
+        assert not small.contains(big)
+
+    def test_self_containment(self):
+        c = Cube.from_pattern("01-")
+        assert c.contains(c)
+
+    def test_intersection(self):
+        a = Cube.from_pattern("1--")
+        b = Cube.from_pattern("-0-")
+        assert a.intersection(b).to_pattern() == "10-"
+
+    def test_disjoint_intersection(self):
+        a = Cube.from_pattern("1--")
+        b = Cube.from_pattern("0--")
+        assert a.intersection(b) is None
+        assert not a.intersects(b)
+
+    def test_distance(self):
+        a = Cube.from_pattern("10-")
+        b = Cube.from_pattern("011")
+        assert a.distance(b) == 2
+
+    def test_consensus_exists_at_distance_one(self):
+        a = Cube.from_pattern("1-1")
+        b = Cube.from_pattern("0-1")
+        cons = a.consensus(b)
+        assert cons is not None
+        assert cons.to_pattern() == "--1"
+
+    def test_consensus_none_at_distance_zero_or_two(self):
+        a = Cube.from_pattern("11-")
+        assert a.consensus(Cube.from_pattern("1--")) is None
+        assert a.consensus(Cube.from_pattern("00-")) is None
+
+    def test_consensus_classic(self):
+        # ab + a'c -> consensus bc
+        a = Cube.from_pattern("11-")
+        b = Cube.from_pattern("0-1")
+        assert a.consensus(b).to_pattern() == "-11"
+
+
+class TestTransforms:
+    def test_cofactor_drops_literal(self):
+        c = Cube.from_pattern("10-")
+        assert c.cofactor(0, 1).to_pattern() == "-0-"
+
+    def test_cofactor_vanishes_on_conflict(self):
+        c = Cube.from_pattern("10-")
+        assert c.cofactor(0, 0) is None
+
+    def test_cofactor_of_free_var_is_noop(self):
+        c = Cube.from_pattern("10-")
+        assert c.cofactor(2, 1).to_pattern() == "10-"
+
+    def test_drop(self):
+        c = Cube.from_pattern("101")
+        assert c.drop(1).to_pattern() == "1-1"

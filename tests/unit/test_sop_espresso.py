@@ -1,0 +1,119 @@
+"""Unit tests for the two-level minimizer."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.sop import Cover, blake_primes
+from repro.sop.espresso import expand, irredundant, minimize, minimize_network
+
+
+def truth(cover: Cover) -> list[bool]:
+    return [cover.evaluate(m) for m in range(1 << cover.width)]
+
+
+class TestExpand:
+    def test_expand_reaches_primes(self):
+        # minterm cover of f = a: expand must grow each minterm to 'a'
+        cover = Cover.from_patterns(["10", "11"])
+        result = expand(cover)
+        assert {c.to_pattern() for c in result.cubes} == {"1-"}
+
+    def test_expand_preserves_function(self):
+        cover = Cover.from_patterns(["110", "011", "111"])
+        assert truth(expand(cover)) == truth(cover)
+
+    def test_expanded_cubes_are_primes(self):
+        cover = Cover.from_patterns(["11-", "0-1"])
+        primes = {c.to_pattern() for c in blake_primes(cover)}
+        for cube in expand(cover):
+            assert cube.to_pattern() in primes
+
+
+class TestIrredundant:
+    def test_removes_consensus_cube(self):
+        # ab + a'c + bc: bc is redundant
+        cover = Cover.from_patterns(["11-", "0-1", "-11"])
+        result = irredundant(cover)
+        assert truth(result) == truth(cover)
+        assert len(result) == 2
+
+    def test_keeps_essential_cubes(self):
+        cover = Cover.from_patterns(["1-", "-1"])
+        assert len(irredundant(cover)) == 2
+
+
+class TestMinimize:
+    def test_zero_and_one(self):
+        assert minimize(Cover.zero(3)).is_empty()
+        assert minimize(Cover.one(3)).is_tautology()
+
+    def test_classic_example(self):
+        # f = a'b' + a'b + ab = a' + b
+        cover = Cover.from_patterns(["00", "01", "11"])
+        result = minimize(cover)
+        assert truth(result) == truth(cover)
+        assert len(result) == 2
+        assert {c.to_pattern() for c in result.cubes} == {"0-", "-1"}
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_functions_preserved_and_irredundant(self, seed):
+        rng = random.Random(seed)
+        width = 4
+        minterms = [m for m in range(1 << width) if rng.random() < 0.45]
+        if not minterms:
+            return
+        cover = Cover.from_minterms(width, minterms)
+        result = minimize(cover)
+        assert truth(result) == truth(cover)
+        # irredundancy: removing any cube changes the function
+        for i in range(len(result)):
+            rest = Cover(width, [c for j, c in enumerate(result.cubes) if j != i])
+            assert truth(rest) != truth(result)
+        # primality: every cube is a prime
+        primes = {c.to_pattern() for c in blake_primes(cover)}
+        for cube in result:
+            assert cube.to_pattern() in primes
+
+    def test_never_larger_than_input(self):
+        for seed in range(5):
+            rng = random.Random(100 + seed)
+            minterms = [m for m in range(16) if rng.random() < 0.5]
+            if not minterms:
+                continue
+            cover = Cover.from_minterms(4, minterms)
+            assert len(minimize(cover)) <= len(cover)
+
+
+class TestMinimizeNetwork:
+    def test_preserves_network_function(self):
+        from repro.network import Network, equivalent
+
+        net = Network("redundant")
+        net.add_input("a")
+        net.add_input("b")
+        net.add_input("c")
+        net.add_node(
+            "f",
+            ["a", "b", "c"],
+            Cover.from_patterns(["11-", "0-1", "-11"]),  # bc redundant
+        )
+        net.set_outputs(["f"])
+        reference = net.copy()
+        removed = minimize_network(net)
+        assert removed == 1
+        assert equivalent(net, reference)
+
+    def test_invalidates_prime_cache(self):
+        from repro.network import Network
+
+        net = Network("n")
+        net.add_input("a")
+        net.add_input("b")
+        net.add_node("f", ["a", "b"], Cover.from_patterns(["10", "11"]))
+        net.set_outputs(["f"])
+        net.node("f").primes()  # warm the cache
+        minimize_network(net)
+        onset, _ = net.node("f").primes()
+        assert {c.to_pattern() for c in onset} == {"1-"}

@@ -1,0 +1,105 @@
+"""Unit tests for prime generation (consensus vs Quine-McCluskey oracle)."""
+
+import itertools
+
+import pytest
+
+from repro.sop import Cover, blake_primes, primes_of_function, quine_mccluskey_primes
+
+
+def cube_set(cover: Cover) -> set[str]:
+    return {c.to_pattern() for c in cover.cubes}
+
+
+class TestBlakePrimes:
+    def test_and_gate(self):
+        primes = blake_primes(Cover.from_patterns(["11"]))
+        assert cube_set(primes) == {"11"}
+
+    def test_or_gate(self):
+        primes = blake_primes(Cover.from_patterns(["1-", "-1"]))
+        assert cube_set(primes) == {"1-", "-1"}
+
+    def test_xor_gate(self):
+        primes = blake_primes(Cover.from_patterns(["10", "01"]))
+        assert cube_set(primes) == {"10", "01"}
+
+    def test_consensus_discovers_missing_prime(self):
+        # ab + a'c has the consensus prime bc
+        cover = Cover.from_patterns(["11-", "0-1"])
+        primes = blake_primes(cover)
+        assert cube_set(primes) == {"11-", "0-1", "-11"}
+
+    def test_majority(self):
+        # maj(a,b,c) = ab + ac + bc; start from the minterm cover
+        cover = Cover.from_minterms(3, [0b011, 0b101, 0b110, 0b111])
+        primes = blake_primes(cover)
+        assert cube_set(primes) == {"11-", "1-1", "-11"}
+
+    def test_tautology_input(self):
+        primes = blake_primes(Cover.from_patterns(["1-", "0-"]))
+        assert cube_set(primes) == {"--"}
+
+    def test_empty_cover(self):
+        assert blake_primes(Cover.zero(3)).is_empty()
+
+    def test_primes_preserve_function(self):
+        cover = Cover.from_patterns(["1-0-", "01-1", "--11"])
+        primes = blake_primes(cover)
+        assert primes.equivalent(cover)
+
+
+class TestQuineMcCluskey:
+    def test_simple(self):
+        primes = quine_mccluskey_primes(2, [0b01, 0b11])
+        assert cube_set(primes) == {"1-"}
+
+    def test_xor(self):
+        primes = quine_mccluskey_primes(2, [0b01, 0b10])
+        assert cube_set(primes) == {"10", "01"}
+
+    def test_full_cube(self):
+        primes = quine_mccluskey_primes(2, [0, 1, 2, 3])
+        assert cube_set(primes) == {"--"}
+
+    def test_empty(self):
+        assert quine_mccluskey_primes(3, []).is_empty()
+
+
+class TestCrossCheck:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_blake_matches_qm_on_random_functions(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        width = 4
+        minterms = [m for m in range(1 << width) if rng.random() < 0.4]
+        cover = Cover.from_minterms(width, minterms)
+        blake = blake_primes(cover)
+        qm = quine_mccluskey_primes(width, minterms)
+        assert cube_set(blake) == cube_set(qm), f"minterms={minterms}"
+
+
+class TestPrimesOfFunction:
+    def test_and_gate_both_phases(self):
+        # The paper's Section 2.3 example: f = m1 m2 has
+        # P^1 = {m1 m2} and P^0 = {~m1, ~m2}.
+        onset, offset = primes_of_function(Cover.from_patterns(["11"]))
+        assert cube_set(onset) == {"11"}
+        assert cube_set(offset) == {"0-", "-0"}
+
+    def test_or_gate_both_phases(self):
+        onset, offset = primes_of_function(Cover.from_patterns(["1-", "-1"]))
+        assert cube_set(onset) == {"1-", "-1"}
+        assert cube_set(offset) == {"00"}
+
+    def test_exhaustive_three_vars(self):
+        # Every 3-variable function: primes of f and f' computed by blake
+        # must match the QM oracle.
+        for bits in range(1 << 8):
+            on = [m for m in range(8) if (bits >> m) & 1]
+            off = [m for m in range(8) if not (bits >> m) & 1]
+            cover = Cover.from_minterms(3, on) if on else Cover.zero(3)
+            onset, offset = primes_of_function(cover)
+            assert cube_set(onset) == cube_set(quine_mccluskey_primes(3, on))
+            assert cube_set(offset) == cube_set(quine_mccluskey_primes(3, off))

@@ -1,0 +1,49 @@
+"""Unit tests for the consolidated timing report."""
+
+import pytest
+
+from repro.circuits import carry_skip_block, figure4, parity_tree
+from repro.timing import timing_report
+
+
+class TestTimingReport:
+    def test_carry_skip_fields(self):
+        report = timing_report(
+            carry_skip_block(), output_required=8.0, method="approx2"
+        )
+        assert report.circuit == "carry_skip_block"
+        assert report.topological_delay == 8.0
+        assert report.functional_delay == 7.0
+        assert report.false_longest == ["cout"]
+        assert report.required is not None
+        assert report.required.nontrivial
+        assert any("pessimistic" in n for n in report.notes)
+
+    def test_parity_has_no_false_paths(self):
+        net = parity_tree(8)
+        report = timing_report(net, output_required=3.0, method="none")
+        assert report.false_longest == []
+        assert report.required is None
+        assert report.functional_delay == report.topological_delay
+
+    def test_render_is_complete(self):
+        text = timing_report(
+            figure4(), output_required=2.0, method="approx1"
+        ).render()
+        assert "timing report: figure4" in text
+        assert "z: 2 -> 2" in text
+        assert "non-trivial" in text
+
+    def test_topological_required_baseline_included(self):
+        report = timing_report(figure4(), output_required=2.0, method="none")
+        assert report.topological_required == {"x1": 0.0, "x2": 0.0}
+
+    def test_abort_noted(self):
+        report = timing_report(
+            carry_skip_block(),
+            output_required=8.0,
+            method="approx2",
+            time_budget=0.0,
+        )
+        assert report.required.aborted
+        assert any("budget" in n for n in report.notes)

@@ -1,0 +1,81 @@
+"""Unit tests for latch-boundary cutting (Section 3)."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.timing import cut_at_latches
+
+SEQ_BLIF = """
+.model counterish
+.inputs a
+.outputs out
+.names a q d
+11 1
+.latch d q re clk 0
+.names q out
+1 1
+.end
+"""
+
+
+class TestCutAtLatches:
+    def test_boundary_becomes_io(self):
+        result = cut_at_latches(SEQ_BLIF, cycle_time=10.0, setup_time=1.0)
+        net = result.network
+        assert "q" in net.inputs
+        assert "d" in net.outputs
+        assert result.latch_inputs == ["d"]
+        assert result.latch_outputs == ["q"]
+
+    def test_timing_boundary_conditions(self):
+        result = cut_at_latches(SEQ_BLIF, cycle_time=10.0, setup_time=1.0)
+        assert result.arrivals["q"] == 0.0
+        assert result.arrivals["a"] == 0.0
+        assert result.required["d"] == 9.0  # cycle - setup
+        assert result.required["out"] == 10.0
+
+    def test_cut_network_is_combinational(self):
+        result = cut_at_latches(SEQ_BLIF, cycle_time=5.0)
+        vals = result.network.output_values({"a": 1, "q": 1})
+        assert vals["d"] is True   # d = a & q
+        assert vals["out"] is True
+
+    def test_no_latches_passthrough(self):
+        comb = """
+.model comb
+.inputs a b
+.outputs f
+.names a b f
+11 1
+.end
+"""
+        result = cut_at_latches(comb, cycle_time=3.0)
+        assert result.latch_inputs == []
+        assert result.required["f"] == 3.0
+
+    def test_malformed_latch_rejected(self):
+        with pytest.raises(ParseError):
+            cut_at_latches(".model m\n.latch d\n.end")
+
+    def test_multiple_latches(self):
+        blif = """
+.model two
+.inputs x
+.outputs y
+.names x q1 d1
+11 1
+.names q1 q2 d2
+10 1
+.latch d1 q1 re clk 0
+.latch d2 q2 re clk 0
+.names q2 y
+0 1
+.end
+"""
+        result = cut_at_latches(blif, cycle_time=4.0, setup_time=0.5)
+        net = result.network
+        assert set(result.latch_outputs) == {"q1", "q2"}
+        assert set(result.latch_inputs) == {"d1", "d2"}
+        assert result.required["d1"] == 3.5
+        assert result.required["d2"] == 3.5
+        assert {"q1", "q2"} <= set(net.inputs)
