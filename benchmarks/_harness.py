@@ -57,3 +57,44 @@ def _fmt(value: object) -> str:
 def star(nontrivial: bool) -> str:
     """The paper's Table 1 annotation: '*' marks a non-trivial result."""
     return "*" if nontrivial else ""
+
+
+@dataclass
+class BddStatsCollector:
+    """Accumulates :meth:`BddManager.statistics` snapshots per run.
+
+    Renders one engine-counter row per analysis (cache lookups, hit rate,
+    peak live nodes, GC and reorder activity) next to the paper-style
+    table, so cache behavior regressions show up in benchmark logs.
+    """
+
+    title: str
+    _table: TableCollector | None = None
+
+    def __post_init__(self):
+        self._table = TableCollector(
+            self.title,
+            ["run", "lookups", "hit rate", "peak nodes", "GC", "reclaimed",
+             "evictions", "reorders"],
+        )
+
+    def add(self, label: str, stats: dict | None) -> None:
+        """Record one run's ``statistics()`` dict (ignores ``None``)."""
+        if not stats:
+            return
+        caches = stats.get("caches", {})
+        evictions = sum(c.get("evictions", 0) for c in caches.values())
+        lookups = stats.get("cache_hits", 0) + stats.get("cache_misses", 0)
+        self._table.add(
+            label,
+            lookups,
+            f"{stats.get('cache_hit_rate', 0.0):.1%}",
+            stats.get("peak_live_nodes", 0),
+            stats.get("gc_runs", 0),
+            stats.get("gc_reclaimed", 0),
+            evictions,
+            stats.get("reorder_events", 0),
+        )
+
+    def print_once(self) -> None:
+        self._table.print_once()

@@ -16,7 +16,7 @@ Run:  pytest benchmarks/bench_table1.py --benchmark-only -q
 
 import pytest
 
-from _harness import TableCollector, star
+from _harness import BddStatsCollector, TableCollector, star
 from conftest import bench_budget
 from repro.circuits import mcnc_suite
 from repro.core.required_time import analyze_required_times
@@ -27,6 +27,8 @@ TABLE = TableCollector(
     "Table 1 -- Required Time Computation: Exact vs Approximate",
     ["circuit", "paper", "#PI", "#PO", "method", "CPU (s)", "nontrivial", "status"],
 )
+
+ENGINE_STATS = BddStatsCollector("BDD engine counters (exact / approx-1 runs)")
 
 # which methods run per circuit (the paper's '-' rows are not attempted)
 EXACT_CIRCUITS = {"m1": 500_000, "m2": 120_000, "m3": 2_000_000}
@@ -58,6 +60,7 @@ def _record(spec, method, report):
         star(report.nontrivial),
         status,
     )
+    ENGINE_STATS.add(f"{spec.name}/{method}", report.stats.get("bdd"))
     return report
 
 
@@ -144,3 +147,4 @@ def test_zzz_shape_and_print(benchmark):
     assert by_key[("m9", "approx2")][6] == ""
 
     TABLE.print_once()
+    ENGINE_STATS.print_once()

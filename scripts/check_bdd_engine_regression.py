@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Benchmark baseline & regression gate for the BDD/SAT engine hot paths.
+
+Times the two engine-sensitive benchmark files end to end and compares the
+wall times against the committed baseline ``BENCH_bdd_engine.json``:
+
+* every benchmark must beat the recorded ``pre_pr`` number by at least
+  ``min_improvement`` (the engine-overhaul acceptance gate), and
+* every benchmark must stay within ``tolerance`` of the recorded
+  ``baseline`` number (the ongoing regression gate).
+
+Usage::
+
+    python scripts/check_bdd_engine_regression.py           # check
+    python scripts/check_bdd_engine_regression.py --update  # re-baseline
+
+``--update`` re-measures and rewrites the ``baseline`` block (the
+``pre_pr`` block is historical and never rewritten).  Exit status is 0
+when every gate passes, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+BASELINE_FILE = REPO / "BENCH_bdd_engine.json"
+
+BENCHMARKS = [
+    "benchmarks/bench_table1.py",
+    "benchmarks/bench_ablation_engine.py",
+]
+
+
+def run_benchmark(target: str) -> float:
+    """One timed pytest run of a benchmark file; returns wall seconds."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    start = time.perf_counter()
+    result = subprocess.run(
+        [sys.executable, "-m", "pytest", "-x", "-q", "--benchmark-only", target],
+        cwd=REPO,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    elapsed = time.perf_counter() - start
+    if result.returncode != 0:
+        sys.stderr.write(result.stdout)
+        raise SystemExit(f"benchmark {target} failed (rc={result.returncode})")
+    return elapsed
+
+
+def measure() -> dict[str, float]:
+    times: dict[str, float] = {}
+    for target in BENCHMARKS:
+        print(f"running {target} ...", flush=True)
+        times[target] = round(run_benchmark(target), 2)
+        print(f"  {times[target]:.2f}s")
+    return times
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="re-measure and rewrite the baseline block",
+    )
+    args = parser.parse_args()
+
+    data = json.loads(BASELINE_FILE.read_text())
+    times = measure()
+
+    if args.update:
+        data["baseline"] = {
+            "wall_seconds": times,
+            "python": sys.version.split()[0],
+        }
+        BASELINE_FILE.write_text(json.dumps(data, indent=2) + "\n")
+        print(f"baseline updated in {BASELINE_FILE.name}")
+        return 0
+
+    min_improvement = data["gates"]["min_improvement_vs_pre_pr"]
+    tolerance = data["gates"]["regression_tolerance_vs_baseline"]
+    pre = data["pre_pr"]["wall_seconds"]
+    base = data["baseline"]["wall_seconds"]
+
+    ok = True
+    for target, t in times.items():
+        ceiling = pre[target] * (1.0 - min_improvement)
+        improved = t <= ceiling
+        within = t <= base[target] * (1.0 + tolerance)
+        verdict = "ok" if improved and within else "FAIL"
+        if not (improved and within):
+            ok = False
+        print(
+            f"{target}: {t:.2f}s  (pre-PR {pre[target]:.2f}s, "
+            f"gate <= {ceiling:.2f}s; baseline {base[target]:.2f}s "
+            f"+{tolerance:.0%})  {verdict}"
+        )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

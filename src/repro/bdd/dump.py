@@ -34,10 +34,14 @@ def to_dot(node: BddNode, name: str = "bdd") -> str:
 
 def manager_stats(manager: BddManager) -> dict[str, object]:
     """A snapshot of manager health for logs and benchmark records."""
+    engine = manager.statistics()
     return {
         "num_vars": manager.num_vars,
         "num_nodes": manager.num_nodes,
-        "cache_entries": len(manager._cache),
+        "cache_entries": sum(
+            table["entries"] for table in engine["caches"].values()
+        ),
         "order": manager.current_order(),
         "level_sizes": manager.level_sizes(),
+        "engine": engine,
     }

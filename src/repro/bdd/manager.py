@@ -1,11 +1,22 @@
-"""The BDD manager: unique table, ITE, quantifiers, GC, variable order.
+"""The BDD manager: unique table, apply ops, quantifiers, GC, variable order.
 
 Implementation notes
 --------------------
 
 * Nodes are integer ids into three parallel lists ``_var``, ``_low``,
   ``_high``.  Ids 0 and 1 are the FALSE and TRUE terminals (``_var`` = -1).
-* There are no complement edges; negation is an ITE with cached results.
+* There are no complement edges; negation is a dedicated cached recursion.
+* AND/OR/XOR/NOT run as dedicated two-operand apply recursions with
+  commutatively normalized cache keys; the generic three-operand ITE is
+  kept for the residual if-then-else cases and routes its binary
+  specializations to the dedicated operators.
+* Quantification can be fused with conjunction: ``and_exists`` (the
+  relational product), ``and_forall`` and ``forall_implied`` never build
+  the intermediate conjunction BDD.
+* Every operation has its own size-bounded computed table with hit/miss/
+  eviction counters; tables are invalidated as a group (generation bump)
+  on garbage collection and on level swaps.  ``statistics()`` reports the
+  counters, per-op totals, peak live nodes and reorder activity.
 * Variable order is indirect: nodes store a *variable index*; the order is
   the pair of maps ``_var2level`` / ``_level2var``.  In-place adjacent-level
   swaps (see :mod:`repro.bdd.reorder`) only touch nodes of the upper level,
@@ -20,13 +31,58 @@ Implementation notes
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Iterable, Iterator, Mapping, Sequence
+from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.errors import BddError
 
 FALSE = 0
 TRUE = 1
 _TERMINAL_VAR = -1
+
+#: default per-operation computed-table bound (entries); a table that
+#: grows past this is dropped wholesale (CUDD-style lossy cache) and the
+#: eviction is counted in :meth:`BddManager.statistics`.
+DEFAULT_CACHE_BOUND = 1 << 20
+
+
+class _ComputedTable:
+    """One per-operation computed table: a bounded dict plus counters."""
+
+    __slots__ = ("name", "table", "bound", "hits", "misses", "evictions")
+
+    def __init__(self, name: str, bound: int):
+        self.name = name
+        self.table: dict = {}
+        self.bound = bound
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def put(self, key, value) -> None:
+        table = self.table
+        if len(table) >= self.bound:
+            # FIFO eviction: dicts iterate in insertion order, so dropping
+            # the first key retires the oldest entry in O(1) — far gentler
+            # on the hit rate than clearing the table wholesale.
+            del table[next(iter(table))]
+            self.evictions += 1
+        table[key] = value
+
+    def clear(self) -> None:
+        self.table.clear()
+
+    def reset_counters(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": len(self.table),
+        }
 
 
 class BddNode:
@@ -45,9 +101,17 @@ class BddNode:
         manager._incref(node_id)
 
     def __del__(self):  # pragma: no cover - exercised indirectly
+        # During interpreter shutdown the manager (or its tables) may
+        # already be torn down, surfacing as AttributeError/TypeError from
+        # the half-collected objects; anything else is a real bug and must
+        # propagate.
         try:
-            self.manager._decref(self.id)
-        except Exception:
+            manager = self.manager
+        except AttributeError:
+            return
+        try:
+            manager._decref(self.id)
+        except (AttributeError, TypeError):
             pass
 
     # -- operators ------------------------------------------------------
@@ -78,7 +142,7 @@ class BddNode:
     def equiv(self, other: "BddNode") -> "BddNode":
         self._check(other)
         m = self.manager
-        return m._wrap(m._ite(self.id, other.id, m._not(other.id)))
+        return m._wrap(m._not(m._xor(self.id, other.id)))
 
     def ite(self, then_: "BddNode", else_: "BddNode") -> "BddNode":
         self._check(then_)
@@ -125,6 +189,7 @@ class BddManager:
         auto_reorder: bool = False,
         reorder_threshold: int = 50_000,
         max_nodes: int | None = None,
+        cache_bound: int = DEFAULT_CACHE_BOUND,
     ):
         # terminals occupy ids 0 and 1
         self._var: list[int] = [_TERMINAL_VAR, _TERMINAL_VAR]
@@ -137,7 +202,33 @@ class BddManager:
         self._level2var: list[int] = []
         self._names: list[str] = []
         self._name2var: dict[str, int] = {}
-        self._cache: dict[tuple, int] = {}
+        # per-operation computed tables
+        self._not_tab = _ComputedTable("not", cache_bound)
+        self._and_tab = _ComputedTable("and", cache_bound)
+        self._or_tab = _ComputedTable("or", cache_bound)
+        self._xor_tab = _ComputedTable("xor", cache_bound)
+        self._ite_tab = _ComputedTable("ite", cache_bound)
+        self._exists_tab = _ComputedTable("exists", cache_bound)
+        self._andex_tab = _ComputedTable("and_exists", cache_bound)
+        self._andall_tab = _ComputedTable("and_forall", cache_bound)
+        self._restrict_tab = _ComputedTable("restrict", cache_bound)
+        self._compose_tab = _ComputedTable("compose", cache_bound)
+        self._tables = (
+            self._not_tab,
+            self._and_tab,
+            self._or_tab,
+            self._xor_tab,
+            self._ite_tab,
+            self._exists_tab,
+            self._andex_tab,
+            self._andall_tab,
+            self._restrict_tab,
+            self._compose_tab,
+        )
+        #: shared scratch cache for helper modules (e.g. the lattice
+        #: closures in :mod:`repro.bdd.minimal`); invalidated with the
+        #: per-operation tables.
+        self._cache: dict = {}
         self._extref: dict[int, int] = {}
         self.auto_reorder = auto_reorder
         self.reorder_threshold = reorder_threshold
@@ -146,6 +237,14 @@ class BddManager:
         #: paper's "memory out" rows in Table 1.
         self.max_nodes = max_nodes
         self._reordering = False
+        # instrumentation
+        self._nodes_live = 0  # internal (table-resident) nodes, terminals excluded
+        self._peak_live = 0
+        self._generation = 0
+        self._gc_runs = 0
+        self._gc_reclaimed = 0
+        self._level_swaps = 0
+        self._reorder_events = 0
 
     # ------------------------------------------------------------------
     # reference counting / wrapping
@@ -164,7 +263,8 @@ class BddManager:
         node = BddNode(self, node_id)
         # Safe point for dynamic reordering: no recursive operation is in
         # flight when a result is being wrapped for the client.
-        self._maybe_auto_reorder()
+        if self.auto_reorder:
+            self._maybe_auto_reorder()
         return node
 
     @property
@@ -275,12 +375,20 @@ class BddManager:
             self._low.append(low)
             self._high.append(high)
         table[key] = node_id
+        live = self._nodes_live + 1
+        self._nodes_live = live
+        if live > self._peak_live:
+            self._peak_live = live
         return node_id
 
     @property
     def num_nodes(self) -> int:
-        """Number of live (table-resident) internal nodes, plus terminals."""
-        return 2 + sum(len(t) for t in self._unique)
+        """Number of live (table-resident) internal nodes, plus terminals.
+
+        Maintained incrementally by ``_mk`` / GC / level swaps, so reading
+        it is O(1) — it is consulted on every auto-reorder safe point.
+        """
+        return 2 + self._nodes_live
 
     def size(self, node: BddNode) -> int:
         """Number of nodes in the DAG rooted at ``node`` (incl. terminals)."""
@@ -299,6 +407,147 @@ class BddManager:
     # ------------------------------------------------------------------
     # core operations (internal, on ids)
     # ------------------------------------------------------------------
+    def _not(self, f: int) -> int:
+        if f == FALSE:
+            return TRUE
+        if f == TRUE:
+            return FALSE
+        tab = self._not_tab
+        table = tab.table
+        result = table.get(f)
+        if result is not None:
+            tab.hits += 1
+            return result
+        tab.misses += 1
+        result = self._mk(
+            self._var[f], self._not(self._low[f]), self._not(self._high[f])
+        )
+        if len(table) >= tab.bound:
+            del table[next(iter(table))]
+            tab.evictions += 1
+        table[f] = result
+        return result
+
+    def _and(self, f: int, g: int) -> int:
+        if f == g:
+            return f
+        if f > g:  # commutative: normalize operand order for the cache key
+            f, g = g, f
+        if f == FALSE:
+            return FALSE
+        if f == TRUE:
+            return g
+        tab = self._and_tab
+        table = tab.table
+        key = (f, g)
+        result = table.get(key)
+        if result is not None:
+            tab.hits += 1
+            return result
+        tab.misses += 1
+        var_ = self._var
+        v2l = self._var2level
+        lf = v2l[var_[f]]
+        lg = v2l[var_[g]]
+        if lf <= lg:
+            var = var_[f]
+            f0, f1 = self._low[f], self._high[f]
+        else:
+            var = var_[g]
+            f0 = f1 = f
+        if lg <= lf:
+            g0, g1 = self._low[g], self._high[g]
+        else:
+            g0 = g1 = g
+        low = self._and(f0, g0)
+        high = self._and(f1, g1)
+        result = low if low == high else self._mk(var, low, high)
+        if len(table) >= tab.bound:
+            del table[next(iter(table))]
+            tab.evictions += 1
+        table[key] = result
+        return result
+
+    def _or(self, f: int, g: int) -> int:
+        if f == g:
+            return f
+        if f > g:
+            f, g = g, f
+        if f == FALSE:
+            return g
+        if f == TRUE:
+            return TRUE
+        tab = self._or_tab
+        table = tab.table
+        key = (f, g)
+        result = table.get(key)
+        if result is not None:
+            tab.hits += 1
+            return result
+        tab.misses += 1
+        var_ = self._var
+        v2l = self._var2level
+        lf = v2l[var_[f]]
+        lg = v2l[var_[g]]
+        if lf <= lg:
+            var = var_[f]
+            f0, f1 = self._low[f], self._high[f]
+        else:
+            var = var_[g]
+            f0 = f1 = f
+        if lg <= lf:
+            g0, g1 = self._low[g], self._high[g]
+        else:
+            g0 = g1 = g
+        low = self._or(f0, g0)
+        high = self._or(f1, g1)
+        result = low if low == high else self._mk(var, low, high)
+        if len(table) >= tab.bound:
+            del table[next(iter(table))]
+            tab.evictions += 1
+        table[key] = result
+        return result
+
+    def _xor(self, f: int, g: int) -> int:
+        if f == g:
+            return FALSE
+        if f > g:
+            f, g = g, f
+        if f == FALSE:
+            return g
+        if f == TRUE:
+            return self._not(g)
+        tab = self._xor_tab
+        table = tab.table
+        key = (f, g)
+        result = table.get(key)
+        if result is not None:
+            tab.hits += 1
+            return result
+        tab.misses += 1
+        var_ = self._var
+        v2l = self._var2level
+        lf = v2l[var_[f]]
+        lg = v2l[var_[g]]
+        if lf <= lg:
+            var = var_[f]
+            f0, f1 = self._low[f], self._high[f]
+        else:
+            var = var_[g]
+            f0 = f1 = f
+        if lg <= lf:
+            g0, g1 = self._low[g], self._high[g]
+        else:
+            g0 = g1 = g
+        low = self._xor(f0, g0)
+        high = self._xor(f1, g1)
+        result = low if low == high else self._mk(var, low, high)
+        if len(table) >= tab.bound:
+            del table[next(iter(table))]
+            tab.evictions += 1
+        table[key] = result
+        return result
+
     def _ite(self, f: int, g: int, h: int) -> int:
         # terminal cases
         if f == TRUE:
@@ -307,12 +556,20 @@ class BddManager:
             return h
         if g == h:
             return g
-        if g == TRUE and h == FALSE:
-            return f
-        key = ("ite", f, g, h)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
+        # binary specializations route to the dedicated apply operators
+        if g == TRUE:
+            return f if h == FALSE else self._or(f, h)
+        if h == FALSE:
+            return self._and(f, g)
+        if g == FALSE and h == TRUE:
+            return self._not(f)
+        tab = self._ite_tab
+        key = (f, g, h)
+        result = tab.table.get(key)
+        if result is not None:
+            tab.hits += 1
+            return result
+        tab.misses += 1
         # split on the top variable
         level = min(self._level(f), self._level(g), self._level(h))
         var = self._level2var[level]
@@ -322,8 +579,8 @@ class BddManager:
         h0, h1 = self._cofactors(h, var)
         low = self._ite(f0, g0, h0)
         high = self._ite(f1, g1, h1)
-        result = self._mk(var, low, high)
-        self._cache[key] = result
+        result = low if low == high else self._mk(var, low, high)
+        tab.put(key, result)
         return result
 
     def _cofactors(self, node_id: int, var: int) -> tuple[int, int]:
@@ -331,23 +588,11 @@ class BddManager:
             return self._low[node_id], self._high[node_id]
         return node_id, node_id
 
-    def _not(self, f: int) -> int:
-        return self._ite(f, FALSE, TRUE)
-
-    def _and(self, f: int, g: int) -> int:
-        return self._ite(f, g, FALSE)
-
-    def _or(self, f: int, g: int) -> int:
-        return self._ite(f, TRUE, g)
-
-    def _xor(self, f: int, g: int) -> int:
-        return self._ite(f, self._not(g), g)
-
     def _maybe_auto_reorder(self) -> None:
         if (
             self.auto_reorder
             and not self._reordering
-            and self.num_nodes > self.reorder_threshold
+            and self._nodes_live + 2 > self.reorder_threshold
         ):
             from repro.bdd.reorder import sift
 
@@ -363,20 +608,34 @@ class BddManager:
     # public combinational helpers
     # ------------------------------------------------------------------
     def conjoin(self, nodes: Iterable[BddNode]) -> BddNode:
-        result = TRUE
-        for node in nodes:
-            result = self._and(result, node.id)
-            if result == FALSE:
-                break
-        return self._wrap(result)
+        """The conjunction of ``nodes``, combined as a balanced tree.
+
+        Pairwise reduction rounds keep the intermediate BDDs balanced (a
+        linear fold accumulates one lopsided conjunct that every further
+        AND must traverse); an intermediate FALSE short-circuits.
+        """
+        ids = [node.id for node in nodes]
+        return self._wrap(self._balanced(ids, self._and, TRUE, FALSE))
 
     def disjoin(self, nodes: Iterable[BddNode]) -> BddNode:
-        result = FALSE
-        for node in nodes:
-            result = self._or(result, node.id)
-            if result == TRUE:
-                break
-        return self._wrap(result)
+        """The disjunction of ``nodes``, combined as a balanced tree."""
+        ids = [node.id for node in nodes]
+        return self._wrap(self._balanced(ids, self._or, FALSE, TRUE))
+
+    def _balanced(self, ids: list[int], op, unit: int, absorbing: int) -> int:
+        if not ids:
+            return unit
+        while len(ids) > 1:
+            merged: list[int] = []
+            for i in range(0, len(ids) - 1, 2):
+                r = op(ids[i], ids[i + 1])
+                if r == absorbing:
+                    return absorbing
+                merged.append(r)
+            if len(ids) % 2:
+                merged.append(ids[-1])
+            ids = merged
+        return ids[0]
 
     # ------------------------------------------------------------------
     # restriction / composition
@@ -392,10 +651,13 @@ class BddManager:
     def _restrict(self, f: int, pairs: tuple[tuple[int, int], ...], start: int) -> int:
         if f <= TRUE or start >= len(pairs):
             return f
-        key = ("restrict", f, pairs, start)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
+        tab = self._restrict_tab
+        key = (f, pairs, start)
+        result = tab.table.get(key)
+        if result is not None:
+            tab.hits += 1
+            return result
+        tab.misses += 1
         flevel = self._level(f)
         # skip assignment entries above f's top variable
         i = start
@@ -413,7 +675,7 @@ class BddManager:
                 low = self._restrict(self._low[f], pairs, i)
                 high = self._restrict(self._high[f], pairs, i)
                 result = self._mk(fvar, low, high)
-        self._cache[key] = result
+        tab.put(key, result)
         return result
 
     def compose(self, node: BddNode, name: str, replacement: BddNode) -> BddNode:
@@ -426,10 +688,13 @@ class BddManager:
             return f
         if self._var2level[self._var[f]] > self._var2level[var]:
             return f  # var cannot appear below its own level
-        key = ("compose", f, var, g)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
+        tab = self._compose_tab
+        key = (f, var, g)
+        result = tab.table.get(key)
+        if result is not None:
+            tab.hits += 1
+            return result
+        tab.misses += 1
         if self._var[f] == var:
             result = self._ite(g, self._high[f], self._low[f])
         else:
@@ -438,38 +703,203 @@ class BddManager:
             # children may now have tops above f's var; use ITE on f's var
             v = self._mk(self._var[f], FALSE, TRUE)
             result = self._ite(v, high, low)
-        self._cache[key] = result
+        tab.put(key, result)
         return result
 
     # ------------------------------------------------------------------
     # quantification
     # ------------------------------------------------------------------
+    def _levels_of(self, names: Sequence[str]) -> tuple[int, ...]:
+        return tuple(
+            sorted({self._var2level[self.var_index(n)] for n in names})
+        )
+
     def exists(self, names: Sequence[str], node: BddNode) -> BddNode:
-        levels = frozenset(self._var2level[self.var_index(n)] for n in names)
-        return self._wrap(self._exists(node.id, levels))
+        return self._wrap(self._exists(node.id, self._levels_of(names)))
 
     def forall(self, names: Sequence[str], node: BddNode) -> BddNode:
-        levels = frozenset(self._var2level[self.var_index(n)] for n in names)
+        levels = self._levels_of(names)
         return self._wrap(self._not(self._exists(self._not(node.id), levels)))
 
-    def _exists(self, f: int, levels: frozenset[int]) -> int:
-        if f <= TRUE:
+    def _exists(self, f: int, levels: tuple[int, ...]) -> int:
+        """∃ levels . f — ``levels`` is a sorted tuple of quantified levels."""
+        if f <= TRUE or not levels:
             return f
-        flevel = self._level(f)
-        if all(lv < flevel for lv in levels):
-            return f
-        key = ("exists", f, levels)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
-        low = self._exists(self._low[f], levels)
-        high = self._exists(self._high[f], levels)
-        if flevel in levels:
-            result = self._or(low, high)
-        else:
-            result = self._mk(self._var[f], low, high)
-        self._cache[key] = result
-        return result
+        max_level = levels[-1]
+        level_set = set(levels)
+        var_ = self._var
+        v2l = self._var2level
+        low_ = self._low
+        high_ = self._high
+        tab = self._exists_tab
+        table = tab.table
+
+        def rec(f: int) -> int:
+            if f <= TRUE:
+                return f
+            flevel = v2l[var_[f]]
+            if flevel > max_level:
+                return f  # below every quantified level: nothing to do
+            key = (f, levels)
+            result = table.get(key)
+            if result is not None:
+                tab.hits += 1
+                return result
+            tab.misses += 1
+            low = rec(low_[f])
+            if flevel in level_set:
+                # ∃x.f = f0 ∨ f1: a TRUE cofactor decides immediately
+                result = TRUE if low == TRUE else self._or(low, rec(high_[f]))
+            else:
+                high = rec(high_[f])
+                result = low if low == high else self._mk(var_[f], low, high)
+            tab.put(key, result)
+            return result
+
+        return rec(f)
+
+    # -- fused quantifier-apply operators -------------------------------
+    def _check_mine(self, f: BddNode, g: BddNode) -> None:
+        if f.manager is not self or g.manager is not self:
+            raise BddError("operands belong to different BDD managers")
+
+    def and_exists(
+        self, names: Sequence[str], f: BddNode, g: BddNode
+    ) -> BddNode:
+        """The relational product ∃ names . (f ∧ g), without building f ∧ g."""
+        self._check_mine(f, g)
+        return self._wrap(self._and_exists(f.id, g.id, self._levels_of(names)))
+
+    def and_forall(
+        self, names: Sequence[str], f: BddNode, g: BddNode
+    ) -> BddNode:
+        """∀ names . (f ∧ g), fused — the dual of :meth:`and_exists`."""
+        self._check_mine(f, g)
+        return self._wrap(self._and_forall(f.id, g.id, self._levels_of(names)))
+
+    def forall_implied(
+        self, names: Sequence[str], f: BddNode, g: BddNode
+    ) -> BddNode:
+        """∀ names . (f → g) = ¬∃ names . (f ∧ ¬g), fused."""
+        self._check_mine(f, g)
+        levels = self._levels_of(names)
+        return self._wrap(
+            self._not(self._and_exists(f.id, self._not(g.id), levels))
+        )
+
+    def _and_exists(self, f: int, g: int, levels: tuple[int, ...]) -> int:
+        if not levels:
+            return self._and(f, g)
+        max_level = levels[-1]
+        level_set = set(levels)
+        var_ = self._var
+        v2l = self._var2level
+        low_ = self._low
+        high_ = self._high
+        tab = self._andex_tab
+        table = tab.table
+
+        def rec(f: int, g: int) -> int:
+            if f == FALSE or g == FALSE:
+                return FALSE
+            if f == TRUE:
+                return self._exists(g, levels)
+            if g == TRUE:
+                return self._exists(f, levels)
+            if f == g:
+                return self._exists(f, levels)
+            if f > g:
+                f, g = g, f
+            lf = v2l[var_[f]]
+            lg = v2l[var_[g]]
+            top = lf if lf <= lg else lg
+            if top > max_level:
+                return self._and(f, g)
+            key = (f, g, levels)
+            result = table.get(key)
+            if result is not None:
+                tab.hits += 1
+                return result
+            tab.misses += 1
+            if lf <= lg:
+                var = var_[f]
+                f0, f1 = low_[f], high_[f]
+            else:
+                var = var_[g]
+                f0 = f1 = f
+            if lg <= lf:
+                g0, g1 = low_[g], high_[g]
+            else:
+                g0 = g1 = g
+            low = rec(f0, g0)
+            if top in level_set:
+                result = TRUE if low == TRUE else self._or(low, rec(f1, g1))
+            else:
+                high = rec(f1, g1)
+                result = low if low == high else self._mk(var, low, high)
+            tab.put(key, result)
+            return result
+
+        return rec(f, g)
+
+    def _and_forall(self, f: int, g: int, levels: tuple[int, ...]) -> int:
+        if not levels:
+            return self._and(f, g)
+        max_level = levels[-1]
+        level_set = set(levels)
+        var_ = self._var
+        v2l = self._var2level
+        low_ = self._low
+        high_ = self._high
+        tab = self._andall_tab
+        table = tab.table
+
+        def forall_one(f: int) -> int:
+            return self._not(self._exists(self._not(f), levels))
+
+        def rec(f: int, g: int) -> int:
+            if f == FALSE or g == FALSE:
+                return FALSE
+            if f == TRUE:
+                return forall_one(g)
+            if g == TRUE:
+                return forall_one(f)
+            if f == g:
+                return forall_one(f)
+            if f > g:
+                f, g = g, f
+            lf = v2l[var_[f]]
+            lg = v2l[var_[g]]
+            top = lf if lf <= lg else lg
+            if top > max_level:
+                return self._and(f, g)
+            key = (f, g, levels)
+            result = table.get(key)
+            if result is not None:
+                tab.hits += 1
+                return result
+            tab.misses += 1
+            if lf <= lg:
+                var = var_[f]
+                f0, f1 = low_[f], high_[f]
+            else:
+                var = var_[g]
+                f0 = f1 = f
+            if lg <= lf:
+                g0, g1 = low_[g], high_[g]
+            else:
+                g0 = g1 = g
+            low = rec(f0, g0)
+            if top in level_set:
+                # ∀x.h = h0 ∧ h1: a FALSE cofactor decides immediately
+                result = FALSE if low == FALSE else self._and(low, rec(f1, g1))
+            else:
+                high = rec(f1, g1)
+                result = low if low == high else self._mk(var, low, high)
+            tab.put(key, result)
+            return result
+
+        return rec(f, g)
 
     # ------------------------------------------------------------------
     # satisfiability / enumeration
@@ -624,35 +1054,110 @@ class BddManager:
         return self._wrap(result)
 
     # ------------------------------------------------------------------
+    # computed-table management / observability
+    # ------------------------------------------------------------------
+    def _invalidate_caches(self) -> None:
+        """Drop every computed table (new generation).
+
+        Called on GC and on level swaps: both can change what a cached
+        (operands → result) entry means — GC recycles node ids, swaps
+        change the level structure the recursions keyed on.
+        """
+        self._generation += 1
+        for tab in self._tables:
+            tab.clear()
+        self._cache.clear()
+
+    def statistics(self) -> dict[str, object]:
+        """Engine counters: per-op totals, cache behavior, node pressure.
+
+        ``ops`` counts the recursion steps that consulted each computed
+        table (hits + misses); terminal fast paths are not counted.
+        ``caches`` carries per-table hit/miss/eviction/entry counts.
+        Node counts include the two terminals.
+        """
+        ops: dict[str, int] = {}
+        caches: dict[str, dict[str, int]] = {}
+        total_hits = 0
+        total_misses = 0
+        for tab in self._tables:
+            ops[tab.name] = tab.hits + tab.misses
+            caches[tab.name] = tab.stats()
+            total_hits += tab.hits
+            total_misses += tab.misses
+        lookups = total_hits + total_misses
+        return {
+            "ops": ops,
+            "caches": caches,
+            "cache_hits": total_hits,
+            "cache_misses": total_misses,
+            "cache_hit_rate": (total_hits / lookups) if lookups else 0.0,
+            "cache_generation": self._generation,
+            "live_nodes": self._nodes_live + 2,
+            "peak_live_nodes": self._peak_live + 2,
+            "num_vars": self.num_vars,
+            "gc_runs": self._gc_runs,
+            "gc_reclaimed": self._gc_reclaimed,
+            "level_swaps": self._level_swaps,
+            "reorder_events": self._reorder_events,
+        }
+
+    def reset_statistics(self) -> None:
+        """Zero the op/cache/GC/reorder counters; peak restarts from now."""
+        for tab in self._tables:
+            tab.reset_counters()
+        self._peak_live = self._nodes_live
+        self._gc_runs = 0
+        self._gc_reclaimed = 0
+        self._level_swaps = 0
+        self._reorder_events = 0
+
+    # ------------------------------------------------------------------
     # garbage collection
     # ------------------------------------------------------------------
     def garbage_collect(self) -> int:
         """Sweep nodes unreachable from externally referenced roots.
 
         Returns the number of nodes reclaimed.  All operation caches are
-        dropped.
+        dropped (generation bump).
         """
-        reachable: set[int] = {FALSE, TRUE}
+        var_ = self._var
+        low_ = self._low
+        high_ = self._high
+        # Byte-per-node mark vector: O(1) membership without hashing, which
+        # matters when millions of nodes are traversed per sweep.
+        marked = bytearray(len(var_))
+        marked[FALSE] = 1
+        marked[TRUE] = 1
         stack = [n for n, c in self._extref.items() if c > 0]
         while stack:
             f = stack.pop()
-            if f in reachable:
+            if marked[f]:
                 continue
-            reachable.add(f)
-            if self._var[f] != _TERMINAL_VAR:
-                stack.append(self._low[f])
-                stack.append(self._high[f])
+            marked[f] = 1
+            if var_[f] != _TERMINAL_VAR:
+                stack.append(low_[f])
+                stack.append(high_[f])
         reclaimed = 0
+        free = self._free
         for var, table in enumerate(self._unique):
-            dead = [key for key, nid in table.items() if nid not in reachable]
-            for key in dead:
-                nid = table.pop(key)
-                self._var[nid] = _TERMINAL_VAR
-                self._low[nid] = FALSE
-                self._high[nid] = FALSE
-                self._free.append(nid)
-                reclaimed += 1
-        self._cache.clear()
+            # Rebuild each unique table in one pass instead of popping dead
+            # keys individually (pop-heavy dicts never shrink their storage).
+            survivors: dict[tuple[int, int], int] = {}
+            for key, nid in table.items():
+                if marked[nid]:
+                    survivors[key] = nid
+                else:
+                    var_[nid] = _TERMINAL_VAR
+                    low_[nid] = FALSE
+                    high_[nid] = FALSE
+                    free.append(nid)
+                    reclaimed += 1
+            self._unique[var] = survivors
+        self._nodes_live -= reclaimed
+        self._gc_runs += 1
+        self._gc_reclaimed += reclaimed
+        self._invalidate_caches()
         return reclaimed
 
     # ------------------------------------------------------------------
@@ -663,7 +1168,7 @@ class BddManager:
 
         Node ids are preserved: only nodes labelled with the upper variable
         that reference the lower variable are rewritten.  All operation
-        caches are invalidated.
+        caches are invalidated (generation bump).
         """
         if not 0 <= level < len(self._level2var) - 1:
             raise BddError(f"cannot swap level {level}")
@@ -678,6 +1183,7 @@ class BddManager:
             if self._var[low] == lower or self._var[high] == lower:
                 interacting.append(nid)
                 del upper_table[key]
+        self._nodes_live -= len(interacting)
 
         # Commit the level exchange before creating new upper-var nodes so
         # that _mk built levels are consistent.
@@ -706,8 +1212,12 @@ class BddManager:
                     "unique-table collision during swap; manager corrupted"
                 )
             lower_table[key] = nid
+            self._nodes_live += 1
+            if self._nodes_live > self._peak_live:
+                self._peak_live = self._nodes_live
 
-        self._cache.clear()
+        self._level_swaps += 1
+        self._invalidate_caches()
 
     def live_node_count(self) -> int:
         """Number of nodes reachable from externally referenced roots.
@@ -716,16 +1226,18 @@ class BddManager:
         the metric sifting must minimize (swaps strand dead nodes in the
         unique tables until the next garbage collection).
         """
-        reachable: set[int] = set()
+        marked = bytearray(len(self._var))
+        count = 0
         stack = [n for n, c in self._extref.items() if c > 0 and n > TRUE]
         while stack:
             f = stack.pop()
-            if f in reachable or f <= TRUE:
+            if f <= TRUE or marked[f]:
                 continue
-            reachable.add(f)
+            marked[f] = 1
+            count += 1
             stack.append(self._low[f])
             stack.append(self._high[f])
-        return len(reachable) + 2
+        return count + 2
 
     def level_sizes(self) -> list[int]:
         """Unique-table size per level (after GC this is the live profile)."""

@@ -125,10 +125,9 @@ class Approx1Analysis:
                 literal = m.var(pi) if value else m.nvar(pi)
                 chain = chains[(pi, value)]
                 for i, t in enumerate(times, start=1):
-                    product = literal
-                    for j in range(p - i + 1):
-                        product = product & m.var(chain[j])
-                    leaf_cache[(pi, value, t)] = product
+                    leaf_cache[(pi, value, t)] = m.conjoin(
+                        [literal] + [m.var(chain[j]) for j in range(p - i + 1)]
+                    )
 
         def leaf_fn(name: str, value: int, t: float) -> BddNode:
             try:
@@ -156,7 +155,9 @@ class Approx1Analysis:
             on = onsets[out]
             c1 = chi.chi(out, 1, t).equiv(on)
             c0 = chi.chi(out, 0, t).equiv(~on)
-            f = f & m.forall(x_vars, c1) & m.forall(x_vars, c0)
+            # ∀X.(c1 ∧ c0) fused: never materializes the conjunction BDD
+            # (and equals ∀X.c1 ∧ ∀X.c0 since ∀ distributes over ∧)
+            f = f & m.and_forall(x_vars, c1, c0)
             if m.num_nodes > gc_threshold:
                 # safe point: everything needed is wrapper-protected
                 m.garbage_collect()

@@ -187,6 +187,7 @@ class Approx2Analysis:
             for po, cone in support.items()
         }
         self._po_cache: dict[tuple, bool] = {}
+        self._po_fails: dict[str, int] = {}
 
     @staticmethod
     def _input_of(coord) -> str:
@@ -228,21 +229,34 @@ class Approx2Analysis:
         return bottom
 
     def _validate(self, r: Mapping) -> bool:
-        ft: FunctionalTiming | None = None
+        # consult the cache for every output first: a remembered failure
+        # decides the vector without running a single engine check
+        missing: list[tuple[str, float, tuple]] = []
         for po, t in self.required.items():
             key = (po, tuple(r[k] for k in self._po_coords[po]))
             verdict = self._po_cache.get(key)
             if verdict is None:
-                if ft is None:
-                    ft = FunctionalTiming(
-                        self.network,
-                        self.delays,
-                        arrivals=self._to_arrivals(r),
-                        engine=self.engine,
-                    )
-                verdict = ft.output_stable_by(po, t)
-                self._po_cache[key] = verdict
+                missing.append((po, t, key))
+            elif not verdict:
+                return False
+        if not missing:
+            return True
+        # uncached outputs: likeliest-to-fail first (failure history), so a
+        # rejected vector costs as few engine checks as possible
+        if len(missing) > 1 and self._po_fails:
+            fails = self._po_fails
+            missing.sort(key=lambda item: fails.get(item[0], 0), reverse=True)
+        ft = FunctionalTiming(
+            self.network,
+            self.delays,
+            arrivals=self._to_arrivals(r),
+            engine=self.engine,
+        )
+        for po, t, key in missing:
+            verdict = ft.output_stable_by(po, t)
+            self._po_cache[key] = verdict
             if not verdict:
+                self._po_fails[po] = self._po_fails.get(po, 0) + 1
                 return False
         return True
 

@@ -135,7 +135,7 @@ class ExactAnalysis:
             if m.num_nodes > threshold:
                 m.garbage_collect()
 
-        relation = m.true
+        constraints: list[BddNode] = []
         for out, t in req.items():
             on = onsets[out]
             one_ok = chi.chi(out, 1, t).equiv(on)
@@ -146,14 +146,17 @@ class ExactAnalysis:
 
                 dc = _cover_bdd(m, dc_cover, [m.var(pi) for pi in net.inputs])
                 care = ~dc
-                relation = relation & care.implies(one_ok)
-                relation = relation & care.implies(zero_ok)
+                constraints.append(care.implies(one_ok))
+                constraints.append(care.implies(zero_ok))
             else:
-                relation = relation & one_ok & zero_ok
+                constraints.append(one_ok)
+                constraints.append(zero_ok)
             maybe_gc()
 
-        # ordering chains and literal bounds
+        # ordering chains and literal bounds (balanced conjunction per
+        # input keeps the intermediate relation BDDs from going lopsided)
         for pi in net.inputs:
+            chain_constraints: list[BddNode] = []
             for value, table in ((1, self.leaves.for_one), (0, self.leaves.for_zero)):
                 times = table.get(pi, ())
                 bound = m.var(pi) if value else m.nvar(pi)
@@ -161,11 +164,27 @@ class ExactAnalysis:
                 for t in times:  # ascending
                     cur = m.var(leaf_index[(pi, value, t)].var_name)
                     if prev is not None:
-                        relation = relation & prev.implies(cur)
+                        chain_constraints.append(prev.implies(cur))
                     prev = cur
                 if prev is not None:
-                    relation = relation & prev.implies(bound)
+                    chain_constraints.append(prev.implies(bound))
+            if chain_constraints:
+                constraints.append(m.conjoin(chain_constraints))
             maybe_gc()
+
+        # Balanced pairwise reduction over *handles*, with a GC safe point
+        # between rounds: the handles of a finished round are dropped as the
+        # list is rebuilt, so intermediate products are reclaimable instead
+        # of pinning the unique table for the whole construction.
+        while len(constraints) > 1:
+            nxt: list[BddNode] = []
+            for i in range(0, len(constraints) - 1, 2):
+                nxt.append(constraints[i] & constraints[i + 1])
+            if len(constraints) % 2:
+                nxt.append(constraints[-1])
+            constraints = nxt
+            maybe_gc()
+        relation = constraints[0] if constraints else m.true
 
         if self.reorder:
             sift(m)
@@ -272,22 +291,29 @@ class ExactRelation:
         assignment corresponding to topological required times (footnote 4
         of the paper: 'pick the last output pattern for each minterm')."""
         m = self.manager
-        topo = m.true
-        for lv in self.leaf_vars:
-            bound = m.var(lv.input) if lv.value else m.nvar(lv.input)
-            topo = topo & m.var(lv.var_name).equiv(bound)
-        return topo
+        return m.conjoin(
+            [
+                m.var(lv.var_name).equiv(
+                    m.var(lv.input) if lv.value else m.nvar(lv.input)
+                )
+                for lv in self.leaf_vars
+            ]
+        )
 
     def contains_topological(self) -> bool:
         """Sanity invariant: the topological assignment is always in F."""
+        # ∀vars.(topo → F), fused: true iff topo ∧ ¬F is empty
+        m = self.manager
         topo = self.topological_assignment()
-        return (topo & ~self.F).is_false
+        return m.forall_implied(m.var_names, topo, self.F).is_true
 
     def nontrivial(self) -> bool:
         """Some permissible row differs from the topological one, i.e. the
         relation encodes a strictly looser requirement somewhere."""
+        # ∃vars.(F ∧ ¬topo), fused: the conjunction BDD is never built
+        m = self.manager
         topo = self.topological_assignment()
-        return not (self.F & ~topo).is_false
+        return m.and_exists(m.var_names, self.F, ~topo).is_true
 
     # ------------------------------------------------------------------
     # compatible-function extraction (Boolean unification)

@@ -172,7 +172,10 @@ def analyze_required_times(
                 nontrivial=relation.nontrivial(),
                 elapsed=_time.monotonic() - start,
                 detail=relation,
-                stats={"leaf_variables": relation.num_leaf_variables},
+                stats={
+                    "leaf_variables": relation.num_leaf_variables,
+                    "bdd": analysis.manager.statistics(),
+                },
             )
         if method == "approx1":
             from repro.core.approx1 import Approx1Analysis
@@ -185,7 +188,10 @@ def analyze_required_times(
                 nontrivial=result.nontrivial,
                 elapsed=_time.monotonic() - start,
                 detail=result,
-                stats={"num_parameters": result.num_parameters},
+                stats={
+                    "num_parameters": result.num_parameters,
+                    "bdd": analysis.manager.statistics(),
+                },
             )
         if method == "approx2":
             from repro.core.approx2 import Approx2Analysis

@@ -57,19 +57,29 @@ class SymbolicChi:
             onset_primes, offset_primes = node.primes()
             primes = onset_primes if value else offset_primes
             t_in = t - self.delays.of_value(name, value)
-            result = m.false
+            terms: list[BddNode] = []
+            saturated = False
             for cube in primes:
-                term = m.true
+                operands: list[BddNode] = []
+                dead = False
                 for i, fanin in enumerate(node.fanins):
                     phase = cube.literal(i)
                     if phase is None:
                         continue
-                    term = term & self.chi(fanin, phase, t_in)
-                    if term.is_false:
+                    child = self.chi(fanin, phase, t_in)
+                    if child.is_false:
+                        dead = True
                         break
-                result = result | term
-                if result.is_true:
+                    operands.append(child)
+                if dead:
+                    continue
+                term = m.conjoin(operands)
+                if term.is_true:
+                    saturated = True
                     break
+                if not term.is_false:
+                    terms.append(term)
+            result = m.true if saturated else m.disjoin(terms)
         self._memo[key] = result
         return result
 

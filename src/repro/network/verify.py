@@ -51,22 +51,22 @@ def global_functions(
 def _cover_bdd(
     manager: BddManager, cover, fanin_bdds: Sequence[BddNode]
 ) -> BddNode:
-    """Evaluate a SOP cover over fanin BDDs."""
-    result = manager.false
+    """Evaluate a SOP cover over fanin BDDs (balanced and/or trees)."""
+    terms: list[BddNode] = []
     for cube in cover:
-        term = manager.true
+        operands: list[BddNode] = []
         for i, fanin in enumerate(fanin_bdds):
             lit = cube.literal(i)
             if lit == 1:
-                term = term & fanin
+                operands.append(fanin)
             elif lit == 0:
-                term = term & ~fanin
-            if term.is_false:
-                break
-        result = result | term
-        if result.is_true:
-            break
-    return result
+                operands.append(~fanin)
+        term = manager.conjoin(operands)
+        if term.is_true:
+            return manager.true
+        if not term.is_false:
+            terms.append(term)
+    return manager.disjoin(terms)
 
 
 def equivalent(a: Network, b: Network) -> bool:

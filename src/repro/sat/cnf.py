@@ -69,6 +69,16 @@ class Cnf:
         for clause in clauses:
             self.add_clause(clause)
 
+    def add_clause_unchecked(self, clause: list[int]) -> None:
+        """Append a clause known to be well-formed.
+
+        Skips the duplicate/tautology/bounds screening of
+        :meth:`add_clause`; for generators (e.g. the Tseitin encoder) whose
+        clauses are duplicate-free by construction.  The list is stored
+        as-is, not copied.
+        """
+        self.clauses.append(clause)
+
     @property
     def num_clauses(self) -> int:
         return len(self.clauses)

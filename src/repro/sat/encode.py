@@ -63,6 +63,9 @@ class CircuitEncoder:
             cnf.add_clause([out])
             return
 
+        # Every clause below is duplicate-free by construction (each fanin
+        # contributes at most one literal per cube), so skip add_clause's
+        # screening passes.
         term_lits: list[int] = []
         for cube in cover:
             lits = []
@@ -78,16 +81,16 @@ class CircuitEncoder:
             aux = cnf.new_var()
             # aux -> each literal
             for lit in lits:
-                cnf.add_clause([-aux, lit])
+                cnf.add_clause_unchecked([-aux, lit])
             # all literals -> aux
-            cnf.add_clause([aux] + [-lit for lit in lits])
+            cnf.add_clause_unchecked([aux] + [-lit for lit in lits])
             term_lits.append(aux)
 
         # out -> some term
-        cnf.add_clause([-out] + term_lits)
+        cnf.add_clause_unchecked([-out] + term_lits)
         # each term -> out
         for t in term_lits:
-            cnf.add_clause([out, -t])
+            cnf.add_clause_unchecked([out, -t])
 
 
 def miter(

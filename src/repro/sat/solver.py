@@ -40,8 +40,10 @@ class Solver:
         self.propagations = 0
         self._unsat = False
 
+        # _add_clause never mutates or stores its argument (it builds a
+        # fresh simplified list), so the cnf clauses are shared, not copied
         for clause in cnf.clauses:
-            if not self._add_clause(list(clause)):
+            if not self._add_clause(clause):
                 self._unsat = True
                 break
 
@@ -53,24 +55,34 @@ class Solver:
 
     def _add_clause(self, clause: list[int]) -> bool:
         """Add an original clause; returns False on immediate conflict."""
-        clause = [l for l in dict.fromkeys(clause)]
-        if any(-l in clause for l in clause):
-            return True  # tautology
-        # drop already-false literals at level 0, detect satisfied clauses
-        simplified = []
+        # single pass: dedup, tautology check, and level-0 simplification
+        # (drop false literals, detect satisfied clauses)
+        assign = self.assign
+        seen: set[int] = set()
+        simplified: list[int] = []
         for lit in clause:
-            value = self._value(lit)
-            if value is True:
-                return True
-            if value is None:
+            if lit in seen:
+                continue
+            if -lit in seen:
+                return True  # tautology
+            seen.add(lit)
+            v = assign[lit if lit > 0 else -lit]
+            if v is None:
                 simplified.append(lit)
+            elif v == (lit > 0):
+                return True
         if not simplified:
             return False
         if len(simplified) == 1:
             return self._enqueue(simplified[0], None)
         self.clauses.append(simplified)
-        self._watch(simplified[0], simplified)
-        self._watch(simplified[1], simplified)
+        watches = self.watches
+        for lit in (simplified[0], simplified[1]):
+            lst = watches.get(lit)
+            if lst is None:
+                watches[lit] = [simplified]
+            else:
+                lst.append(simplified)
         return True
 
     # ------------------------------------------------------------------
@@ -94,19 +106,31 @@ class Solver:
         return True
 
     def _propagate(self) -> list[int] | None:
-        """Unit propagation; returns a conflicting clause or None."""
-        while self.qhead < len(self.trail):
-            lit = self.trail[self.qhead]
+        """Unit propagation; returns a conflicting clause or None.
+
+        The innermost loop of the solver: the literal-value test and the
+        unit enqueue are inlined (no ``_value``/``_enqueue`` calls) and all
+        instance attributes are bound to locals up front.
+        """
+        assign = self.assign
+        watches = self.watches
+        trail = self.trail
+        level_ = self.level
+        reason_ = self.reason
+        trail_lim = self.trail_lim
+        while self.qhead < len(trail):
+            lit = trail[self.qhead]
             self.qhead += 1
             self.propagations += 1
             falsified = -lit
-            watchers = self.watches.get(falsified)
+            watchers = watches.get(falsified)
             if not watchers:
                 continue
             new_watchers: list[list[int]] = []
             conflict: list[int] | None = None
             i = 0
-            while i < len(watchers):
+            n = len(watchers)
+            while i < n:
                 clause = watchers[i]
                 i += 1
                 if conflict is not None:
@@ -116,26 +140,38 @@ class Solver:
                 if clause[0] == falsified:
                     clause[0], clause[1] = clause[1], clause[0]
                 first = clause[0]
-                if self._value(first) is True:
+                v = assign[first] if first > 0 else assign[-first]
+                if v is not None and (v if first > 0 else not v):
                     new_watchers.append(clause)
                     continue
                 # search replacement watch
                 found = False
                 for k in range(2, len(clause)):
-                    if self._value(clause[k]) is not False:
+                    ck = clause[k]
+                    cv = assign[ck] if ck > 0 else assign[-ck]
+                    if cv is None or (cv if ck > 0 else not cv):
                         clause[1], clause[k] = clause[k], clause[1]
-                        self._watch(clause[1], clause)
+                        lst = watches.get(ck)
+                        if lst is None:
+                            watches[ck] = [clause]
+                        else:
+                            lst.append(clause)
                         found = True
                         break
                 if found:
                     continue
                 # clause is unit or conflicting
                 new_watchers.append(clause)
-                if self._value(first) is False:
+                if v is not None:
+                    # first is already false under the current assignment
                     conflict = clause
                 else:
-                    self._enqueue(first, clause)
-            self.watches[falsified] = new_watchers
+                    var = first if first > 0 else -first
+                    assign[var] = first > 0
+                    level_[var] = len(trail_lim)
+                    reason_[var] = clause
+                    trail.append(first)
+            watches[falsified] = new_watchers
             if conflict is not None:
                 return conflict
         return None
@@ -210,11 +246,18 @@ class Solver:
         if len(self.trail_lim) <= level:
             return
         bound = self.trail_lim[level]
+        phase = self.phase
+        assign = self.assign
+        reason = self.reason
         for lit in reversed(self.trail[bound:]):
-            var = abs(lit)
-            self.phase[var] = 1 if lit > 0 else 0
-            self.assign[var] = None
-            self.reason[var] = None
+            if lit > 0:
+                phase[lit] = 1
+                assign[lit] = None
+                reason[lit] = None
+            else:
+                phase[-lit] = 0
+                assign[-lit] = None
+                reason[-lit] = None
         del self.trail[bound:]
         del self.trail_lim[level:]
         self.qhead = min(self.qhead, len(self.trail))
@@ -223,13 +266,17 @@ class Solver:
     # branching
     # ------------------------------------------------------------------
     def _decide(self) -> int | None:
-        best_var = None
+        assign = self.assign
+        activity = self.activity
+        best_var = 0
         best_act = -1.0
         for var in range(1, self.nvars + 1):
-            if self.assign[var] is None and self.activity[var] > best_act:
-                best_act = self.activity[var]
-                best_var = var
-        if best_var is None:
+            if assign[var] is None:
+                act = activity[var]
+                if act > best_act:
+                    best_act = act
+                    best_var = var
+        if not best_var:
             return None
         return best_var if self.phase[best_var] else -best_var
 

@@ -120,6 +120,65 @@ class TestQuantifiers:
         assert mgr.compose(f, name, mgr.false) == mgr.restrict(f, {name: 0})
 
 
+class TestFusedOps:
+    """The fused quantifier-apply operations against their unfused
+    compositions, and the dedicated apply recursions against ITE."""
+
+    @given(expressions(), expressions())
+    @settings(max_examples=60)
+    def test_apply_ops_match_ite(self, e1, e2):
+        mgr = fresh_manager()
+        f, g = build(mgr, e1), build(mgr, e2)
+        assert f & g == f.ite(g, mgr.false)
+        assert f | g == f.ite(mgr.true, g)
+        assert f ^ g == f.ite(~g, g)
+        assert ~f == f.ite(mgr.false, mgr.true)
+
+    @given(
+        expressions(),
+        expressions(),
+        st.sets(st.sampled_from(NAMES), min_size=1, max_size=NVARS),
+    )
+    @settings(max_examples=60)
+    def test_and_exists_is_exists_of_and(self, e1, e2, names):
+        mgr = fresh_manager()
+        f, g = build(mgr, e1), build(mgr, e2)
+        assert mgr.and_exists(names, f, g) == mgr.exists(names, f & g)
+
+    @given(
+        expressions(),
+        expressions(),
+        st.sets(st.sampled_from(NAMES), min_size=1, max_size=NVARS),
+    )
+    @settings(max_examples=60)
+    def test_and_forall_is_forall_of_and(self, e1, e2, names):
+        mgr = fresh_manager()
+        f, g = build(mgr, e1), build(mgr, e2)
+        assert mgr.and_forall(names, f, g) == mgr.forall(names, f & g)
+
+    @given(
+        expressions(),
+        expressions(),
+        st.sets(st.sampled_from(NAMES), min_size=1, max_size=NVARS),
+    )
+    @settings(max_examples=60)
+    def test_forall_implied_is_forall_of_implication(self, e1, e2, names):
+        mgr = fresh_manager()
+        f, g = build(mgr, e1), build(mgr, e2)
+        assert mgr.forall_implied(names, f, g) == mgr.forall(names, ~f | g)
+
+    @given(st.lists(expressions(), max_size=5))
+    @settings(max_examples=40)
+    def test_balanced_conjoin_disjoin_match_folds(self, exprs):
+        mgr = fresh_manager()
+        fs = [build(mgr, e) for e in exprs]
+        conj, disj = mgr.true, mgr.false
+        for f in fs:
+            conj, disj = conj & f, disj | f
+        assert mgr.conjoin(fs) == conj
+        assert mgr.disjoin(fs) == disj
+
+
 class TestReorderInvariance:
     @given(expressions(), st.permutations(NAMES))
     @settings(max_examples=40)

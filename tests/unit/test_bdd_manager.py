@@ -263,3 +263,127 @@ class TestSize:
         a, b, c = abc
         f = (a & c) | (b & c)
         assert mgr.size(f) <= 5
+
+
+class TestFusedQuantification:
+    def test_and_exists_basic(self, mgr, abc):
+        a, b, c = abc
+        # ∃b.(a∧b ∧ b∧c) = a∧c
+        assert mgr.and_exists(["b"], a & b, b & c) == a & c
+
+    def test_and_forall_basic(self, mgr, abc):
+        a, b, c = abc
+        # ∀b.((a|b) ∧ (c|b)) = a∧c
+        assert mgr.and_forall(["b"], a | b, c | b) == a & c
+
+    def test_forall_implied_basic(self, mgr, abc):
+        a, b, c = abc
+        # ∀a.(a → b) = b; an implication valid for every a is TRUE
+        assert mgr.forall_implied(["a"], a, b) == b
+        assert mgr.forall_implied(["a"], a & b, b).is_true
+        assert mgr.forall_implied(["a", "b"], a, b).is_false
+
+    def test_fused_terminals(self, mgr, abc):
+        a, _, _ = abc
+        assert mgr.and_exists(["a"], mgr.false, a).is_false
+        assert mgr.and_exists(["a"], mgr.true, a).is_true
+        assert mgr.and_forall(["a"], mgr.true, a).is_false
+
+    def test_fused_cross_manager_rejected(self, mgr, abc):
+        a, _, _ = abc
+        other = BddManager()
+        x = other.add_var("x")
+        with pytest.raises(BddError):
+            mgr.and_exists(["a"], a, x)
+        with pytest.raises(BddError):
+            mgr.forall_implied(["a"], x, a)
+
+
+class TestStatistics:
+    def test_statistics_structure(self, mgr, abc):
+        a, b, _ = abc
+        _ = a & b
+        stats = mgr.statistics()
+        for key in (
+            "ops", "caches", "cache_hits", "cache_misses", "cache_hit_rate",
+            "cache_generation", "live_nodes", "peak_live_nodes", "num_vars",
+            "gc_runs", "gc_reclaimed", "level_swaps", "reorder_events",
+        ):
+            assert key in stats
+        assert set(stats["caches"]["and"]) == {
+            "hits", "misses", "evictions", "entries"
+        }
+
+    def test_hit_and_miss_counters_increment(self, mgr, abc):
+        a, b, _ = abc
+        before = mgr.statistics()["caches"]["and"]
+        f = a & b
+        after_miss = mgr.statistics()["caches"]["and"]
+        assert after_miss["misses"] == before["misses"] + 1
+        g = a & b  # same operands: computed-table hit
+        after_hit = mgr.statistics()["caches"]["and"]
+        assert after_hit["hits"] == after_miss["hits"] + 1
+        assert f == g
+
+    def test_ops_count_lookups(self, mgr, abc):
+        a, b, c = abc
+        _ = (a | b) | c
+        assert mgr.statistics()["ops"]["or"] >= 2
+
+    def test_gc_bumps_generation_and_counters(self, mgr, abc):
+        a, b, _ = abc
+        _ = a & b
+        gen = mgr.statistics()["cache_generation"]
+        mgr.garbage_collect()
+        stats = mgr.statistics()
+        assert stats["cache_generation"] == gen + 1
+        assert stats["gc_runs"] == 1
+        assert stats["caches"]["and"]["entries"] == 0
+
+    def test_live_node_counter_tracks_level_sizes(self, mgr, abc):
+        a, b, c = abc
+        f = (a & b) ^ (b | c)
+        assert mgr.num_nodes == 2 + sum(mgr.level_sizes())
+        del f
+        mgr.garbage_collect()
+        assert mgr.num_nodes == 2 + sum(mgr.level_sizes())
+
+    def test_peak_live_is_monotone_bound(self, mgr, abc):
+        a, b, c = abc
+        f = (a & b) | (b & c)
+        stats = mgr.statistics()
+        assert stats["peak_live_nodes"] >= stats["live_nodes"]
+        del f
+        mgr.garbage_collect()
+        after = mgr.statistics()
+        assert after["peak_live_nodes"] >= stats["live_nodes"]
+
+    def test_reset_statistics(self, mgr, abc):
+        a, b, _ = abc
+        _ = a & b
+        mgr.garbage_collect()
+        mgr.reset_statistics()
+        stats = mgr.statistics()
+        assert stats["cache_hits"] == 0
+        assert stats["cache_misses"] == 0
+        assert stats["gc_runs"] == 0
+        assert stats["peak_live_nodes"] == stats["live_nodes"]
+
+
+class TestComputedTableEviction:
+    def test_small_bound_evicts_fifo(self):
+        mgr = BddManager(cache_bound=2)
+        vs = [mgr.add_var(f"x{i}") for i in range(6)]
+        for i in range(0, 6, 2):
+            _ = vs[i] & vs[i + 1]
+        caches = mgr.statistics()["caches"]["and"]
+        assert caches["entries"] <= 2
+        assert caches["evictions"] >= 1
+
+    def test_eviction_does_not_change_results(self):
+        mgr = BddManager(cache_bound=1)
+        a, b, c = mgr.add_var("a"), mgr.add_var("b"), mgr.add_var("c")
+        f = (a & b) | (b & c) | (a & c)
+        g = (a & b) | (b & c) | (a & c)
+        assert f == g
+        assert mgr.sat_count(f, 3) == 4
