@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Budgeted differential-fuzzing entry point for CI and local soaking.
+
+Runs the fuzzer across every generation profile under one wall-clock
+budget, saves any shrunk repro into an artifact directory, and writes a
+machine-readable report next to the repros.  Environment knobs (all
+optional) keep the CI workflow file trivial:
+
+* ``REPRO_FUZZ_BUDGET``  — total wall-clock budget in seconds (default
+  300); split evenly across the profiles.
+* ``REPRO_FUZZ_SEED``    — base seed; defaults to the current day number
+  so every nightly run explores fresh cases while staying reproducible
+  from the seed recorded in the report.
+* ``REPRO_FUZZ_CASES``   — per-profile case cap (default 200; the time
+  budget usually bites first).
+* ``REPRO_FUZZ_PROFILES``— comma-separated profile names (default: all).
+* ``REPRO_FUZZ_OUT``     — artifact directory (default ``fuzz-artifacts``).
+
+Exit status is 0 when every case passed, 1 otherwise — the artifact
+directory then contains one ``.blif``/``.json`` pair per failure, ready
+to be committed under ``tests/corpus/`` as a permanent regression test.
+
+Usage::
+
+    PYTHONPATH=src python scripts/run_fuzz.py
+    REPRO_FUZZ_BUDGET=60 PYTHONPATH=src python scripts/run_fuzz.py
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.fuzz import PROFILES, FuzzRunner  # noqa: E402
+
+
+def main() -> int:
+    budget_s = float(os.environ.get("REPRO_FUZZ_BUDGET", "300"))
+    default_seed = datetime.date.today().toordinal()
+    seed = os.environ.get("REPRO_FUZZ_SEED", str(default_seed))
+    case_cap = int(os.environ.get("REPRO_FUZZ_CASES", "200"))
+    profiles = [
+        p
+        for p in os.environ.get(
+            "REPRO_FUZZ_PROFILES", ",".join(sorted(PROFILES))
+        ).split(",")
+        if p
+    ]
+    out_dir = os.environ.get("REPRO_FUZZ_OUT", "fuzz-artifacts")
+    os.makedirs(out_dir, exist_ok=True)
+
+    per_profile = budget_s / max(1, len(profiles))
+    reports = []
+    failures = 0
+    for profile in profiles:
+        runner = FuzzRunner(
+            seed=seed,
+            budget=case_cap,
+            profile=profile,
+            time_budget=per_profile,
+            corpus_dir=out_dir,
+            log=lambda v: print(v.render(), flush=True),
+        )
+        report = runner.run()
+        print(report.summary(), flush=True)
+        reports.append(report.to_json())
+        failures += report.num_failures
+
+    summary_path = os.path.join(out_dir, "report.json")
+    with open(summary_path, "w") as handle:
+        json.dump(
+            {"seed": seed, "budget_seconds": budget_s, "runs": reports},
+            handle,
+            indent=2,
+            sort_keys=True,
+        )
+        handle.write("\n")
+    print(f"\nwrote {summary_path}; total failures: {failures}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,25 @@ from repro.network.network import Network
 from repro.sop import Cover
 
 
+def _rng(seed: int | random.Random) -> random.Random:
+    """Normalize a seed into a dedicated ``random.Random`` stream.
+
+    Every randomized builder funnels its draws through an instance
+    returned here — none touches the module-level ``random`` state — so
+    generation is reproducible and composable: a caller (the fuzz
+    harness, ``clustered_logic``) may hand the same stream to several
+    builders and the combined sequence stays deterministic.
+    """
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def _seed_tag(seed: int | random.Random) -> str:
+    """A short printable token for default circuit names."""
+    return str(seed) if isinstance(seed, int) else "shared"
+
+
 def _add_mux(net: Network, name: str, sel: str, when1: str, when0: str) -> str:
     """m = sel·when1 + ¬sel·when0 as a single node (its primes include the
     consensus term when1·when0, which the χ recursion needs to see)."""
@@ -291,16 +310,21 @@ def cascaded_mux_chain(stages: int, name: str | None = None) -> Network:
 def random_reconvergent(
     n_inputs: int,
     n_gates: int,
-    seed: int,
+    seed: int | random.Random,
     n_outputs: int | None = None,
     name: str | None = None,
 ) -> Network:
     """Seeded random logic with locality-biased fanin selection (which
-    produces the reconvergence the paper's analysis cost depends on)."""
+    produces the reconvergence the paper's analysis cost depends on).
+
+    ``seed`` is an integer or an already-seeded ``random.Random`` stream
+    (so a caller can share one stream across several builders).
+    """
     if n_inputs < 2 or n_gates < 1:
         raise NetworkError("need at least 2 inputs and 1 gate")
-    rng = random.Random(seed)
-    net = Network(name or f"rand{n_inputs}x{n_gates}s{seed}")
+    tag = _seed_tag(seed)
+    rng = _rng(seed)
+    net = Network(name or f"rand{n_inputs}x{n_gates}s{tag}")
     signals = []
     for i in range(n_inputs):
         net.add_input(f"x{i}")
@@ -339,14 +363,15 @@ def clustered_logic(
     n_clusters: int,
     inputs_per_cluster: int,
     gates_per_cluster: int,
-    seed: int,
+    seed: int | random.Random,
     name: str | None = None,
 ) -> Network:
     """Independent random clusters — many primary inputs with bounded BDD
     cost (the i1/i3-style circuits on which the exact method is feasible)."""
-    rng = random.Random(seed)
+    tag = _seed_tag(seed)
+    rng = _rng(seed)
     net = Network(
-        name or f"clusters{n_clusters}x{inputs_per_cluster}s{seed}"
+        name or f"clusters{n_clusters}x{inputs_per_cluster}s{tag}"
     )
     outputs = []
     for c in range(n_clusters):

@@ -28,6 +28,7 @@ m10      257    224    large mixed: approx-1 memory-outs, approx-2
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 
 from repro.circuits.examples import figure4
@@ -85,8 +86,6 @@ def _wide_cone(n_inputs: int, seed: int, name: str) -> Network:
     """A single-output reconvergent cone over many inputs, built from
     cascaded layers that reuse signals at different depths (the Figure-4
     time-multiplicity pattern, scaled up)."""
-    import random
-
     rng = random.Random(seed)
     net = Network(name)
     signals = []

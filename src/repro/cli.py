@@ -14,6 +14,9 @@ Commands
 * ``paths``    — enumerate the longest paths and classify each one.
 * ``report``   — the consolidated timing datasheet (delay + false paths +
   required-time analysis in one page).
+* ``fuzz``     — differential fuzzing: generate random netlists, run all
+  four required-time engines against each other and the ternary oracle,
+  shrink any failure and save it to a regression corpus.
 
 Netlists are read from BLIF (``.blif``) or ISCAS bench (``.bench``)
 files, chosen by extension.  All analyses default to the paper's setup:
@@ -155,6 +158,49 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzz import PROFILES, FuzzRunner, load_corpus, replay_entry
+
+    if args.replay is not None:
+        entries = load_corpus(args.replay)
+        if not entries:
+            print(f"no corpus entries under {args.replay}")
+            return 0
+        failures = 0
+        for entry in entries:
+            result = replay_entry(entry)
+            status = "ok" if result.ok else "FAIL " + ",".join(result.failed_checks)
+            print(f"{entry.case.case_id:<44} {status}")
+            if not result.ok:
+                failures += 1
+        print(f"\n{len(entries)} corpus entries, {failures} still failing")
+        return 1 if failures else 0
+
+    if args.profile not in PROFILES:
+        print(
+            f"error: unknown profile {args.profile!r} "
+            f"(choose from {', '.join(sorted(PROFILES))})",
+            file=sys.stderr,
+        )
+        return 2
+    runner = FuzzRunner(
+        seed=args.seed,
+        budget=args.budget,
+        profile=args.profile,
+        time_budget=args.time_budget,
+        corpus_dir=args.corpus,
+        shrink=not args.no_shrink,
+        stop_on_failure=args.stop_on_failure,
+        log=None if args.json else lambda v: print(v.render()),
+    )
+    report = runner.run()
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(f"\n{report.summary()}")
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -206,6 +252,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--engine", choices=["bdd", "sat"], default="bdd")
     p.add_argument("--budget", type=float, default=30.0)
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("fuzz", help="differential fuzzing of the engines")
+    p.add_argument("--seed", default="0",
+                   help="base seed of the deterministic case sequence")
+    p.add_argument("--budget", type=int, default=25,
+                   help="number of cases to generate (default 25)")
+    p.add_argument("--profile", default="default",
+                   help="generation profile (default/tiny/arith/deep)")
+    p.add_argument("--time-budget", type=float, default=None,
+                   help="wall-clock cap in seconds (stops early)")
+    p.add_argument("--corpus", default=None,
+                   help="directory to save shrunk repros into")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="skip delta-debugging of failures")
+    p.add_argument("--stop-on-failure", action="store_true",
+                   help="stop at the first failing case")
+    p.add_argument("--replay", default=None, metavar="DIR",
+                   help="replay a saved corpus instead of fuzzing")
+    p.add_argument("--json", action="store_true", help="machine-readable report")
+    p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser("paths", help="classify the longest paths")
     p.add_argument("netlist")

@@ -204,14 +204,22 @@ class Approx2Analysis:
 
     # ------------------------------------------------------------------
     def r_bottom(self) -> dict[str, float]:
-        """r_⊥: minimum of each axis — equals the topological requirement
-        for every input the recursion reaches."""
+        """r_⊥: minimum of each axis — never tighter than the topological
+        requirement for any input the recursion reaches.
+
+        With a single delay per gate the two coincide exactly.  With
+        separate rise/fall delays the χ recursion charges each gate the
+        delay of the value actually produced, while the Figure-3 baseline
+        conservatively charges ``max(rise, fall)``; the phase-coupled
+        bottom may then be strictly *looser* (later) than the baseline —
+        found by differential fuzzing on a mux chain with asymmetric
+        delays.  Only a bottom *earlier* than the baseline would signal an
+        enumeration bug.
+        """
         topo = topological_input_required_times(
             self.network, self.delays, self.required
         )
         bottom = {coord: min(axis) for coord, axis in self.axes.items()}
-        # consistency: where the input is genuinely constrained, the
-        # earliest lattice time must equal the topological requirement
         per_input: dict[str, float] = {}
         for coord, t in bottom.items():
             pi = self._input_of(coord)
@@ -220,10 +228,10 @@ class Approx2Analysis:
             if (
                 topo[pi] != float("inf")
                 and t != float("inf")
-                and abs(topo[pi] - t) > 1e-9
+                and t < topo[pi] - 1e-9
             ):
                 raise TimingError(
-                    f"lattice bottom {t} disagrees with topological "
+                    f"lattice bottom {t} tighter than topological "
                     f"requirement {topo[pi]} at input {pi!r}"
                 )
         return bottom

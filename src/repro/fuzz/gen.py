@@ -1,0 +1,400 @@
+"""Seeded random-netlist generation for the differential fuzzer.
+
+A :class:`FuzzProfile` bundles every knob of the generator: circuit-size
+ranges, gate mix, fanin bounds, reconvergence density, the mix of
+structured circuit families (layered on :mod:`repro.circuits.generators`),
+and the distributions of delay models and output required times.  A
+:class:`FuzzCase` is one fully specified analysis problem — network,
+delay model, required times — plus the identity needed to regenerate it.
+
+Determinism contract: ``generate_case(seed, profile, index)`` depends on
+nothing but its arguments.  Every random draw flows through one
+``random.Random`` seeded with the string ``"{seed}:{index}"``, so the
+case sequence of a fuzzing run is identical run-to-run and across
+machines, and any single case can be regenerated without replaying the
+cases before it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
+
+from repro.circuits.generators import (
+    carry_select_adder,
+    carry_skip_adder,
+    cascaded_mux_chain,
+    parity_tree,
+    random_reconvergent,
+)
+from repro.errors import TimingError
+from repro.network.network import Network
+from repro.timing.delay import DelayModel, unit_delay
+
+
+@dataclass(frozen=True)
+class FuzzProfile:
+    """The generator's configuration (all distributions are weighted)."""
+
+    name: str
+    #: inclusive range of primary-input counts for the random family
+    n_inputs: tuple[int, int] = (3, 7)
+    #: inclusive range of gate counts for the random family
+    n_gates: tuple[int, int] = (4, 14)
+    max_fanin: int = 3
+    #: weighted gate kinds for randomly grown logic
+    gate_mix: tuple[tuple[str, int], ...] = (
+        ("AND", 3),
+        ("OR", 3),
+        ("NAND", 2),
+        ("NOR", 2),
+        ("XOR", 2),
+        ("XNOR", 1),
+        ("NOT", 1),
+        ("BUF", 1),
+    )
+    #: probability that a fanin is drawn from the most recent signals —
+    #: the locality bias that produces reconvergent false-path structure
+    reconvergence: float = 0.6
+    #: weighted circuit families; ``random`` grows gate soup from the
+    #: mixes above, the others instantiate the paper's structured
+    #: false-path families, and ``composed`` grows random logic on top of
+    #: a structured core
+    family_mix: tuple[tuple[str, int], ...] = (
+        ("random", 5),
+        ("carry_skip", 2),
+        ("carry_select", 1),
+        ("mux_chain", 2),
+        ("parity", 1),
+        ("composed", 2),
+    )
+    #: weighted delay models: ``unit`` (the paper's), ``integer`` (a few
+    #: gates slowed to 2–3), ``risefall`` (value-dependent pairs)
+    delay_mix: tuple[tuple[str, int], ...] = (
+        ("unit", 4),
+        ("integer", 2),
+        ("risefall", 1),
+    )
+    #: weighted output required-time shapes: ``zero`` (the paper's
+    #: default), ``scalar`` (one positive constant), ``per_output``
+    required_mix: tuple[tuple[str, int], ...] = (
+        ("zero", 3),
+        ("scalar", 2),
+        ("per_output", 1),
+    )
+    #: probability of exposing every sink as an output (vs just one)
+    multi_output: float = 0.7
+
+
+#: Named profiles selectable via ``repro fuzz --profile``.
+PROFILES: dict[str, FuzzProfile] = {
+    "default": FuzzProfile(name="default"),
+    # oracle-friendly: every case is small enough for the exhaustive
+    # ternary simulator and the exact relation
+    "tiny": FuzzProfile(
+        name="tiny",
+        n_inputs=(2, 5),
+        n_gates=(3, 8),
+        family_mix=(
+            ("random", 5),
+            ("carry_select", 1),
+            ("mux_chain", 2),
+            ("parity", 1),
+            ("composed", 1),
+        ),
+    ),
+    # weighted toward the adder families whose block-crossing carry paths
+    # are the paper's canonical false paths
+    "arith": FuzzProfile(
+        name="arith",
+        n_inputs=(4, 8),
+        n_gates=(6, 18),
+        family_mix=(
+            ("random", 1),
+            ("carry_skip", 4),
+            ("carry_select", 3),
+            ("mux_chain", 1),
+            ("composed", 2),
+        ),
+    ),
+    # long mux chains and deep random logic: many candidate times per
+    # input, stressing the lattice climb and the leaf enumeration
+    "deep": FuzzProfile(
+        name="deep",
+        n_inputs=(3, 6),
+        n_gates=(10, 22),
+        reconvergence=0.8,
+        family_mix=(
+            ("random", 3),
+            ("mux_chain", 4),
+            ("composed", 3),
+        ),
+    ),
+}
+
+
+@dataclass
+class FuzzCase:
+    """One fully specified required-time analysis problem."""
+
+    case_id: str
+    network: Network
+    delays: DelayModel
+    output_required: float | dict[str, float]
+    profile: str
+    #: the exact ``random.Random`` seed string that regenerates the case
+    seed: str
+    family: str = "unknown"
+
+    @property
+    def num_gates(self) -> int:
+        return self.network.num_gates
+
+    @property
+    def num_inputs(self) -> int:
+        return self.network.num_inputs
+
+    def required_map(self) -> dict[str, float]:
+        """Required times normalized to a per-output mapping."""
+        if isinstance(self.output_required, Mapping):
+            return {o: float(t) for o, t in self.output_required.items()}
+        return {o: float(self.output_required) for o in self.network.outputs}
+
+
+# ----------------------------------------------------------------------
+# weighted draws and random gate soup
+# ----------------------------------------------------------------------
+
+
+def _weighted(rng: random.Random, pairs: Sequence[tuple[str, int]]) -> str:
+    total = sum(w for _, w in pairs)
+    pick = rng.randrange(total)
+    for item, w in pairs:
+        pick -= w
+        if pick < 0:
+            return item
+    raise TimingError("empty weighted distribution")  # pragma: no cover
+
+
+def _pick_fanins(
+    rng: random.Random, signals: list[str], k: int, reconvergence: float
+) -> list[str]:
+    """Draw ``k`` distinct fanins, biased toward recent signals."""
+    recent = signals[-6:]
+    chosen: list[str] = []
+    attempts = 0
+    while len(chosen) < k and attempts < 8 * k:
+        attempts += 1
+        pool = recent if rng.random() < reconvergence else signals
+        s = pool[rng.randrange(len(pool))]
+        if s not in chosen:
+            chosen.append(s)
+    for s in signals:  # backfill (tiny signal lists can exhaust the draws)
+        if len(chosen) >= k:
+            break
+        if s not in chosen:
+            chosen.append(s)
+    return chosen
+
+
+def _grow_random_logic(
+    rng: random.Random,
+    net: Network,
+    signals: list[str],
+    n_gates: int,
+    profile: FuzzProfile,
+    prefix: str = "g",
+) -> list[str]:
+    """Append ``n_gates`` random gates over ``signals``; returns the new
+    gate names in creation order."""
+    created = []
+    for g in range(n_gates):
+        kind = _weighted(rng, profile.gate_mix)
+        if kind in ("NOT", "BUF"):
+            fanins = [signals[rng.randrange(len(signals))]]
+        else:
+            k = rng.randint(2, max(2, min(profile.max_fanin, len(signals))))
+            fanins = _pick_fanins(rng, signals, k, profile.reconvergence)
+        name = f"{prefix}{g}"
+        net.add_gate(name, kind, fanins)
+        signals.append(name)
+        created.append(name)
+    return created
+
+
+def _sink_outputs(net: Network, created: list[str], rng, profile) -> list[str]:
+    """Expose the dangling gates (or just the last one) as outputs."""
+    fanouts = net.fanouts()
+    sinks = [s for s in created if not fanouts[s]]
+    if not sinks:
+        sinks = [created[-1]]
+    if len(sinks) > 1 and rng.random() >= profile.multi_output:
+        sinks = [sinks[-1]]
+    return sinks
+
+
+# ----------------------------------------------------------------------
+# families
+# ----------------------------------------------------------------------
+
+
+def _family_random(rng: random.Random, profile: FuzzProfile) -> Network:
+    n_inputs = rng.randint(*profile.n_inputs)
+    n_gates = rng.randint(*profile.n_gates)
+    net = Network("random")
+    signals = []
+    for i in range(n_inputs):
+        net.add_input(f"x{i}")
+        signals.append(f"x{i}")
+    created = _grow_random_logic(rng, net, signals, n_gates, profile)
+    net.set_outputs(_sink_outputs(net, created, rng, profile))
+    return net
+
+
+def _family_carry_skip(rng: random.Random, profile: FuzzProfile) -> Network:
+    # inputs = 1 + 2 * n_blocks * block_bits; keep within the profile cap
+    hi = max(profile.n_inputs[1], 5)
+    n_blocks = 2 if hi >= 9 and rng.random() < 0.5 else 1
+    block_bits = 3 if hi >= 7 + 4 * (n_blocks - 1) and rng.random() < 0.5 else 2
+    return carry_skip_adder(n_blocks, block_bits)
+
+
+def _family_carry_select(rng: random.Random, profile: FuzzProfile) -> Network:
+    hi = max(profile.n_inputs[1], 3)
+    n_blocks = 2 if hi >= 5 and rng.random() < 0.4 else 1
+    block_bits = 2 if hi >= 2 * n_blocks * 2 + 1 and rng.random() < 0.5 else 1
+    return carry_select_adder(n_blocks, block_bits)
+
+
+def _family_mux_chain(rng: random.Random, profile: FuzzProfile) -> Network:
+    # inputs = stages + 2
+    stages = rng.randint(2, max(2, profile.n_inputs[1] - 2))
+    return cascaded_mux_chain(stages)
+
+
+def _family_parity(rng: random.Random, profile: FuzzProfile) -> Network:
+    return parity_tree(rng.randint(max(2, profile.n_inputs[0]), profile.n_inputs[1]))
+
+
+def _family_composed(rng: random.Random, profile: FuzzProfile) -> Network:
+    """Random logic grown over a structured false-path core: the core's
+    internal signals feed the new gates, producing reconvergence *through*
+    the false-path structure rather than beside it."""
+    core_kind = _weighted(
+        rng, (("mux_chain", 2), ("carry_select", 1), ("reconv", 2))
+    )
+    if core_kind == "mux_chain":
+        core = _family_mux_chain(rng, profile)
+    elif core_kind == "carry_select":
+        core = _family_carry_select(rng, profile)
+    else:
+        core = random_reconvergent(
+            max(2, profile.n_inputs[0]), max(3, profile.n_gates[0]), rng
+        )
+    net = core.copy("composed")
+    signals = [n for n in net.topological_order()]
+    n_extra = rng.randint(2, max(2, profile.n_gates[1] // 2))
+    created = _grow_random_logic(rng, net, signals, n_extra, profile, prefix="ext")
+    extra_outputs = [
+        s for s in _sink_outputs(net, created, rng, profile)
+        if s not in net.outputs
+    ]
+    net.set_outputs(list(net.outputs) + extra_outputs)
+    return net
+
+
+_FAMILIES = {
+    "random": _family_random,
+    "carry_skip": _family_carry_skip,
+    "carry_select": _family_carry_select,
+    "mux_chain": _family_mux_chain,
+    "parity": _family_parity,
+    "composed": _family_composed,
+}
+
+
+# ----------------------------------------------------------------------
+# delay and required-time profiles
+# ----------------------------------------------------------------------
+
+
+def _draw_delays(rng: random.Random, net: Network, profile: FuzzProfile) -> DelayModel:
+    kind = _weighted(rng, profile.delay_mix)
+    if kind == "unit":
+        return unit_delay()
+    gates = sorted(n for n, node in net.nodes.items() if not node.is_input)
+    count = min(len(gates), rng.randint(1, 4))
+    victims = rng.sample(gates, count)
+    if kind == "integer":
+        overrides = {g: float(rng.randint(2, 3)) for g in victims}
+    else:  # risefall: value-dependent (rise, fall) pairs
+        overrides = {
+            g: (float(rng.randint(1, 2)), float(rng.randint(1, 2)))
+            for g in victims
+        }
+    return DelayModel(default=1.0, overrides=overrides)
+
+
+def _draw_required(
+    rng: random.Random, net: Network, profile: FuzzProfile
+) -> float | dict[str, float]:
+    kind = _weighted(rng, profile.required_mix)
+    if kind == "zero":
+        return 0.0
+    if kind == "scalar":
+        return float(rng.randint(1, 2))
+    return {o: float(rng.randint(0, 2)) for o in net.outputs}
+
+
+# ----------------------------------------------------------------------
+# entry points
+# ----------------------------------------------------------------------
+
+
+def generate_case(
+    seed: int | str, profile: FuzzProfile | str = "default", index: int = 0
+) -> FuzzCase:
+    """The ``index``-th case of the run seeded by ``seed``.
+
+    Pure: depends only on the arguments (see the module docstring's
+    determinism contract).
+    """
+    if isinstance(profile, str):
+        try:
+            profile = PROFILES[profile]
+        except KeyError:
+            raise TimingError(
+                f"unknown fuzz profile {profile!r}; "
+                f"choose from {sorted(PROFILES)}"
+            ) from None
+    case_seed = f"{seed}:{index}"
+    rng = random.Random(case_seed)
+    family = _weighted(rng, profile.family_mix)
+    net = _FAMILIES[family](rng, profile)
+    digest = hashlib.sha1(case_seed.encode()).hexdigest()[:8]
+    case_id = f"{profile.name}-{index:04d}-{family}-{digest}"
+    net.name = case_id
+    net.validate()
+    delays = _draw_delays(rng, net, profile)
+    required = _draw_required(rng, net, profile)
+    return FuzzCase(
+        case_id=case_id,
+        network=net,
+        delays=delays,
+        output_required=required,
+        profile=profile.name,
+        seed=case_seed,
+        family=family,
+    )
+
+
+def iter_cases(
+    seed: int | str, profile: FuzzProfile | str = "default", count: int | None = None
+) -> Iterator[FuzzCase]:
+    """The deterministic case sequence of one fuzzing run."""
+    index = 0
+    while count is None or index < count:
+        yield generate_case(seed, profile, index)
+        index += 1

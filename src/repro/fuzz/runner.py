@@ -1,0 +1,214 @@
+"""The budgeted fuzzing loop: generate → check → shrink → save.
+
+:class:`FuzzRunner` drives the whole pipeline.  The case sequence is a
+pure function of ``(seed, profile)`` — budgets only decide how far along
+the sequence a run gets — so two runs with the same seed and case budget
+produce identical circuits and identical verdicts, and a failure found
+by the nightly job is regenerated locally from its recorded seed alone.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+
+from repro.fuzz.checks import CaseResult, EngineSuite, run_differential
+from repro.fuzz.corpus import save_repro
+from repro.fuzz.gen import FuzzProfile, generate_case
+from repro.fuzz.shrink import failure_predicate, shrink_case
+
+
+@dataclass
+class CaseVerdict:
+    """One line of a fuzzing report."""
+
+    index: int
+    case_id: str
+    family: str
+    num_inputs: int
+    num_gates: int
+    ok: bool
+    failed_checks: list[str] = field(default_factory=list)
+    #: gate count after shrinking (None when the case passed or
+    #: shrinking was disabled)
+    shrunk_gates: int | None = None
+    #: corpus base name of the saved repro, when one was written
+    repro: str | None = None
+    elapsed: float = 0.0
+
+    def render(self) -> str:
+        status = "ok" if self.ok else "FAIL " + ",".join(self.failed_checks)
+        line = (
+            f"[{self.index:4d}] {self.case_id:<40} "
+            f"{self.num_inputs}PI/{self.num_gates}G  {status}"
+        )
+        if self.shrunk_gates is not None:
+            line += f"  (shrunk to {self.shrunk_gates} gates)"
+        if self.repro is not None:
+            line += f"  -> {self.repro}"
+        return line
+
+
+@dataclass
+class FuzzReport:
+    """The outcome of one fuzzing run."""
+
+    seed: str
+    profile: str
+    verdicts: list[CaseVerdict] = field(default_factory=list)
+    elapsed: float = 0.0
+    #: why the loop ended: "budget" (case budget spent), "time"
+    #: (wall-clock cap), or "stop-on-failure"
+    stopped: str = "budget"
+
+    @property
+    def num_cases(self) -> int:
+        return len(self.verdicts)
+
+    @property
+    def num_failures(self) -> int:
+        return sum(1 for v in self.verdicts if not v.ok)
+
+    @property
+    def ok(self) -> bool:
+        return self.num_failures == 0
+
+    def summary(self) -> str:
+        return (
+            f"fuzz(seed={self.seed}, profile={self.profile}): "
+            f"{self.num_cases} cases, {self.num_failures} failures, "
+            f"{self.elapsed:.1f}s ({self.stopped})"
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "seed": self.seed,
+            "profile": self.profile,
+            "cases": self.num_cases,
+            "failures": self.num_failures,
+            "elapsed": round(self.elapsed, 3),
+            "stopped": self.stopped,
+            "verdicts": [
+                {
+                    "index": v.index,
+                    "case_id": v.case_id,
+                    "family": v.family,
+                    "inputs": v.num_inputs,
+                    "gates": v.num_gates,
+                    "ok": v.ok,
+                    "failed_checks": v.failed_checks,
+                    "shrunk_gates": v.shrunk_gates,
+                    "repro": v.repro,
+                }
+                for v in self.verdicts
+            ],
+        }
+
+
+class FuzzRunner:
+    """Generate/check/shrink/save over one deterministic case sequence."""
+
+    def __init__(
+        self,
+        seed: int | str = 0,
+        budget: int = 25,
+        profile: FuzzProfile | str = "default",
+        time_budget: float | None = None,
+        suite: EngineSuite | None = None,
+        corpus_dir: str | None = None,
+        shrink: bool = True,
+        stop_on_failure: bool = False,
+        oracle_max_inputs: int = 6,
+        exact_max_inputs: int = 7,
+        max_shrink_evals: int = 300,
+        log=None,
+    ):
+        self.seed = seed
+        self.budget = budget
+        self.profile = profile
+        self.time_budget = time_budget
+        self.suite = suite or EngineSuite()
+        self.corpus_dir = corpus_dir
+        self.shrink = shrink
+        self.stop_on_failure = stop_on_failure
+        self.oracle_max_inputs = oracle_max_inputs
+        self.exact_max_inputs = exact_max_inputs
+        self.max_shrink_evals = max_shrink_evals
+        #: optional per-verdict callback (the CLI's live output)
+        self.log = log
+
+    def _profile_name(self) -> str:
+        return (
+            self.profile.name
+            if isinstance(self.profile, FuzzProfile)
+            else self.profile
+        )
+
+    def run(self) -> FuzzReport:
+        start = _time.monotonic()
+        report = FuzzReport(seed=str(self.seed), profile=self._profile_name())
+        for index in range(self.budget):
+            if (
+                self.time_budget is not None
+                and _time.monotonic() - start > self.time_budget
+            ):
+                report.stopped = "time"
+                break
+            case = generate_case(self.seed, self.profile, index)
+            result = run_differential(
+                case,
+                self.suite,
+                oracle_max_inputs=self.oracle_max_inputs,
+                exact_max_inputs=self.exact_max_inputs,
+            )
+            verdict = self._verdict(index, result)
+            report.verdicts.append(verdict)
+            if self.log is not None:
+                self.log(verdict)
+            if not verdict.ok and self.stop_on_failure:
+                report.stopped = "stop-on-failure"
+                break
+        report.elapsed = _time.monotonic() - start
+        return report
+
+    def _verdict(self, index: int, result: CaseResult) -> CaseVerdict:
+        case = result.case
+        verdict = CaseVerdict(
+            index=index,
+            case_id=case.case_id,
+            family=case.family,
+            num_inputs=case.num_inputs,
+            num_gates=case.num_gates,
+            ok=result.ok,
+            failed_checks=result.failed_checks,
+            elapsed=result.elapsed,
+        )
+        if result.ok:
+            return verdict
+        shrunk = case
+        if self.shrink:
+            predicate = failure_predicate(
+                self.suite,
+                checks=set(result.failed_checks),
+                oracle_max_inputs=self.oracle_max_inputs,
+                exact_max_inputs=self.exact_max_inputs,
+            )
+            shrunk = shrink_case(case, predicate, max_evals=self.max_shrink_evals)
+            verdict.shrunk_gates = shrunk.num_gates
+        if self.corpus_dir is not None:
+            # re-run on the shrunk case so the recorded failures describe
+            # the committed netlist, not its ancestor
+            final = run_differential(
+                shrunk,
+                self.suite,
+                oracle_max_inputs=self.oracle_max_inputs,
+                exact_max_inputs=self.exact_max_inputs,
+            )
+            failures = final.failures if final.failures else result.failures
+            verdict.repro = save_repro(
+                self.corpus_dir, shrunk, failures, original=case
+            )
+        return verdict
+
+
+__all__ = ["CaseVerdict", "FuzzReport", "FuzzRunner"]

@@ -89,6 +89,37 @@ class DelayModel:
         model._overrides[node_name] = _normalize(delay)
         return model
 
+    def restricted_to(self, network: Network) -> "DelayModel":
+        """A copy keeping only the overrides naming nodes of ``network``
+        (used when a circuit is shrunk out from under its delay model)."""
+        model = DelayModel.__new__(DelayModel)
+        model._default = self._default
+        model._overrides = {
+            name: pair
+            for name, pair in self._overrides.items()
+            if name in network.nodes
+        }
+        return model
+
+    def to_spec(self) -> dict:
+        """A JSON-serializable ``{default, overrides}`` description, each
+        delay as a ``[rise, fall]`` pair (the constructor's input order)."""
+        fall, rise = self._default
+        return {
+            "default": [rise, fall],
+            "overrides": {
+                name: [r, f] for name, (f, r) in sorted(self._overrides.items())
+            },
+        }
+
+    @classmethod
+    def from_spec(cls, spec: Mapping) -> "DelayModel":
+        """Rebuild a model from :meth:`to_spec` output."""
+        return cls(
+            tuple(spec.get("default", (1.0, 1.0))),
+            {name: tuple(pair) for name, pair in spec.get("overrides", {}).items()},
+        )
+
     def validate(self, network: Network) -> None:
         for name in self._overrides:
             network.node(name)  # raises on unknown nodes

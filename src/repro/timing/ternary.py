@@ -120,7 +120,13 @@ def stabilization_times(
         if node.is_input:
             stab[name] = arr_of(name)
             continue
-        events = sorted({stab[f] for f in node.fanins} | {0.0})
+        # -inf is the "no information" moment: a cover determined there is
+        # a constant function, stable since forever under χ semantics —
+        # found by differential fuzzing (the oracle used to floor the
+        # determination moment at 0, disagreeing with every χ engine on
+        # constant gates).  Any other determination needs a known fanin,
+        # so the fanin stabilization moments cover all remaining cases.
+        events = sorted({stab[f] for f in node.fanins} | {-math.inf})
         resolved: dict[str, bool] = {}
 
         def final_value(sig: str) -> bool:

@@ -1,0 +1,21 @@
+"""Shared pytest configuration: hypothesis profiles.
+
+Select a profile with the ``HYPOTHESIS_PROFILE`` environment variable
+(CI exports ``ci``); the per-test ``@settings`` decorators still win for
+anything they set explicitly.
+
+* ``ci``  — no deadline (shared runners stutter) and derandomized, so a
+  red CI run is reproducible from the printed blob alone;
+* ``dev`` — few examples for a fast local edit-test loop;
+* ``default`` — hypothesis' stock settings.
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import settings
+
+settings.register_profile("ci", deadline=None, derandomize=True, print_blob=True)
+settings.register_profile("dev", max_examples=15)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))

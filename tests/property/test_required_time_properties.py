@@ -7,37 +7,18 @@ time.  These tests check that claim on random circuits by feeding each
 algorithm's answer back into an independent functional timing analysis.
 """
 
+from functools import partial
+
 from hypothesis import given, settings, strategies as st
 
 from repro.core.approx1 import Approx1Analysis
 from repro.core.approx2 import Approx2Analysis
 from repro.core.exact import ExactAnalysis
 from repro.core.required_time import topological_input_required_times
-from repro.network import Network
 from repro.timing import FunctionalTiming
+from tests.strategies import small_networks as _small_networks
 
-
-@st.composite
-def small_networks(draw, n_inputs=3, max_gates=6):
-    net = Network("hyp_req")
-    signals = []
-    for i in range(n_inputs):
-        net.add_input(f"x{i}")
-        signals.append(f"x{i}")
-    n = draw(st.integers(2, max_gates))
-    for g in range(n):
-        kind = draw(st.sampled_from(["AND", "OR", "NAND", "NOR", "XOR", "NOT"]))
-        if kind == "NOT":
-            fanins = [draw(st.sampled_from(signals))]
-        else:
-            fanins = draw(
-                st.lists(st.sampled_from(signals), min_size=2, max_size=2, unique=True)
-            )
-        name = f"g{g}"
-        net.add_gate(name, kind, fanins)
-        signals.append(name)
-    net.set_outputs([signals[-1]])
-    return net
+small_networks = partial(_small_networks, n_inputs=3, max_gates=6, max_fanin=2)
 
 
 class TestApprox1Safety:

@@ -8,11 +8,11 @@ the functional-timing stack has.
 """
 
 import itertools
+from functools import partial
 
 from hypothesis import given, settings, strategies as st
 
 from repro.circuits import carry_skip_block, figure4
-from repro.network import Network
 from repro.timing import ChiEngine, FunctionalTiming, candidate_times
 from repro.timing.ternary import (
     oracle_true_arrival,
@@ -20,30 +20,9 @@ from repro.timing.ternary import (
     ternary_eval,
 )
 from repro.sop import Cover
+from tests.strategies import small_networks as _small_networks
 
-
-@st.composite
-def small_networks(draw, n_inputs=4, max_gates=6):
-    net = Network("hyp_oracle")
-    signals = []
-    for i in range(n_inputs):
-        net.add_input(f"x{i}")
-        signals.append(f"x{i}")
-    n = draw(st.integers(2, max_gates))
-    for g in range(n):
-        kind = draw(st.sampled_from(["AND", "OR", "NAND", "NOR", "XOR", "NOT"]))
-        if kind == "NOT":
-            fanins = [draw(st.sampled_from(signals))]
-        else:
-            k = draw(st.integers(2, min(3, len(signals))))
-            fanins = draw(
-                st.lists(st.sampled_from(signals), min_size=k, max_size=k, unique=True)
-            )
-        name = f"g{g}"
-        net.add_gate(name, kind, fanins)
-        signals.append(name)
-    net.set_outputs([signals[-1]])
-    return net
+small_networks = partial(_small_networks, max_gates=6)
 
 
 class TestTernaryEval:

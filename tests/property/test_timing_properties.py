@@ -15,39 +15,14 @@ import itertools
 
 from hypothesis import given, settings, strategies as st
 
-from repro.network import Network, global_functions
+from repro.network import global_functions
 from repro.timing import (
     ChiEngine,
     FunctionalTiming,
     candidate_times,
 )
 from repro.timing.topological import arrival_times
-
-
-@st.composite
-def small_networks(draw, n_inputs=4, max_gates=7):
-    net = Network("hyp_timing")
-    signals = []
-    for i in range(n_inputs):
-        net.add_input(f"x{i}")
-        signals.append(f"x{i}")
-    n = draw(st.integers(2, max_gates))
-    for g in range(n):
-        kind = draw(st.sampled_from(["AND", "OR", "NAND", "NOR", "XOR", "NOT"]))
-        if kind == "NOT":
-            fanins = [draw(st.sampled_from(signals))]
-        else:
-            k = draw(st.integers(2, min(3, len(signals))))
-            fanins = draw(
-                st.lists(
-                    st.sampled_from(signals), min_size=k, max_size=k, unique=True
-                )
-            )
-        name = f"g{g}"
-        net.add_gate(name, kind, fanins)
-        signals.append(name)
-    net.set_outputs([signals[-1]])
-    return net
+from tests.strategies import small_networks
 
 
 class TestChiInvariants:

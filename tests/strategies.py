@@ -1,0 +1,46 @@
+"""Shared hypothesis strategies for the property and fuzz test suites.
+
+One canonical ``small_networks`` strategy replaces the three per-file
+copies that used to live in the property tests; parameters cover every
+prior variant (input count, gate budget, fanin width).
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.network import Network
+
+GATE_KINDS = ["AND", "OR", "NAND", "NOR", "XOR", "NOT"]
+
+
+@st.composite
+def small_networks(draw, n_inputs=4, max_gates=7, max_fanin=3, name="hyp_net"):
+    """A random single-output combinational network.
+
+    Gates are drawn from :data:`GATE_KINDS`; every gate may use any
+    earlier signal as a fanin, so reconvergence and unbalanced depth
+    arise naturally.  The last gate added is the sole primary output.
+    """
+    net = Network(name)
+    signals = []
+    for i in range(n_inputs):
+        net.add_input(f"x{i}")
+        signals.append(f"x{i}")
+    n = draw(st.integers(2, max_gates))
+    for g in range(n):
+        kind = draw(st.sampled_from(GATE_KINDS))
+        if kind == "NOT":
+            fanins = [draw(st.sampled_from(signals))]
+        else:
+            k = draw(st.integers(2, min(max_fanin, len(signals))))
+            fanins = draw(
+                st.lists(
+                    st.sampled_from(signals), min_size=k, max_size=k, unique=True
+                )
+            )
+        gate = f"g{g}"
+        net.add_gate(gate, kind, fanins)
+        signals.append(gate)
+    net.set_outputs([signals[-1]])
+    return net

@@ -131,3 +131,39 @@ class TestReport:
         out = capsys.readouterr().out
         assert "circuit delay" in out
         assert "required-time analysis" not in out
+
+
+class TestFuzz:
+    def test_smoke_run(self, capsys):
+        assert main(["fuzz", "--seed", "1", "--budget", "3", "--profile", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "tiny-0000-" in out
+        assert "0 failures" in out
+
+    def test_json_report(self, capsys):
+        assert main(
+            ["fuzz", "--seed", "1", "--budget", "2", "--profile", "tiny", "--json"]
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["cases"] == 2
+        assert report["failures"] == 0
+        assert len(report["verdicts"]) == 2
+
+    def test_unknown_profile(self, capsys):
+        assert main(["fuzz", "--profile", "nope"]) == 2
+        assert "unknown profile" in capsys.readouterr().err
+
+    def test_replay_corpus(self, tmp_path, capsys):
+        from repro.fuzz import generate_case, save_repro
+        from repro.fuzz.checks import CheckFailure
+
+        case = generate_case(3, "tiny", 1)
+        save_repro(str(tmp_path), case, [CheckFailure("hierarchy", "synthetic")])
+        assert main(["fuzz", "--replay", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert case.case_id in out
+        assert "0 still failing" in out
+
+    def test_replay_empty_dir(self, tmp_path, capsys):
+        assert main(["fuzz", "--replay", str(tmp_path)]) == 0
+        assert "no corpus entries" in capsys.readouterr().out

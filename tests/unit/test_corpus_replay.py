@@ -1,0 +1,40 @@
+"""Replay of the persistent fuzzing corpus: every past failure, forever.
+
+Each entry under ``tests/corpus/`` is a shrunk repro of a bug the
+differential fuzzer once caught (the metadata's ``failures`` field
+records what went wrong and how it was fixed).  Replaying them with the
+stock engine suite must come back green: a red replay means a fixed bug
+has regressed.  New fuzzer findings join the corpus by committing the
+``.blif``/``.json`` pair the nightly job uploads.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import load_corpus, replay_entry
+
+CORPUS_DIR = Path(__file__).resolve().parent.parent / "corpus"
+ENTRIES = load_corpus(str(CORPUS_DIR))
+
+
+def test_corpus_is_seeded():
+    assert ENTRIES, f"no corpus entries under {CORPUS_DIR}"
+
+
+def test_every_entry_records_its_failure():
+    for entry in ENTRIES:
+        assert entry.failed_checks, entry.case.case_id
+
+
+@pytest.mark.parametrize(
+    "entry", ENTRIES, ids=[e.case.case_id for e in ENTRIES]
+)
+def test_replay_is_green(entry):
+    result = replay_entry(entry)
+    assert result.ok, (
+        f"corpus entry {entry.case.case_id} regressed: "
+        f"{[str(f) for f in result.failures]}"
+    )

@@ -1,0 +1,217 @@
+"""Unit tests for the differential fuzzing subsystem.
+
+The acceptance-critical scenario lives in :class:`TestMutationCatch`: a
+deliberately corrupted engine (approx-2 reporting every required time
+one unit too loose) must be caught by the differential checks, shrunk to
+a small netlist, saved to a corpus, and the saved repro must replay red
+against the buggy suite and green against the stock one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.fuzz import (
+    EngineSuite,
+    FuzzRunner,
+    PROFILES,
+    failure_predicate,
+    generate_case,
+    iter_cases,
+    load_corpus,
+    replay_entry,
+    run_differential,
+    save_repro,
+    shrink_case,
+)
+from repro.fuzz.checks import CheckFailure
+from repro.errors import ReproError
+from repro.network.blif import write_blif
+
+
+class TestGeneratorDeterminism:
+    def test_same_seed_same_case(self):
+        for profile in sorted(PROFILES):
+            a = generate_case(123, profile, 5)
+            b = generate_case(123, profile, 5)
+            assert a.case_id == b.case_id
+            assert write_blif(a.network) == write_blif(b.network)
+            assert a.delays.to_spec() == b.delays.to_spec()
+            assert a.output_required == b.output_required
+
+    def test_cases_are_independent_of_predecessors(self):
+        # regenerating case 5 alone equals case 5 of the full sequence
+        alone = generate_case(9, "tiny", 5)
+        in_sequence = list(iter_cases(9, "tiny", count=6))[5]
+        assert write_blif(alone.network) == write_blif(in_sequence.network)
+
+    def test_different_indexes_differ(self):
+        ids = {generate_case(0, "default", i).case_id for i in range(10)}
+        assert len(ids) == 10
+
+    def test_case_id_embeds_profile_and_family(self):
+        case = generate_case(4, "tiny", 2)
+        assert case.case_id.startswith("tiny-0002-")
+        assert case.family in case.case_id
+
+    def test_networks_are_valid(self):
+        for i in range(10):
+            case = generate_case(31, "default", i)
+            case.network.validate()
+            assert case.network.outputs
+
+
+class TestDifferentialChecks:
+    def test_stock_suite_passes_tiny_cases(self):
+        for i in range(5):
+            result = run_differential(generate_case(1, "tiny", i))
+            assert result.ok, result.failures
+
+    def test_budget_exhaustion_is_skip_not_failure(self):
+        # a 1-node BDD budget cannot fit any relation: the exact and
+        # approx1 stages must land in `skipped`, with no failure recorded
+        suite = EngineSuite(exact_max_nodes=1, approx1_max_nodes=1)
+        result = run_differential(generate_case(1, "tiny", 0), suite)
+        assert result.ok
+        assert "exact" in result.skipped
+        assert "approx1" in result.skipped
+
+    def test_crash_is_a_finding(self):
+        class CrashySuite(EngineSuite):
+            def approx1(self, case):
+                raise ValueError("boom")
+
+        result = run_differential(generate_case(1, "tiny", 0), CrashySuite())
+        assert not result.ok
+        assert result.failed_checks == ["engine-error"]
+
+
+class TestShrinker:
+    def test_structural_shrink_reaches_small_fixpoint(self):
+        case = generate_case(2, "default", 1)
+        assert case.num_gates > 3
+        shrunk = shrink_case(case, lambda c: c.network.num_gates >= 3)
+        assert shrunk.num_gates == 3
+        shrunk.network.validate()
+
+    def test_environment_is_simplified_first(self):
+        case = generate_case(5, "default", 3)
+        shrunk = shrink_case(case, lambda c: True)
+        assert shrunk.delays.to_spec()["overrides"] == {}
+        assert shrunk.output_required == 0.0
+
+    def test_predicate_exceptions_reject_the_candidate(self):
+        case = generate_case(2, "tiny", 1)
+
+        def fragile(c):
+            if c.num_gates < case.num_gates:
+                raise RuntimeError("different failure")
+            return True
+
+        shrunk = shrink_case(case, fragile)
+        assert shrunk.num_gates == case.num_gates
+
+
+class BuggyApprox2Suite(EngineSuite):
+    """Approx-2 claims every required time may be one unit later: unsafe."""
+
+    def approx2(self, case, engine="sat"):
+        result = super().approx2(case, engine=engine)
+        loosened = [
+            {k: (v + 1.0 if v != float("inf") else v) for k, v in r.items()}
+            for r in result.maximal
+        ]
+        return dataclasses.replace(result, maximal=loosened)
+
+
+class TestMutationCatch:
+    """The ISSUE acceptance scenario, end to end."""
+
+    @pytest.fixture(scope="class")
+    def report_and_corpus(self, tmp_path_factory):
+        corpus = tmp_path_factory.mktemp("corpus")
+        runner = FuzzRunner(
+            seed=0,
+            budget=20,
+            profile="tiny",
+            suite=BuggyApprox2Suite(),
+            corpus_dir=str(corpus),
+            stop_on_failure=True,
+        )
+        return runner.run(), corpus
+
+    def test_bug_is_caught(self, report_and_corpus):
+        report, _ = report_and_corpus
+        assert report.num_failures == 1
+        verdict = report.verdicts[-1]
+        assert any("a2" in c or "oracle" in c for c in verdict.failed_checks)
+
+    def test_failure_is_shrunk_small(self, report_and_corpus):
+        report, _ = report_and_corpus
+        verdict = report.verdicts[-1]
+        assert verdict.shrunk_gates is not None
+        assert verdict.shrunk_gates <= 8
+
+    def test_repro_replays_red_with_bug_green_without(self, report_and_corpus):
+        report, corpus = report_and_corpus
+        entries = load_corpus(str(corpus))
+        assert len(entries) == 1
+        entry = entries[0]
+        assert entry.failed_checks
+        assert not replay_entry(entry, BuggyApprox2Suite()).ok
+        assert replay_entry(entry).ok
+
+    def test_saved_metadata_documents_the_shrink(self, report_and_corpus):
+        _, corpus = report_and_corpus
+        entry = load_corpus(str(corpus))[0]
+        meta = entry.metadata
+        assert meta["format"] == 1
+        assert meta["profile"] == "tiny"
+        assert meta["gates"] == entry.case.num_gates
+        assert meta["original"]["gates"] >= meta["gates"]
+
+
+class TestRunnerReproducibility:
+    def test_seed42_budget30_identical_runs(self):
+        def run():
+            report = FuzzRunner(seed=42, budget=30, profile="tiny").run()
+            return [
+                (v.index, v.case_id, v.ok, tuple(v.failed_checks))
+                for v in report.verdicts
+            ]
+
+        assert run() == run()
+
+    def test_budget_truncates_the_same_sequence(self):
+        long = FuzzRunner(seed=8, budget=10, profile="tiny").run()
+        short = FuzzRunner(seed=8, budget=4, profile="tiny").run()
+        assert [v.case_id for v in short.verdicts] == [
+            v.case_id for v in long.verdicts
+        ][:4]
+
+
+class TestCorpusFormat:
+    def test_save_load_roundtrip(self, tmp_path):
+        case = generate_case(6, "tiny", 3)
+        base = save_repro(
+            str(tmp_path), case, [CheckFailure("hierarchy", "synthetic")]
+        )
+        entry = load_corpus(str(tmp_path))[0]
+        assert entry.case.case_id == base == case.case_id
+        assert write_blif(entry.case.network) == write_blif(case.network)
+        assert entry.case.delays.to_spec() == case.delays.to_spec()
+        assert entry.case.required_map() == case.required_map()
+        assert entry.failed_checks == ["hierarchy"]
+
+    def test_orphan_metadata_is_an_error(self, tmp_path):
+        (tmp_path / "lost.json").write_text(json.dumps({"case_id": "lost"}))
+        with pytest.raises(ReproError):
+            load_corpus(str(tmp_path))
+
+    def test_failure_predicate_restricts_to_named_checks(self):
+        case = generate_case(1, "tiny", 0)
+        # the stock suite passes, so the predicate must reject the case
+        assert not failure_predicate(checks={"hierarchy"})(case)
