@@ -59,6 +59,33 @@ def star(nontrivial: bool) -> str:
     return "*" if nontrivial else ""
 
 
+def traced_pedantic(benchmark, fn, rounds: int = 1, iterations: int = 1):
+    """``benchmark.pedantic`` with a span trace around each timed call.
+
+    The phase breakdown of the last round lands in
+    ``benchmark.extra_info["spans"]`` (seconds per top-level span), so
+    every benchmark JSON row carries a per-phase breakdown.  Metric
+    capture is off — snapshotting the registry at every span boundary
+    would bill observability work to the benchmark under test.
+    """
+    from repro.obs.trace import start_trace, stop_trace
+
+    spans: dict[str, float] = {}
+
+    def timed():
+        start_trace(capture_metrics=False)
+        try:
+            return fn()
+        finally:
+            trace = stop_trace()
+            spans.clear()
+            spans.update(trace.phase_breakdown())
+
+    result = benchmark.pedantic(timed, rounds=rounds, iterations=iterations)
+    benchmark.extra_info["spans"] = spans
+    return result
+
+
 @dataclass
 class BddStatsCollector:
     """Accumulates :meth:`BddManager.statistics` snapshots per run.

@@ -6,7 +6,7 @@ timing the exact and approximate-1 constructions on the example circuit.
 Run:  pytest benchmarks/bench_fig4_example.py --benchmark-only -q
 """
 
-from _harness import TableCollector
+from _harness import TableCollector, traced_pedantic
 from repro.circuits import figure4
 from repro.core.approx1 import Approx1Analysis
 from repro.core.exact import ExactAnalysis
@@ -21,7 +21,7 @@ def test_exact_relation(benchmark):
     def run():
         return ExactAnalysis(figure4(), output_required=2.0).relation()
 
-    relation = benchmark(run)
+    relation = traced_pedantic(benchmark, run, rounds=5)
 
     row_counts = {
         (0, 0): 5,
@@ -46,7 +46,7 @@ def test_approx1(benchmark):
     def run():
         return Approx1Analysis(figure4(), output_required=2.0).run()
 
-    result = benchmark(run)
+    result = traced_pedantic(benchmark, run, rounds=5)
     matches = result.primes == [
         frozenset(
             {

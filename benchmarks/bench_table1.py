@@ -16,7 +16,7 @@ Run:  pytest benchmarks/bench_table1.py --benchmark-only -q
 
 import pytest
 
-from _harness import BddStatsCollector, TableCollector, star
+from _harness import BddStatsCollector, TableCollector, star, traced_pedantic
 from conftest import bench_budget
 from repro.circuits import mcnc_suite
 from repro.core.required_time import analyze_required_times
@@ -77,7 +77,7 @@ def test_exact(benchmark, name):
             max_nodes=max_nodes,
         )
 
-    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = traced_pedantic(benchmark, run)
     _record(spec, "exact", report)
 
 
@@ -94,7 +94,7 @@ def test_approx1(benchmark, name):
             max_nodes=max_nodes,
         )
 
-    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = traced_pedantic(benchmark, run)
     _record(spec, "approx1", report)
 
 
@@ -111,7 +111,7 @@ def test_approx2(benchmark, name):
             time_budget=bench_budget(20.0),
         )
 
-    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = traced_pedantic(benchmark, run)
     _record(spec, "approx2", report)
 
 

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Observability walkthrough: trace the carry-skip false-path analysis.
+
+The carry-skip block is the paper's motivating example — its skip mux
+makes the topologically longest path false, and the approx-2 lattice
+climb proves `cin` may arrive 6 units later than classical STA allows.
+This example records that analysis (and the exact relation build) with
+the `repro.obs` tracing layer and shows the three ways to consume a
+trace:
+
+* the in-memory span tree, with per-span BDD/SAT counter deltas,
+* the JSONL export and its `render_summary` pretty-printer
+  (what `python -m repro trace` prints),
+* the Chrome `trace_event` export for `about:tracing` / Perfetto.
+
+Run:  python examples/trace_analysis.py
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro.circuits import carry_skip_block
+from repro.core.required_time import analyze_required_times
+from repro.obs import REGISTRY, read_jsonl, render_summary, tracing
+
+
+def main() -> None:
+    net = carry_skip_block()
+    print(f"circuit: {net.name}  ({net.num_inputs} PI, {net.num_gates} gates)")
+
+    # -- record: one trace around both analyses -------------------------
+    before = REGISTRY.snapshot()
+    with tracing() as trace:
+        approx2 = analyze_required_times(
+            net.copy(), "approx2", output_required=0.0, engine="sat"
+        )
+        exact = analyze_required_times(
+            net.copy(), "exact", output_required=0.0
+        )
+    run_delta = REGISTRY.snapshot().diff(before)
+
+    print(f"approx2 non-trivial: {approx2.nontrivial}")
+    print(f"exact   non-trivial: {exact.nontrivial}")
+
+    # -- consume 1: the in-memory span tree -----------------------------
+    print(
+        f"\n{trace.num_spans} spans, "
+        f"coverage {trace.coverage():.1%} of {trace.duration * 1000:.1f} ms"
+    )
+    for sp, depth in trace.walk():
+        interesting = {
+            k: v
+            for k, v in sp.metrics.items()
+            if k in ("bdd.nodes_created", "sat.propagations", "approx2.checks")
+        }
+        extra = f"  {interesting}" if interesting else ""
+        print(f"{'  ' * depth}{sp.name:<{36 - 2 * depth}} "
+              f"{sp.duration * 1000:>8.2f} ms{extra}")
+
+    # -- consume 2: JSONL round-trip (the `repro trace` subcommand) -----
+    with tempfile.TemporaryDirectory() as tmp:
+        jsonl_path = Path(tmp) / "run.jsonl"
+        chrome_path = Path(tmp) / "run.json"
+        trace.save(str(jsonl_path))
+        trace.save(str(chrome_path))  # .json extension → Chrome format
+
+        header, roots = read_jsonl(jsonl_path.read_text())
+        print("\n--- render_summary (what `python -m repro trace` prints) ---")
+        print(render_summary(header, roots, max_depth=2, min_frac=0.01))
+
+        # -- consume 3: Chrome trace_event ------------------------------
+        doc = json.loads(chrome_path.read_text())
+        print(
+            f"\nChrome export: {len(doc['traceEvents'])} events "
+            "(load the .json in about:tracing or ui.perfetto.dev)"
+        )
+
+    # -- the registry view: what the whole run cost ---------------------
+    print("\nrun-level engine counter deltas:")
+    for key in sorted(run_delta):
+        if key.split(".")[0] in ("bdd", "sat", "approx2"):
+            print(f"  {key:<24} {run_delta[key]:>12g}")
+
+
+if __name__ == "__main__":
+    main()

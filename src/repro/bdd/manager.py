@@ -34,6 +34,7 @@ import itertools
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.errors import BddError
+from repro.obs.metrics import REGISTRY, EngineTelemetry
 
 FALSE = 0
 TRUE = 1
@@ -181,6 +182,46 @@ class BddNode:
         return f"<BDD node {self.id} var={self.manager.var_name_of(self.id)}>"
 
 
+def _bdd_engine_counters(state: dict) -> dict[str, float]:
+    """Monotone ``bdd.*`` totals from a manager's ``__dict__``.
+
+    Polled lazily by the metrics registry at snapshot time (and once more
+    when a manager is garbage collected), so ``_mk`` and the apply
+    recursions carry no metrics code at all.  Note these restart if
+    ``reset_statistics()`` is called on a live manager; interval accounting
+    through :mod:`repro.obs.metrics` should bracket work with
+    ``snapshot()``/``diff()`` instead of resetting.
+    """
+    hits = misses = evictions = 0
+    for tab in state["_tables"]:
+        hits += tab.hits
+        misses += tab.misses
+        evictions += tab.evictions
+    return {
+        "bdd.ops": float(hits + misses),
+        "bdd.cache_hits": float(hits),
+        "bdd.cache_misses": float(misses),
+        "bdd.cache_evictions": float(evictions),
+        "bdd.nodes_created": float(state["_nodes_created"]),
+        "bdd.gc_runs": float(state["_gc_runs"]),
+        "bdd.gc_reclaimed": float(state["_gc_reclaimed"]),
+        "bdd.level_swaps": float(state["_level_swaps"]),
+        "bdd.reorder_events": float(state["_reorder_events"]),
+    }
+
+
+def _bdd_engine_gauges(state: dict) -> dict[str, float]:
+    """Instantaneous values, summed over live managers only."""
+    return {
+        "bdd.nodes_live": float(state["_nodes_live"]),
+        "bdd.peak_live": float(state["_peak_live"]),
+    }
+
+
+_TELEMETRY = EngineTelemetry("bdd", _bdd_engine_counters, _bdd_engine_gauges)
+REGISTRY.register_collector("bdd", _TELEMETRY.collect)
+
+
 class BddManager:
     """A reduced ordered BDD manager with dynamic reordering support."""
 
@@ -240,11 +281,13 @@ class BddManager:
         # instrumentation
         self._nodes_live = 0  # internal (table-resident) nodes, terminals excluded
         self._peak_live = 0
+        self._nodes_created = 0  # lifetime _mk insertions (monotone)
         self._generation = 0
         self._gc_runs = 0
         self._gc_reclaimed = 0
         self._level_swaps = 0
         self._reorder_events = 0
+        _TELEMETRY.track(self)
 
     # ------------------------------------------------------------------
     # reference counting / wrapping
@@ -375,6 +418,7 @@ class BddManager:
             self._low.append(low)
             self._high.append(high)
         table[key] = node_id
+        self._nodes_created += 1
         live = self._nodes_live + 1
         self._nodes_live = live
         if live > self._peak_live:
@@ -1093,6 +1137,7 @@ class BddManager:
             "cache_misses": total_misses,
             "cache_hit_rate": (total_hits / lookups) if lookups else 0.0,
             "cache_generation": self._generation,
+            "nodes_created": self._nodes_created,
             "live_nodes": self._nodes_live + 2,
             "peak_live_nodes": self._peak_live + 2,
             "num_vars": self.num_vars,

@@ -17,6 +17,8 @@ Commands
 * ``fuzz``     — differential fuzzing: generate random netlists, run all
   four required-time engines against each other and the ternary oracle,
   shrink any failure and save it to a regression corpus.
+* ``trace``    — pretty-print / summarize a trace file produced by
+  ``required --trace`` (or convert it to Chrome ``about:tracing`` JSON).
 
 Netlists are read from BLIF (``.blif``) or ISCAS bench (``.bench``)
 files, chosen by extension.  All analyses default to the paper's setup:
@@ -56,11 +58,19 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
 def cmd_delay(args: argparse.Namespace) -> int:
     net = load_network(args.netlist)
+    if args.output is not None and args.output not in net.outputs:
+        from repro.errors import NetworkError
+
+        raise NetworkError(
+            f"unknown output {args.output!r} "
+            f"(outputs: {', '.join(net.outputs)})"
+        )
+    outputs = [args.output] if args.output is not None else net.outputs
     ft = FunctionalTiming(net, engine=args.engine)
     topo = ft.topological_arrivals()
     print(f"{'output':<20} {'topological':>12} {'exact':>12}  note")
     false_count = 0
-    for out in net.outputs:
+    for out in outputs:
         true = ft.true_arrival(out)
         note = ""
         if true < topo[out]:
@@ -68,13 +78,26 @@ def cmd_delay(args: argparse.Namespace) -> int:
             false_count += 1
         print(f"{out:<20} {topo[out]:>12g} {true:>12g}  {note}")
     print(
-        f"\n{false_count} of {net.num_outputs} outputs have a false longest path"
+        f"\n{false_count} of {len(outputs)} outputs have a false longest path"
     )
     return 0
 
 
 def cmd_required(args: argparse.Namespace) -> int:
-    net = load_network(args.netlist)
+    if args.budget is not None and args.method != "approx2":
+        print(
+            f"error: --budget only applies to --method approx2 "
+            f"(got --method {args.method})",
+            file=sys.stderr,
+        )
+        return 2
+    if args.max_nodes is not None and args.method not in ("exact", "approx1"):
+        print(
+            f"error: --max-nodes only applies to --method exact/approx1 "
+            f"(got --method {args.method})",
+            file=sys.stderr,
+        )
+        return 2
     options = {}
     if args.method == "approx2":
         options["engine"] = args.engine
@@ -82,9 +105,31 @@ def cmd_required(args: argparse.Namespace) -> int:
             options["time_budget"] = args.budget
     if args.method in ("exact", "approx1") and args.max_nodes is not None:
         options["max_nodes"] = args.max_nodes
-    report = analyze_required_times(
-        net, args.method, output_required=args.required, **options
-    )
+
+    trace = None
+    if args.trace is not None:
+        from repro.obs import start_trace
+
+        start_trace()
+    try:
+        from repro.obs import span
+
+        with span("cli.required", netlist=args.netlist, method=args.method):
+            net = load_network(args.netlist)
+            report = analyze_required_times(
+                net, args.method, output_required=args.required, **options
+            )
+    finally:
+        if args.trace is not None:
+            from repro.obs import stop_trace
+
+            trace = stop_trace()
+            trace.save(args.trace)
+            print(
+                f"trace: {trace.num_spans} spans, "
+                f"coverage {trace.coverage():.1%}, written to {args.trace}",
+                file=sys.stderr,
+            )
     if args.json:
         print(json.dumps(report.table_row()))
         return 0
@@ -194,11 +239,43 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         log=None if args.json else lambda v: print(v.render()),
     )
     report = runner.run()
+    if args.metrics_json is not None:
+        payload = json.dumps(
+            {
+                "seed": report.seed,
+                "profile": report.profile,
+                "cases": report.num_cases,
+                "failures": report.num_failures,
+                "metrics": report.metrics,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        if args.metrics_json == "-":
+            print(payload)
+        else:
+            with open(args.metrics_json, "w") as fh:
+                fh.write(payload + "\n")
+            print(f"metrics written to {args.metrics_json}", file=sys.stderr)
     if args.json:
         print(json.dumps(report.to_json(), indent=2))
     else:
         print(f"\n{report.summary()}")
     return 0 if report.ok else 1
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import read_jsonl, records_to_chrome, render_summary
+
+    with open(args.tracefile) as fh:
+        header, roots = read_jsonl(fh.read())
+    if args.chrome is not None:
+        with open(args.chrome, "w") as fh:
+            json.dump(records_to_chrome(header, roots), fh)
+        print(f"chrome trace written to {args.chrome} (open in about:tracing)")
+        return 0
+    print(render_summary(header, roots, max_depth=args.depth, min_frac=args.min_frac))
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -215,6 +292,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("delay", help="topological vs exact arrival times")
     p.add_argument("netlist")
     p.add_argument("--engine", choices=["bdd", "sat"], default="bdd")
+    p.add_argument("--output", default=None,
+                   help="restrict the analysis to one primary output")
     p.set_defaults(func=cmd_delay)
 
     p = sub.add_parser("required", help="required times at the primary inputs")
@@ -232,6 +311,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-nodes", type=int, default=None,
                    help="BDD node budget (exact/approx1)")
     p.add_argument("--json", action="store_true", help="machine-readable row")
+    p.add_argument("--trace", default=None, metavar="OUT",
+                   help="record a span trace of the run; .json writes Chrome "
+                        "trace_event format, anything else JSONL")
     p.set_defaults(func=cmd_required)
 
     p = sub.add_parser("slack", help="true vs topological slack per node")
@@ -271,7 +353,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--replay", default=None, metavar="DIR",
                    help="replay a saved corpus instead of fuzzing")
     p.add_argument("--json", action="store_true", help="machine-readable report")
+    p.add_argument("--metrics-json", default=None, metavar="OUT",
+                   help="write run-level metric deltas (BDD/SAT/engine "
+                        "counters) as JSON; '-' prints to stdout")
     p.set_defaults(func=cmd_fuzz)
+
+    p = sub.add_parser("trace", help="summarize a recorded span trace")
+    p.add_argument("tracefile", help="JSONL trace from 'required --trace'")
+    p.add_argument("--chrome", default=None, metavar="OUT",
+                   help="convert to Chrome trace_event JSON instead")
+    p.add_argument("--depth", type=int, default=None,
+                   help="maximum tree depth to print")
+    p.add_argument("--min-frac", type=float, default=0.0,
+                   help="hide spans below this fraction of total time")
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("paths", help="classify the longest paths")
     p.add_argument("netlist")

@@ -32,6 +32,7 @@ from repro.core.symbolic import SymbolicChi
 from repro.errors import TimingError
 from repro.network.network import Network
 from repro.network.verify import global_functions
+from repro.obs.trace import span
 from repro.timing.delay import DelayModel, unit_delay
 
 
@@ -74,9 +75,10 @@ class Approx1Analysis:
         self.network = network
         self.delays = delays or unit_delay()
         self.output_required = output_required
-        self.leaves: LeafTimes = enumerate_leaf_times(
-            network, self.delays, output_required, max_leaves=max_leaves
-        )
+        with span("approx1.enumerate_leaves", circuit=network.name):
+            self.leaves: LeafTimes = enumerate_leaf_times(
+                network, self.delays, output_required, max_leaves=max_leaves
+            )
         self.manager = manager or BddManager(max_nodes=max_nodes)
         self.reorder = reorder
         self.check_theorems = check_theorems
@@ -87,6 +89,12 @@ class Approx1Analysis:
         """Construct F(α, β); returns it with the per-(input,value) chains."""
         if self._built is not None:
             return self._built
+        with span("approx1.build_f", circuit=self.network.name) as sp:
+            built = self._build_f()
+            sp.set(parameters=sum(len(v) for v in built[1].values()))
+        return built
+
+    def _build_f(self) -> tuple[BddNode, dict[tuple[str, int], list[str]]]:
         m = self.manager
         net = self.network
 
@@ -144,29 +152,33 @@ class Approx1Analysis:
         else:
             req = {o: float(self.output_required) for o in net.outputs}
 
-        onsets = global_functions(net, m)
+        with span("approx1.global_functions"):
+            onsets = global_functions(net, m)
         x_vars = list(net.inputs)
 
         f = m.true
         gc_threshold = (
             self.manager.max_nodes // 2 if self.manager.max_nodes else 500_000
         )
-        for out, t in req.items():
-            on = onsets[out]
-            c1 = chi.chi(out, 1, t).equiv(on)
-            c0 = chi.chi(out, 0, t).equiv(~on)
-            # ∀X.(c1 ∧ c0) fused: never materializes the conjunction BDD
-            # (and equals ∀X.c1 ∧ ∀X.c0 since ∀ distributes over ∧)
-            f = f & m.and_forall(x_vars, c1, c0)
-            if m.num_nodes > gc_threshold:
-                # safe point: everything needed is wrapper-protected
-                m.garbage_collect()
+        with span("approx1.quantify_outputs", outputs=len(req)):
+            for out, t in req.items():
+                on = onsets[out]
+                c1 = chi.chi(out, 1, t).equiv(on)
+                c0 = chi.chi(out, 0, t).equiv(~on)
+                # ∀X.(c1 ∧ c0) fused: never materializes the conjunction BDD
+                # (and equals ∀X.c1 ∧ ∀X.c0 since ∀ distributes over ∧)
+                f = f & m.and_forall(x_vars, c1, c0)
+                if m.num_nodes > gc_threshold:
+                    # safe point: everything needed is wrapper-protected
+                    m.garbage_collect()
 
         if self.check_theorems:
-            self._check_theorem1(f, chains)
+            with span("approx1.check_theorem1"):
+                self._check_theorem1(f, chains)
 
         if self.reorder:
-            sift(m)
+            with span("approx1.reorder"):
+                sift(m)
         self._built = (f, chains)
         return self._built
 
@@ -191,7 +203,8 @@ class Approx1Analysis:
     def run(self) -> Approx1Result:
         f, chains = self.build_f()
         parameter_names = [n for names in chains.values() for n in names]
-        primes = sorted(monotone_primes(f), key=lambda p: (len(p), sorted(p)))
+        with span("approx1.enumerate_primes"):
+            primes = sorted(monotone_primes(f), key=lambda p: (len(p), sorted(p)))
         profiles = [self._prime_to_profile(p, chains) for p in primes]
         full = frozenset(parameter_names)
         nontrivial = any(p != full for p in primes)

@@ -30,6 +30,8 @@ from repro.core.leaves import LeafTimes, enumerate_leaf_times
 from repro.core.required_time import topological_input_required_times
 from repro.errors import ResourceLimitError, TimingError
 from repro.network.network import Network
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import span
 from repro.timing.delay import DelayModel, unit_delay
 from repro.timing.functional import FunctionalTiming
 
@@ -141,9 +143,10 @@ class Approx2Analysis:
         #: what lets the method see e.g. the Figure 4 looseness
         self.separate_values = separate_values
 
-        self.leaves: LeafTimes = enumerate_leaf_times(
-            network, self.delays, output_required, max_leaves=max_leaves
-        )
+        with span("approx2.enumerate_leaves", circuit=network.name):
+            self.leaves: LeafTimes = enumerate_leaf_times(
+                network, self.delays, output_required, max_leaves=max_leaves
+            )
         if clustering < 1:
             raise TimingError("clustering stride must be >= 1")
         self.clustering = clustering
@@ -270,9 +273,18 @@ class Approx2Analysis:
 
     # ------------------------------------------------------------------
     def run(self) -> Approx2Result:
+        with span(
+            "approx2.climb", circuit=self.network.name, engine=self.engine
+        ) as sp:
+            result = self._run()
+            sp.set(checks=result.checks, aborted=result.aborted)
+        return result
+
+    def _run(self) -> Approx2Result:
         start = _time.monotonic()
         trace = LatticeClimbTrace()
         checks = 0
+        checks_metric = REGISTRY.counter("approx2.checks")
         first_nontrivial: float | None = None
         aborted = False
         abort_reason: str | None = None
@@ -287,6 +299,7 @@ class Approx2Analysis:
             if self.time_budget is not None and elapsed() > self.time_budget:
                 raise ResourceLimitError("time budget exhausted")
             checks += 1
+            checks_metric.inc()
             ok = self._validate(r)
             trace.record(elapsed(), r, ok)
             if ok and first_nontrivial is None and r != bottom:

@@ -31,6 +31,7 @@ from repro.core.symbolic import SymbolicChi
 from repro.errors import ResourceLimitError, TimingError
 from repro.network.network import Network
 from repro.network.verify import global_functions
+from repro.obs.trace import span
 from repro.timing.delay import DelayModel, unit_delay
 
 
@@ -66,9 +67,10 @@ class ExactAnalysis:
         #: ``network.inputs`` column order).  On don't-care vectors no
         #: stability is demanded at all, which enlarges the relation.
         self.output_dc = dict(output_dc or {})
-        self.leaves: LeafTimes = enumerate_leaf_times(
-            network, self.delays, output_required, max_leaves=max_leaves
-        )
+        with span("exact.enumerate_leaves", circuit=network.name):
+            self.leaves: LeafTimes = enumerate_leaf_times(
+                network, self.delays, output_required, max_leaves=max_leaves
+            )
         # ``reorder`` mirrors the paper's setup ("the exact algorithm was
         # run with dynamic variable reordering being set"): sifting kicks
         # in automatically while the relation is being built.
@@ -83,6 +85,15 @@ class ExactAnalysis:
     def relation(self) -> "ExactRelation":
         if self._relation is not None:
             return self._relation
+        with span("exact.build_relation", circuit=self.network.name) as sp:
+            relation = self._build_relation()
+            sp.set(
+                leaf_vars=len(relation.leaf_vars),
+                relation_nodes=self.manager.size(relation.F),
+            )
+        return relation
+
+    def _build_relation(self) -> "ExactRelation":
         m = self.manager
         net = self.network
 
@@ -121,7 +132,8 @@ class ExactAnalysis:
         else:
             req = {o: float(self.output_required) for o in net.outputs}
 
-        onsets = global_functions(net, m)
+        with span("exact.global_functions"):
+            onsets = global_functions(net, m)
 
         def maybe_gc() -> None:
             # safe point between top-level operations: every needed node is
@@ -136,58 +148,62 @@ class ExactAnalysis:
                 m.garbage_collect()
 
         constraints: list[BddNode] = []
-        for out, t in req.items():
-            on = onsets[out]
-            one_ok = chi.chi(out, 1, t).equiv(on)
-            zero_ok = chi.chi(out, 0, t).equiv(~on)
-            dc_cover = self.output_dc.get(out)
-            if dc_cover is not None:
-                from repro.network.verify import _cover_bdd
+        with span("exact.output_constraints", outputs=len(req)):
+            for out, t in req.items():
+                on = onsets[out]
+                one_ok = chi.chi(out, 1, t).equiv(on)
+                zero_ok = chi.chi(out, 0, t).equiv(~on)
+                dc_cover = self.output_dc.get(out)
+                if dc_cover is not None:
+                    from repro.network.verify import _cover_bdd
 
-                dc = _cover_bdd(m, dc_cover, [m.var(pi) for pi in net.inputs])
-                care = ~dc
-                constraints.append(care.implies(one_ok))
-                constraints.append(care.implies(zero_ok))
-            else:
-                constraints.append(one_ok)
-                constraints.append(zero_ok)
-            maybe_gc()
+                    dc = _cover_bdd(m, dc_cover, [m.var(pi) for pi in net.inputs])
+                    care = ~dc
+                    constraints.append(care.implies(one_ok))
+                    constraints.append(care.implies(zero_ok))
+                else:
+                    constraints.append(one_ok)
+                    constraints.append(zero_ok)
+                maybe_gc()
 
         # ordering chains and literal bounds (balanced conjunction per
         # input keeps the intermediate relation BDDs from going lopsided)
-        for pi in net.inputs:
-            chain_constraints: list[BddNode] = []
-            for value, table in ((1, self.leaves.for_one), (0, self.leaves.for_zero)):
-                times = table.get(pi, ())
-                bound = m.var(pi) if value else m.nvar(pi)
-                prev: BddNode | None = None
-                for t in times:  # ascending
-                    cur = m.var(leaf_index[(pi, value, t)].var_name)
+        with span("exact.chain_constraints", inputs=len(net.inputs)):
+            for pi in net.inputs:
+                chain_constraints: list[BddNode] = []
+                for value, table in ((1, self.leaves.for_one), (0, self.leaves.for_zero)):
+                    times = table.get(pi, ())
+                    bound = m.var(pi) if value else m.nvar(pi)
+                    prev: BddNode | None = None
+                    for t in times:  # ascending
+                        cur = m.var(leaf_index[(pi, value, t)].var_name)
+                        if prev is not None:
+                            chain_constraints.append(prev.implies(cur))
+                        prev = cur
                     if prev is not None:
-                        chain_constraints.append(prev.implies(cur))
-                    prev = cur
-                if prev is not None:
-                    chain_constraints.append(prev.implies(bound))
-            if chain_constraints:
-                constraints.append(m.conjoin(chain_constraints))
-            maybe_gc()
+                        chain_constraints.append(prev.implies(bound))
+                if chain_constraints:
+                    constraints.append(m.conjoin(chain_constraints))
+                maybe_gc()
 
         # Balanced pairwise reduction over *handles*, with a GC safe point
         # between rounds: the handles of a finished round are dropped as the
         # list is rebuilt, so intermediate products are reclaimable instead
         # of pinning the unique table for the whole construction.
-        while len(constraints) > 1:
-            nxt: list[BddNode] = []
-            for i in range(0, len(constraints) - 1, 2):
-                nxt.append(constraints[i] & constraints[i + 1])
-            if len(constraints) % 2:
-                nxt.append(constraints[-1])
-            constraints = nxt
-            maybe_gc()
-        relation = constraints[0] if constraints else m.true
+        with span("exact.conjoin", constraints=len(constraints)):
+            while len(constraints) > 1:
+                nxt: list[BddNode] = []
+                for i in range(0, len(constraints) - 1, 2):
+                    nxt.append(constraints[i] & constraints[i + 1])
+                if len(constraints) % 2:
+                    nxt.append(constraints[-1])
+                constraints = nxt
+                maybe_gc()
+            relation = constraints[0] if constraints else m.true
 
         if self.reorder:
-            sift(m)
+            with span("exact.reorder"):
+                sift(m)
 
         self._relation = ExactRelation(
             manager=m,
@@ -251,7 +267,8 @@ class ExactRelation:
     def minimal_rows(self, minterm: Mapping[str, int]) -> set[str]:
         """The minimal elements: the latest-required-time sub-relation."""
         restricted = self._restrict_to_minterm(minterm)
-        minimal = minimal_elements(restricted, self.leaf_var_names)
+        with span("exact.minimal_elements"):
+            minimal = minimal_elements(restricted, self.leaf_var_names)
         names = self.leaf_var_names
         result = set()
         for sol in self.manager.sat_iter(minimal, names):
@@ -312,8 +329,9 @@ class ExactRelation:
         relation encodes a strictly looser requirement somewhere."""
         # ∃vars.(F ∧ ¬topo), fused: the conjunction BDD is never built
         m = self.manager
-        topo = self.topological_assignment()
-        return m.and_exists(m.var_names, self.F, ~topo).is_true
+        with span("exact.nontrivial"):
+            topo = self.topological_assignment()
+            return m.and_exists(m.var_names, self.F, ~topo).is_true
 
     # ------------------------------------------------------------------
     # compatible-function extraction (Boolean unification)

@@ -23,6 +23,7 @@ from typing import Literal, Mapping
 
 from repro.errors import TimingError
 from repro.network.network import Network
+from repro.obs.trace import span
 from repro.timing.delay import DelayModel, unit_delay
 from repro.timing.topological import required_times as topo_required
 
@@ -148,6 +149,19 @@ def analyze_required_times(
     from repro.errors import ResourceLimitError
 
     delays = delays or unit_delay()
+    with span("required.analyze", circuit=network.name, method=method):
+        return _analyze(network, method, delays, output_required, options)
+
+
+def _analyze(
+    network: Network,
+    method: Method,
+    delays: DelayModel,
+    output_required: Mapping[str, float] | float,
+    options: dict,
+) -> RequiredTimeReport:
+    from repro.errors import ResourceLimitError
+
     start = _time.monotonic()
     try:
         if method == "topological":

@@ -51,6 +51,11 @@ class TimingError(ReproError):
     delay, unstable output under every candidate...)."""
 
 
+class ObsError(ReproError):
+    """Observability failure (double trace start, malformed trace file,
+    unknown export format...)."""
+
+
 class ResourceLimitError(ReproError):
     """An analysis exceeded a user-imposed resource budget.
 

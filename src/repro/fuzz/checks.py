@@ -39,6 +39,8 @@ from repro.core.approx1 import Approx1Analysis, Approx1Result
 from repro.core.approx2 import Approx2Analysis, Approx2Result
 from repro.core.required_time import topological_input_required_times
 from repro.errors import ResourceLimitError
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import span
 from repro.timing.functional import FunctionalTiming
 from repro.timing.ternary import stabilization_times
 
@@ -69,6 +71,12 @@ class CaseResult:
     checks_run: list[str] = field(default_factory=list)
     skipped: list[str] = field(default_factory=list)
     elapsed: float = 0.0
+    #: registry deltas attributable to *this* case alone: the runner
+    #: brackets each case with ``REGISTRY.snapshot()`` and stores the
+    #: ``diff()``, so per-case accounting never inherits BDD/SAT counts
+    #: from engines left over by a previous case (the historical bug was
+    #: relying on manager counters without resetting between cases).
+    metrics: dict[str, float] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -163,6 +171,7 @@ def run_differential(
     suite = suite or EngineSuite()
     result = CaseResult(case=case)
     start = _time.monotonic()
+    before = REGISTRY.snapshot()
     net = case.network
     required = case.required_map()
 
@@ -354,6 +363,7 @@ def run_differential(
         result.skipped.append("oracle")
 
     result.elapsed = _time.monotonic() - start
+    result.metrics = REGISTRY.snapshot().diff(before)
     return result
 
 

@@ -16,6 +16,8 @@ from repro.fuzz.checks import CaseResult, EngineSuite, run_differential
 from repro.fuzz.corpus import save_repro
 from repro.fuzz.gen import FuzzProfile, generate_case
 from repro.fuzz.shrink import failure_predicate, shrink_case
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import span
 
 
 @dataclass
@@ -35,6 +37,9 @@ class CaseVerdict:
     #: corpus base name of the saved repro, when one was written
     repro: str | None = None
     elapsed: float = 0.0
+    #: per-case registry deltas (``bdd.*`` / ``sat.*`` / ``approx2.*``),
+    #: bracketed around this case alone — see ``CaseResult.metrics``
+    metrics: dict[str, float] = field(default_factory=dict)
 
     def render(self) -> str:
         status = "ok" if self.ok else "FAIL " + ",".join(self.failed_checks)
@@ -60,6 +65,8 @@ class FuzzReport:
     #: why the loop ended: "budget" (case budget spent), "time"
     #: (wall-clock cap), or "stop-on-failure"
     stopped: str = "budget"
+    #: registry deltas over the whole run (``--metrics-json`` payload)
+    metrics: dict[str, float] = field(default_factory=dict)
 
     @property
     def num_cases(self) -> int:
@@ -88,6 +95,7 @@ class FuzzReport:
             "failures": self.num_failures,
             "elapsed": round(self.elapsed, 3),
             "stopped": self.stopped,
+            "metrics": self.metrics,
             "verdicts": [
                 {
                     "index": v.index,
@@ -99,6 +107,7 @@ class FuzzReport:
                     "failed_checks": v.failed_checks,
                     "shrunk_gates": v.shrunk_gates,
                     "repro": v.repro,
+                    "metrics": v.metrics,
                 }
                 for v in self.verdicts
             ],
@@ -146,6 +155,9 @@ class FuzzRunner:
 
     def run(self) -> FuzzReport:
         start = _time.monotonic()
+        before = REGISTRY.snapshot()
+        cases_metric = REGISTRY.counter("fuzz.cases")
+        failures_metric = REGISTRY.counter("fuzz.failures")
         report = FuzzReport(seed=str(self.seed), profile=self._profile_name())
         for index in range(self.budget):
             if (
@@ -155,13 +167,17 @@ class FuzzRunner:
                 report.stopped = "time"
                 break
             case = generate_case(self.seed, self.profile, index)
-            result = run_differential(
-                case,
-                self.suite,
-                oracle_max_inputs=self.oracle_max_inputs,
-                exact_max_inputs=self.exact_max_inputs,
-            )
-            verdict = self._verdict(index, result)
+            with span("fuzz.case", case=case.case_id, index=index):
+                result = run_differential(
+                    case,
+                    self.suite,
+                    oracle_max_inputs=self.oracle_max_inputs,
+                    exact_max_inputs=self.exact_max_inputs,
+                )
+                verdict = self._verdict(index, result)
+            cases_metric.inc()
+            if not verdict.ok:
+                failures_metric.inc()
             report.verdicts.append(verdict)
             if self.log is not None:
                 self.log(verdict)
@@ -169,6 +185,7 @@ class FuzzRunner:
                 report.stopped = "stop-on-failure"
                 break
         report.elapsed = _time.monotonic() - start
+        report.metrics = REGISTRY.snapshot().diff(before)
         return report
 
     def _verdict(self, index: int, result: CaseResult) -> CaseVerdict:
@@ -182,6 +199,7 @@ class FuzzRunner:
             ok=result.ok,
             failed_checks=result.failed_checks,
             elapsed=result.elapsed,
+            metrics=result.metrics,
         )
         if result.ok:
             return verdict

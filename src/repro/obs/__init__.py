@@ -1,0 +1,52 @@
+"""Zero-dependency observability: tracing spans and a process metrics registry.
+
+See :mod:`repro.obs.trace` for spans and :mod:`repro.obs.metrics` for the
+counter/gauge/histogram registry.  ``docs/OBSERVABILITY.md`` documents the
+span taxonomy and export formats.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    EngineTelemetry,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+    Snapshot,
+)
+from repro.obs.trace import (
+    Span,
+    SpanRecord,
+    Trace,
+    active_trace,
+    is_tracing,
+    read_jsonl,
+    records_to_chrome,
+    render_summary,
+    span,
+    start_trace,
+    stop_trace,
+    tracing,
+)
+
+__all__ = [
+    "Counter",
+    "EngineTelemetry",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "Snapshot",
+    "Span",
+    "SpanRecord",
+    "Trace",
+    "active_trace",
+    "is_tracing",
+    "read_jsonl",
+    "records_to_chrome",
+    "render_summary",
+    "span",
+    "start_trace",
+    "stop_trace",
+    "tracing",
+]

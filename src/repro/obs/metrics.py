@@ -1,0 +1,293 @@
+"""Process-wide metrics: named counters, gauges, histograms, and telemetry.
+
+Two kinds of instrument coexist, chosen by where the cost may land:
+
+* **Direct metrics** (:class:`Counter` / :class:`Gauge` / :class:`Histogram`)
+  are registered by name in the process-wide :data:`REGISTRY` and updated
+  under a lock.  They are meant for coarse events — a fuzz case finished, a
+  validation check ran — never for per-BDD-node work.
+
+* **Engine telemetry** (:class:`EngineTelemetry`) aggregates the *plain
+  integer attributes* that the hot engines (:class:`repro.bdd.BddManager`,
+  :class:`repro.sat.Solver`) already keep for themselves.  The hot paths
+  stay untouched; aggregation happens lazily at :meth:`MetricsRegistry
+  .snapshot` time by summing over the live engine objects.  When an engine
+  object is garbage collected its final counts are folded into a retained
+  total first, so interval accounting via ``snapshot()``/``diff()`` never
+  loses the work of an engine that was born and died inside the interval.
+
+The common query surface is :meth:`MetricsRegistry.snapshot`, which returns
+an immutable :class:`Snapshot`; ``later.diff(earlier)`` yields the non-zero
+deltas — the currency of tracing spans, per-fuzz-case accounting, and the
+CLI's ``--metrics-json``.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from typing import Callable, Mapping
+
+
+class Counter:
+    """A monotonically increasing named value."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A named value that can move in both directions."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self._value += delta
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Streaming summary of an observed distribution (count/sum/min/max).
+
+    Only the monotone components (``count`` and ``sum``) enter snapshots,
+    so interval diffs stay meaningful; ``min``/``max`` are available via
+    :meth:`values` for end-of-run reporting.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+
+    def values(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+        }
+
+
+class Snapshot:
+    """An immutable point-in-time view of every registered value."""
+
+    __slots__ = ("values",)
+
+    def __init__(self, values: dict[str, float]):
+        self.values = values
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        return self.values.get(name, default)
+
+    def diff(self, earlier: "Snapshot") -> dict[str, float]:
+        """Non-zero per-key deltas since ``earlier`` (this minus that)."""
+        out: dict[str, float] = {}
+        for key, value in self.values.items():
+            delta = value - earlier.values.get(key, 0.0)
+            if delta:
+                out[key] = delta
+        for key, value in earlier.values.items():
+            if key not in self.values and value:
+                out[key] = -value
+        return out
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(self.values)
+
+
+class EngineTelemetry:
+    """Process-wide counter aggregation over short-lived engine objects.
+
+    ``extract(state)`` maps an engine object's ``__dict__`` to monotone
+    counters; ``extract_gauges`` (optional) maps it to instantaneous values
+    that are only meaningful for *live* objects (e.g. live BDD nodes).
+    Tracking costs one weakref per object; dead objects' counters are
+    retained so totals never go backwards.
+    """
+
+    def __init__(
+        self,
+        prefix: str,
+        extract: Callable[[dict], Mapping[str, float]],
+        extract_gauges: Callable[[dict], Mapping[str, float]] | None = None,
+    ):
+        self.prefix = prefix
+        self._extract = extract
+        self._extract_gauges = extract_gauges
+        self._lock = threading.Lock()
+        self._live: dict[int, weakref.ref] = {}
+        self._retained: dict[str, float] = {}
+        self._created = 0
+
+    def track(self, obj: object) -> None:
+        """Start aggregating ``obj``'s counters (until it is collected)."""
+        # The finalizer closes over the instance __dict__, not the instance:
+        # the dict does not keep the object alive, but survives it long
+        # enough for the final counter values to be read.
+        state = obj.__dict__
+        key = id(obj)
+
+        def _finalize(_ref: weakref.ref, state=state, key=key) -> None:
+            final = self._extract(state)
+            with self._lock:
+                self._live.pop(key, None)
+                for k, v in final.items():
+                    if v:
+                        self._retained[k] = self._retained.get(k, 0.0) + v
+
+        with self._lock:
+            self._created += 1
+            self._live[key] = weakref.ref(obj, _finalize)
+
+    def collect(self) -> dict[str, float]:
+        """Current totals: retained dead-object counts plus live objects."""
+        with self._lock:
+            out = dict(self._retained)
+            refs = list(self._live.values())
+        out[f"{self.prefix}.tracked"] = float(self._created)
+        live = 0
+        for ref in refs:
+            obj = ref()
+            if obj is None:
+                continue
+            live += 1
+            state = obj.__dict__
+            for k, v in self._extract(state).items():
+                if v:
+                    out[k] = out.get(k, 0.0) + v
+            if self._extract_gauges is not None:
+                for k, v in self._extract_gauges(state).items():
+                    out[k] = out.get(k, 0.0) + v
+        out[f"{self.prefix}.live"] = float(live)
+        return out
+
+
+class MetricsRegistry:
+    """The process-wide named-metric registry.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create;  ``snapshot()``
+    materializes every direct metric plus every registered collector into
+    one flat name → value mapping.
+    """
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._collectors: dict[str, Callable[[], Mapping[str, float]]] = {}
+
+    def _get(self, name: str, cls):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name)
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}, not {cls.__name__}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def register_collector(
+        self, name: str, fn: Callable[[], Mapping[str, float]]
+    ) -> None:
+        """Register a callable polled at snapshot time (telemetry style)."""
+        with self._lock:
+            self._collectors[name] = fn
+
+    def unregister_collector(self, name: str) -> None:
+        with self._lock:
+            self._collectors.pop(name, None)
+
+    def snapshot(self) -> Snapshot:
+        with self._lock:
+            metrics = list(self._metrics.values())
+            collectors = list(self._collectors.values())
+        values: dict[str, float] = {}
+        for metric in metrics:
+            if isinstance(metric, Histogram):
+                hv = metric.values()
+                values[f"{metric.name}.count"] = hv["count"]
+                values[f"{metric.name}.sum"] = hv["sum"]
+            else:
+                values[metric.name] = metric.value
+        for fn in collectors:
+            for key, value in fn().items():
+                values[key] = values.get(key, 0.0) + value
+        return Snapshot(values)
+
+    def reset(self) -> None:
+        """Drop every *direct* metric (counters/gauges/histograms).
+
+        Telemetry collectors are process-lifetime totals and are left
+        alone: interval accounting over them must use ``snapshot()`` /
+        ``diff()``, which is robust to engines dying mid-interval.
+        """
+        with self._lock:
+            self._metrics.clear()
+
+
+#: The process-wide registry every subsystem publishes into.
+REGISTRY = MetricsRegistry()
+
+
+__all__ = [
+    "Counter",
+    "EngineTelemetry",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "Snapshot",
+]

@@ -1,0 +1,488 @@
+"""Nestable tracing spans with metric deltas and two export formats.
+
+Usage at an instrumentation point::
+
+    from repro.obs.trace import span
+
+    with span("exact.build_relation", circuit=net.name) as sp:
+        ...
+        sp.set(leaf_vars=len(leaf_vars))
+
+When no trace is active, ``span()`` returns a shared no-op object after a
+single global read — the instrumented hot paths pay one function call and
+one ``is None`` test.  When a trace *is* active (``start_trace()`` /
+``tracing()``), each span records wall time, nesting, the exception type
+that unwound it (if any), and — unless ``capture_metrics=False`` — the
+:data:`repro.obs.metrics.REGISTRY` delta across its lifetime, which is how
+spans carry BDD node/cache deltas and SAT propagation counts without the
+engines knowing about tracing at all.
+
+Exports:
+
+* :meth:`Trace.to_jsonl` — one JSON object per span (plus a header line),
+  the format the ``repro trace`` subcommand reads back;
+* :meth:`Trace.to_chrome` — Chrome ``trace_event`` JSON loadable in
+  ``about:tracing`` / Perfetto.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.errors import ObsError
+from repro.obs.metrics import REGISTRY
+
+JSONL_VERSION = 1
+
+
+class Span:
+    """One timed region: a node of the trace tree."""
+
+    __slots__ = (
+        "name",
+        "attrs",
+        "start",
+        "end",
+        "children",
+        "metrics",
+        "status",
+        "thread",
+        "_trace",
+        "_snap",
+    )
+
+    def __init__(self, name: str, attrs: dict, trace: "Trace"):
+        self.name = name
+        self.attrs = attrs
+        self.start = 0.0
+        self.end: float | None = None
+        self.children: list[Span] = []
+        self.metrics: dict[str, float] = {}
+        self.status = "ok"
+        self.thread = threading.get_ident()
+        self._trace = trace
+        self._snap = None
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def set(self, **attrs) -> "Span":
+        """Attach attributes mid-span (chainable; no-op when disabled)."""
+        self.attrs.update(attrs)
+        return self
+
+    def self_time(self) -> float:
+        """Duration not covered by child spans."""
+        return max(0.0, self.duration - sum(c.duration for c in self.children))
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        trace = self._trace
+        self.end = time.perf_counter() - trace.t0
+        if exc_type is not None:
+            self.status = f"error:{exc_type.__name__}"
+        if self._snap is not None:
+            self.metrics = REGISTRY.snapshot().diff(self._snap)
+            self._snap = None
+        stack = trace._stack()
+        # Unwind to this span; anything above it on the stack was abandoned
+        # without a clean __exit__ (e.g. a discarded generator) — close the
+        # leaked spans at our end time so the tree stays well formed.
+        while stack:
+            top = stack.pop()
+            if top is self:
+                break
+            if top.end is None:
+                top.end = self.end
+                top.status = "leaked"
+        return False
+
+
+class _NoopSpan:
+    """The shared do-nothing span handed out while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attrs) -> "_NoopSpan":
+        return self
+
+
+_NOOP = _NoopSpan()
+
+
+class Trace:
+    """One recording session: a forest of spans (one root set per thread)."""
+
+    def __init__(self, capture_metrics: bool = True):
+        self.capture_metrics = capture_metrics
+        self.roots: list[Span] = []
+        self.t0 = time.perf_counter()
+        self.wall_start = time.time()
+        self.duration: float | None = None
+        self._tls = threading.local()
+        self._lock = threading.Lock()
+
+    # -- recording ------------------------------------------------------
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def _open(self, name: str, attrs: dict) -> Span:
+        stack = self._stack()
+        sp = Span(name, attrs, self)
+        if self.capture_metrics:
+            sp._snap = REGISTRY.snapshot()
+        sp.start = time.perf_counter() - self.t0
+        if stack:
+            stack[-1].children.append(sp)
+        else:
+            with self._lock:
+                self.roots.append(sp)
+        stack.append(sp)
+        return sp
+
+    def _finish(self) -> None:
+        self.duration = time.perf_counter() - self.t0
+        for sp, _depth in self.walk():
+            if sp.end is None:
+                sp.end = self.duration
+                sp.status = "leaked"
+
+    # -- inspection -----------------------------------------------------
+    def walk(self) -> Iterator[tuple[Span, int]]:
+        """Depth-first (span, depth) over the whole forest."""
+        stack = [(sp, 0) for sp in reversed(self.roots)]
+        while stack:
+            sp, depth = stack.pop()
+            yield sp, depth
+            for child in reversed(sp.children):
+                stack.append((child, depth + 1))
+
+    @property
+    def num_spans(self) -> int:
+        return sum(1 for _ in self.walk())
+
+    def coverage(self) -> float:
+        """Fraction of the traced wall time covered by root spans."""
+        if not self.duration:
+            return 0.0
+        covered = sum(sp.duration for sp in self.roots)
+        return min(1.0, covered / self.duration)
+
+    def phase_breakdown(self) -> dict[str, float]:
+        """Seconds per top-level span name (the benchmark-row summary)."""
+        out: dict[str, float] = {}
+        for sp in self.roots:
+            for child in sp.children or [sp]:
+                out[child.name] = out.get(child.name, 0.0) + child.duration
+        return {name: round(secs, 6) for name, secs in out.items()}
+
+    # -- export ---------------------------------------------------------
+    def to_jsonl(self) -> str:
+        header = {
+            "type": "repro-trace",
+            "version": JSONL_VERSION,
+            "wall_start": self.wall_start,
+            "duration": self.duration,
+            "capture_metrics": self.capture_metrics,
+        }
+        lines = [json.dumps(header)]
+        ids: dict[int, int] = {}
+        next_id = 0
+        parents: dict[int, int | None] = {}
+        for sp, _depth in self.walk():
+            ids[id(sp)] = next_id
+            next_id += 1
+            for child in sp.children:
+                parents[id(child)] = ids[id(sp)]
+        for sp, _depth in self.walk():
+            lines.append(
+                json.dumps(
+                    {
+                        "id": ids[id(sp)],
+                        "parent": parents.get(id(sp)),
+                        "name": sp.name,
+                        "start": round(sp.start, 9),
+                        "dur": round(sp.duration, 9),
+                        "thread": sp.thread,
+                        "status": sp.status,
+                        "attrs": sp.attrs,
+                        "metrics": sp.metrics,
+                    },
+                    default=str,
+                )
+            )
+        return "\n".join(lines) + "\n"
+
+    def to_chrome(self) -> dict:
+        """Chrome ``trace_event`` format (complete events, µs timebase)."""
+        events: list[dict] = [
+            {
+                "ph": "M",
+                "pid": 1,
+                "tid": 0,
+                "name": "process_name",
+                "args": {"name": "repro"},
+            }
+        ]
+        for sp, _depth in self.walk():
+            args = {str(k): v for k, v in sp.attrs.items()}
+            for key, value in sp.metrics.items():
+                args[key] = value
+            if sp.status != "ok":
+                args["status"] = sp.status
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": 1,
+                    "tid": sp.thread,
+                    "cat": "repro",
+                    "name": sp.name,
+                    "ts": round(sp.start * 1e6, 3),
+                    "dur": round(sp.duration * 1e6, 3),
+                    "args": args,
+                }
+            )
+        return {"displayTimeUnit": "ms", "traceEvents": events}
+
+    def save(self, path: str, format: str = "auto") -> None:
+        """Write the trace to ``path`` as ``jsonl`` or ``chrome`` JSON.
+
+        ``auto`` picks by extension: ``.json`` means Chrome trace_event
+        (loadable in ``about:tracing``), anything else means JSONL.
+        """
+        if format == "auto":
+            format = "chrome" if path.endswith(".json") else "jsonl"
+        if format == "jsonl":
+            text = self.to_jsonl()
+        elif format == "chrome":
+            text = json.dumps(self.to_chrome(), default=str)
+        else:
+            raise ObsError(f"unknown trace format {format!r}")
+        with open(path, "w") as fh:
+            fh.write(text)
+
+
+# ----------------------------------------------------------------------
+# module-level API
+# ----------------------------------------------------------------------
+_ACTIVE: Trace | None = None
+_ACTIVE_LOCK = threading.Lock()
+
+
+def span(name: str, **attrs):
+    """Open a span in the active trace, or a shared no-op when disabled."""
+    trace = _ACTIVE
+    if trace is None:
+        return _NOOP
+    return trace._open(name, attrs)
+
+
+def is_tracing() -> bool:
+    return _ACTIVE is not None
+
+
+def active_trace() -> Trace | None:
+    return _ACTIVE
+
+
+def start_trace(capture_metrics: bool = True) -> Trace:
+    """Begin recording; raises :class:`ObsError` if already recording."""
+    global _ACTIVE
+    with _ACTIVE_LOCK:
+        if _ACTIVE is not None:
+            raise ObsError("a trace is already active")
+        _ACTIVE = Trace(capture_metrics=capture_metrics)
+        return _ACTIVE
+
+
+def stop_trace() -> Trace:
+    """Stop recording and return the finished :class:`Trace`."""
+    global _ACTIVE
+    with _ACTIVE_LOCK:
+        if _ACTIVE is None:
+            raise ObsError("no trace is active")
+        trace = _ACTIVE
+        _ACTIVE = None
+    trace._finish()
+    return trace
+
+
+@contextmanager
+def tracing(capture_metrics: bool = True) -> Iterator[Trace]:
+    """``with tracing() as tr: ...`` — scoped start/stop."""
+    trace = start_trace(capture_metrics=capture_metrics)
+    try:
+        yield trace
+    finally:
+        if _ACTIVE is trace:
+            stop_trace()
+
+
+# ----------------------------------------------------------------------
+# reading traces back (the `repro trace` subcommand)
+# ----------------------------------------------------------------------
+class SpanRecord:
+    """One span re-read from a JSONL trace file."""
+
+    __slots__ = ("name", "start", "dur", "thread", "status", "attrs", "metrics", "children")
+
+    def __init__(self, raw: dict):
+        try:
+            self.name = raw["name"]
+            self.start = float(raw["start"])
+            self.dur = float(raw["dur"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ObsError(f"malformed span record: {raw!r}") from exc
+        self.thread = raw.get("thread", 0)
+        self.status = raw.get("status", "ok")
+        self.attrs = raw.get("attrs", {})
+        self.metrics = raw.get("metrics", {})
+        self.children: list[SpanRecord] = []
+
+    def self_time(self) -> float:
+        return max(0.0, self.dur - sum(c.dur for c in self.children))
+
+
+def read_jsonl(text: str) -> tuple[dict, list[SpanRecord]]:
+    """Parse a JSONL trace; returns (header, root spans)."""
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise ObsError("trace file is empty")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        raise ObsError(f"trace header is not JSON: {exc}") from None
+    if not isinstance(header, dict) or header.get("type") != "repro-trace":
+        raise ObsError("not a repro trace file (missing repro-trace header)")
+    by_id: dict[int, SpanRecord] = {}
+    roots: list[SpanRecord] = []
+    for lineno, line in enumerate(lines[1:], start=2):
+        try:
+            raw = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ObsError(f"line {lineno}: not JSON: {exc}") from None
+        record = SpanRecord(raw)
+        by_id[raw.get("id", lineno)] = record
+        parent = raw.get("parent")
+        if parent is None:
+            roots.append(record)
+        else:
+            owner = by_id.get(parent)
+            if owner is None:
+                raise ObsError(f"line {lineno}: unknown parent span {parent}")
+            owner.children.append(record)
+    return header, roots
+
+
+def render_summary(
+    header: dict,
+    roots: list[SpanRecord],
+    max_depth: int | None = None,
+    min_frac: float = 0.0,
+) -> str:
+    """A human-readable tree: durations, % of total, metric highlights."""
+    total = header.get("duration") or sum(r.dur for r in roots) or 1e-12
+    lines = [
+        f"trace: {sum(1 for _ in _walk_records(roots))} spans, "
+        f"{total * 1000:.2f} ms total, "
+        f"coverage {min(1.0, sum(r.dur for r in roots) / total):.1%}"
+    ]
+
+    def fmt_metrics(record: SpanRecord) -> str:
+        if not record.metrics:
+            return ""
+        keys = sorted(record.metrics, key=lambda k: -abs(record.metrics[k]))[:3]
+        parts = ", ".join(f"{k}={record.metrics[k]:g}" for k in keys)
+        return f"  [{parts}]"
+
+    def emit(record: SpanRecord, depth: int) -> None:
+        if max_depth is not None and depth > max_depth:
+            return
+        frac = record.dur / total
+        if frac < min_frac and depth > 0:
+            return
+        mark = "" if record.status == "ok" else f"  !{record.status}"
+        lines.append(
+            f"{'  ' * depth}{record.name:<{max(1, 40 - 2 * depth)}} "
+            f"{record.dur * 1000:>10.2f} ms  {frac:>6.1%}"
+            f"{mark}{fmt_metrics(record)}"
+        )
+        for child in record.children:
+            emit(child, depth + 1)
+
+    for root in roots:
+        emit(root, 0)
+    return "\n".join(lines)
+
+
+def _walk_records(roots: list[SpanRecord]) -> Iterator[SpanRecord]:
+    stack = list(roots)
+    while stack:
+        record = stack.pop()
+        yield record
+        stack.extend(record.children)
+
+
+def records_to_chrome(header: dict, roots: list[SpanRecord]) -> dict:
+    """Convert re-read JSONL spans to the Chrome trace_event format."""
+    events: list[dict] = [
+        {
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": "repro"},
+        }
+    ]
+    for record in _walk_records(roots):
+        args = dict(record.attrs)
+        args.update(record.metrics)
+        if record.status != "ok":
+            args["status"] = record.status
+        events.append(
+            {
+                "ph": "X",
+                "pid": 1,
+                "tid": record.thread,
+                "cat": "repro",
+                "name": record.name,
+                "ts": round(record.start * 1e6, 3),
+                "dur": round(record.dur * 1e6, 3),
+                "args": args,
+            }
+        )
+    return {"displayTimeUnit": "ms", "traceEvents": events}
+
+
+__all__ = [
+    "Span",
+    "SpanRecord",
+    "Trace",
+    "active_trace",
+    "is_tracing",
+    "read_jsonl",
+    "records_to_chrome",
+    "render_summary",
+    "span",
+    "start_trace",
+    "stop_trace",
+    "tracing",
+]

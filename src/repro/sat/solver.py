@@ -14,7 +14,23 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from repro.errors import ResourceLimitError, SatError
+from repro.obs.metrics import REGISTRY, EngineTelemetry
 from repro.sat.cnf import Cnf
+
+
+def _sat_engine_counters(state: dict) -> dict[str, float]:
+    """Monotone ``sat.*`` totals from a solver's ``__dict__``; polled
+    lazily at metrics-snapshot time so the CDCL loop stays metrics-free."""
+    return {
+        "sat.propagations": float(state["propagations"]),
+        "sat.decisions": float(state["decisions"]),
+        "sat.conflicts": float(state["conflicts"]),
+        "sat.learnt_clauses": float(len(state["learnts"])),
+    }
+
+
+_TELEMETRY = EngineTelemetry("sat", _sat_engine_counters)
+REGISTRY.register_collector("sat", _TELEMETRY.collect)
 
 
 class Solver:
@@ -39,6 +55,7 @@ class Solver:
         self.decisions = 0
         self.propagations = 0
         self._unsat = False
+        _TELEMETRY.track(self)
 
         # _add_clause never mutates or stores its argument (it builds a
         # fresh simplified list), so the cnf clauses are shared, not copied

@@ -31,6 +31,7 @@ from repro.bdd import BddManager, BddNode
 from repro.errors import ResourceLimitError, TimingError
 from repro.network.network import Network
 from repro.network.verify import global_functions
+from repro.obs.trace import span
 from repro.sop import Cover, Cube
 from repro.timing.delay import DelayModel, unit_delay
 
@@ -77,7 +78,14 @@ class ChiEngine:
         """The BDD of χ_{name,value}^t."""
         if value not in (0, 1):
             raise TimingError(f"value must be 0 or 1, got {value}")
-        t = float(t)
+        key = (name, value, float(t))
+        if key in self._memo:  # memo hits skip the span entirely
+            return self._memo[key]
+        # one span per top-level query; the recursion below goes uninstrumented
+        with span("chi.build", node=name, value=value, t=float(t)):
+            return self._chi(name, value, float(t))
+
+    def _chi(self, name: str, value: int, t: float) -> BddNode:
         key = (name, value, t)
         cached = self._memo.get(key)
         if cached is not None:
@@ -103,7 +111,7 @@ class ChiEngine:
                     phase = cube.literal(i)
                     if phase is None:
                         continue
-                    child = self.chi(fanin, phase, t_in)
+                    child = self._chi(fanin, phase, t_in)
                     if child.is_false:
                         dead = True
                         break
@@ -159,6 +167,18 @@ def candidate_times(
     delays = delays or unit_delay()
     arrivals = arrivals or {}
     times: dict[str, list[float]] = {}
+    with span("chi.candidate_times", nodes=len(network.nodes)):
+        _candidate_times_into(network, delays, arrivals, max_per_node, times)
+    return times
+
+
+def _candidate_times_into(
+    network: Network,
+    delays: DelayModel,
+    arrivals: Mapping[str, float],
+    max_per_node: int,
+    times: dict[str, list[float]],
+) -> None:
     for name in network.topological_order():
         node = network.nodes[name]
         if node.is_input:
@@ -176,7 +196,6 @@ def candidate_times(
                 f"node {name!r} has more than {max_per_node} candidate times"
             )
         times[name] = sorted(merged)
-    return times
 
 
 def build_chi_network(
@@ -280,12 +299,14 @@ def build_chi_network(
         return label
 
     t = float(required_time)
-    if include_value is None:
-        one = chi_name(output, 1, t)
-        zero = chi_name(output, 0, t)
-        chi_net.add_gate("__stable__", "OR", [one, zero])
-    else:
-        target = chi_name(output, include_value, t)
-        chi_net.add_gate("__stable__", "BUF", [target])
+    with span("chi.unroll", output=output, t=t) as sp:
+        if include_value is None:
+            one = chi_name(output, 1, t)
+            zero = chi_name(output, 0, t)
+            chi_net.add_gate("__stable__", "OR", [one, zero])
+        else:
+            target = chi_name(output, include_value, t)
+            chi_net.add_gate("__stable__", "BUF", [target])
+        sp.set(chi_nodes=len(chi_net.nodes))
     chi_net.set_outputs(["__stable__"])
     return chi_net, "__stable__"

@@ -23,6 +23,7 @@ from typing import Literal, Mapping
 
 from repro.errors import TimingError
 from repro.network.network import Network
+from repro.obs.trace import span
 from repro.sat import CircuitEncoder, Solver
 from repro.timing.chi import ChiEngine, build_chi_network, candidate_times
 from repro.timing.delay import DelayModel, unit_delay
@@ -63,18 +64,21 @@ class FunctionalTiming:
         input vector, under the XBD0 model?"""
         if output not in self.network.outputs:
             raise TimingError(f"{output!r} is not a primary output")
-        if self.engine == "bdd":
-            if self._chi is None:
-                self._chi = ChiEngine(self.network, self.delays, self.arrivals)
-            return self._chi.is_stable_by(output, t)
-        chi_net, root = build_chi_network(
-            self.network, output, t, self.delays, self.arrivals
-        )
-        encoder = CircuitEncoder()
-        mapping = encoder.encode(chi_net)
-        encoder.cnf.add_clause([-mapping[root]])
-        solver = Solver(encoder.cnf)
-        return not solver.solve(max_conflicts=self.max_conflicts)
+        with span(
+            "chi.stability_check", output=output, t=float(t), engine=self.engine
+        ):
+            if self.engine == "bdd":
+                if self._chi is None:
+                    self._chi = ChiEngine(self.network, self.delays, self.arrivals)
+                return self._chi.is_stable_by(output, t)
+            chi_net, root = build_chi_network(
+                self.network, output, t, self.delays, self.arrivals
+            )
+            encoder = CircuitEncoder()
+            mapping = encoder.encode(chi_net)
+            encoder.cnf.add_clause([-mapping[root]])
+            solver = Solver(encoder.cnf)
+            return not solver.solve(max_conflicts=self.max_conflicts)
 
     def all_stable_by(self, required: Mapping[str, float] | float) -> bool:
         """Every primary output stable by its required time?"""
@@ -97,20 +101,23 @@ class FunctionalTiming:
         monotone non-decreasing in t, and the true arrival is always one of
         the candidate stabilization moments.
         """
-        cands = candidate_times(self.network, self.delays, self.arrivals)[output]
-        lo, hi = 0, len(cands) - 1
-        if not self.output_stable_by(output, cands[hi]):
-            raise TimingError(
-                f"output {output!r} not stable even at its topological delay; "
-                "inconsistent model"
-            )
-        while lo < hi:
-            mid = (lo + hi) // 2
-            if self.output_stable_by(output, cands[mid]):
-                hi = mid
-            else:
-                lo = mid + 1
-        return cands[lo]
+        with span("chi.true_arrival", output=output, engine=self.engine):
+            cands = candidate_times(self.network, self.delays, self.arrivals)[
+                output
+            ]
+            lo, hi = 0, len(cands) - 1
+            if not self.output_stable_by(output, cands[hi]):
+                raise TimingError(
+                    f"output {output!r} not stable even at its topological "
+                    "delay; inconsistent model"
+                )
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if self.output_stable_by(output, cands[mid]):
+                    hi = mid
+                else:
+                    lo = mid + 1
+            return cands[lo]
 
     def true_arrivals(self) -> dict[str, float]:
         return {o: self.true_arrival(o) for o in self.network.outputs}

@@ -15,6 +15,7 @@ from typing import Mapping
 
 from repro.errors import TimingError
 from repro.network.network import Network
+from repro.obs.trace import span
 from repro.timing.delay import DelayModel, unit_delay
 
 
@@ -30,6 +31,17 @@ def arrival_times(
     delays = delays or unit_delay()
     input_arrivals = input_arrivals or {}
     arr: dict[str, float] = {}
+    with span("topo.arrival", nodes=len(network.nodes)):
+        _arrival_into(network, delays, input_arrivals, arr)
+    return arr
+
+
+def _arrival_into(
+    network: Network,
+    delays: DelayModel,
+    input_arrivals: Mapping[str, float],
+    arr: dict[str, float],
+) -> None:
     for name in network.topological_order():
         node = network.nodes[name]
         if node.is_input:
@@ -45,7 +57,6 @@ def arrival_times(
                 arr[name] = delays.of(name)
                 continue
             arr[name] = delays.of(name) + max(arr[f] for f in node.fanins)
-    return arr
 
 
 def required_times(
@@ -73,17 +84,18 @@ def required_times(
     for out, t in req_out.items():
         req[out] = min(req[out], float(t))
 
-    for name in network.reverse_topological_order():
-        node = network.nodes[name]
-        if node.is_input:
-            continue
-        here = req[name]
-        if here == math.inf:
-            continue
-        d = delays.of(name)
-        for fanin in node.fanins:
-            if here - d < req[fanin]:
-                req[fanin] = here - d
+    with span("topo.required", nodes=len(network.nodes)):
+        for name in network.reverse_topological_order():
+            node = network.nodes[name]
+            if node.is_input:
+                continue
+            here = req[name]
+            if here == math.inf:
+                continue
+            d = delays.of(name)
+            for fanin in node.fanins:
+                if here - d < req[fanin]:
+                    req[fanin] = here - d
     return req
 
 

@@ -215,3 +215,47 @@ class TestCorpusFormat:
         case = generate_case(1, "tiny", 0)
         # the stock suite passes, so the predicate must reject the case
         assert not failure_predicate(checks={"hierarchy"})(case)
+
+
+class TestPerCaseMetrics:
+    """Per-case engine accounting via registry snapshot/diff brackets.
+
+    Regression guard: per-case numbers used to come from engine-level
+    statistics that were never reset between cases, so case N silently
+    accumulated the BDD/SAT work of cases 0..N-1.  The snapshot/diff
+    bracket in :func:`run_differential` makes each case's deltas its own.
+    """
+
+    def test_single_case_carries_engine_deltas(self):
+        result = run_differential(generate_case(3, "tiny", 0))
+        assert result.metrics, "per-case metrics missing"
+        assert result.metrics.get("bdd.nodes_created", 0) > 0
+
+    def test_cases_do_not_inherit_predecessor_work(self):
+        report = FuzzRunner(seed=3, budget=4, profile="tiny").run()
+        per_case = [v.metrics.get("bdd.nodes_created", 0.0) for v in report.verdicts]
+        assert all(n > 0 for n in per_case)
+        # with leaked accounting the per-case sum would be ~quadratically
+        # larger than the run-level bracket; with correct brackets it can
+        # never exceed it (the run also covers shrinking/replay work)
+        run_total = report.metrics.get("bdd.nodes_created", 0.0)
+        assert sum(per_case) <= run_total
+        # and the first case alone cannot hold the whole run's work
+        assert per_case[0] < run_total
+
+    def test_identical_cases_report_identical_deltas(self):
+        # the same deterministic case re-run in a fresh bracket must see
+        # the same node count — inherited totals would differ run to run
+        a = run_differential(generate_case(7, "tiny", 2))
+        b = run_differential(generate_case(7, "tiny", 2))
+        assert a.metrics.get("bdd.nodes_created") == b.metrics.get(
+            "bdd.nodes_created"
+        )
+
+    def test_report_json_carries_metrics(self):
+        report = FuzzRunner(seed=3, budget=2, profile="tiny").run()
+        doc = report.to_json()
+        assert isinstance(doc["metrics"], dict)
+        for verdict in doc["verdicts"]:
+            assert isinstance(verdict["metrics"], dict)
+            assert verdict["metrics"].get("fuzz.cases", 0) == 0  # run-level only

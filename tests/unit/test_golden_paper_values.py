@@ -1,0 +1,159 @@
+"""Golden regression values for the paper's worked examples.
+
+Pins the concrete numbers the analyses produce on every circuit in
+:mod:`repro.circuits.examples` — the Figure-4 relation tables from
+Sections 4.1–4.2 bit-exactly, and summary invariants (topological
+profiles, lattice-climb fixpoints, relation row counts) for the rest.
+Any engine change that shifts one of these values is either a bug or a
+deliberate semantics change that must update this file in the same
+commit.
+
+All values were computed at ``output_required=2.0`` (the paper's
+required time for the Figure-4 example) with the unit delay model.
+"""
+
+import itertools
+
+import pytest
+
+from repro.circuits import (
+    c17,
+    carry_skip_block,
+    figure4,
+    figure6,
+    figure6_extended,
+)
+from repro.core.approx1 import Approx1Analysis
+from repro.core.exact import ExactAnalysis
+from repro.core.required_time import analyze_required_times
+
+REQUIRED = 2.0
+
+CIRCUITS = {
+    "figure4": figure4,
+    "figure6": figure6,
+    "figure6_extended": figure6_extended,
+    "c17": c17,
+    "carry_skip_block": carry_skip_block,
+}
+
+#: value-independent topological required times (r_bottom)
+GOLDEN_TOPOLOGICAL = {
+    "figure4": {"x1": 0.0, "x2": 0.0},
+    "figure6": {"x1": 1.0, "x2": 0.0, "x3": 0.0},
+    "figure6_extended": {"x1": 0.0, "x2": -1.0, "x3": -1.0},
+    "c17": {"G1": 0.0, "G2": 0.0, "G3": -1.0, "G6": -1.0, "G7": 0.0},
+    "carry_skip_block": {
+        "cin": -6.0, "p0": -5.0, "p1": -3.0, "g0": -4.0, "g1": -2.0,
+    },
+}
+
+#: approx2 lattice-climb fixpoint: (nontrivial, best profile)
+GOLDEN_APPROX2 = {
+    "figure4": (False, {"x1": 0.0, "x2": 0.0}),
+    "figure6": (False, {"x1": 1.0, "x2": 0.0, "x3": 0.0}),
+    "figure6_extended": (False, {"x1": 0.0, "x2": -1.0, "x3": -1.0}),
+    "c17": (False, {"G1": 0.0, "G2": 0.0, "G3": -1.0, "G6": -1.0, "G7": 0.0}),
+    # the paper's motivating case: the carry-skip false path lets cin
+    # arrive 6 units later than topological analysis allows
+    "carry_skip_block": (
+        True,
+        {"cin": 0.0, "p0": -5.0, "p1": -3.0, "g0": -4.0, "g1": -2.0},
+    ),
+}
+
+#: exact characteristic relation: (leaf vars, total rows, minimal rows)
+#: summed over every primary-input assignment
+GOLDEN_EXACT = {
+    "figure4": (6, 13, 5),
+    "figure6": (6, 16, 10),
+    "figure6_extended": (6, 26, 10),
+    "c17": (12, 260, 44),
+    "carry_skip_block": (22, 1521, 48),
+}
+
+#: approx1 parameterized analysis: (parameters, nontrivial, prime count)
+GOLDEN_APPROX1 = {
+    "figure4": (6, True, 1),
+    "figure6": (6, False, 1),
+    "figure6_extended": (6, False, 1),
+    "c17": (12, False, 1),
+    "carry_skip_block": (22, True, 1),
+}
+
+
+@pytest.mark.parametrize("name", CIRCUITS)
+def test_topological_profile(name):
+    report = analyze_required_times(
+        CIRCUITS[name](), "topological", output_required=REQUIRED
+    )
+    assert report.detail == GOLDEN_TOPOLOGICAL[name]
+    assert not report.nontrivial  # topological is the trivial lower bound
+
+
+@pytest.mark.parametrize("name", CIRCUITS)
+def test_approx2_fixpoint(name):
+    report = analyze_required_times(
+        CIRCUITS[name](), "approx2", output_required=REQUIRED
+    )
+    nontrivial, best = GOLDEN_APPROX2[name]
+    assert report.nontrivial == nontrivial
+    assert report.detail.best == best
+    assert report.detail.r_bottom == GOLDEN_TOPOLOGICAL[name]
+    assert not report.aborted
+
+
+@pytest.mark.parametrize("name", CIRCUITS)
+def test_exact_relation_shape(name):
+    net = CIRCUITS[name]()
+    relation = ExactAnalysis(net, output_required=REQUIRED).relation()
+    leaf_vars, total_rows, minimal_rows = GOLDEN_EXACT[name]
+    assert relation.num_leaf_variables == leaf_vars
+    assert relation.nontrivial()
+    got_total = 0
+    got_minimal = 0
+    for vec in itertools.product([0, 1], repeat=len(net.inputs)):
+        assign = dict(zip(net.inputs, vec))
+        got_total += len(relation.rows(assign))
+        got_minimal += len(relation.minimal_rows(assign))
+    assert got_total == total_rows
+    assert got_minimal == minimal_rows
+
+
+@pytest.mark.parametrize("name", CIRCUITS)
+def test_approx1_summary(name):
+    result = Approx1Analysis(CIRCUITS[name](), output_required=REQUIRED).run()
+    params, nontrivial, primes = GOLDEN_APPROX1[name]
+    assert result.num_parameters == params
+    assert result.nontrivial == nontrivial
+    assert len(result.primes) == primes
+
+
+class TestFigure4BitExact:
+    """Sections 4.1–4.2: the worked example's tables, row by row."""
+
+    def test_exact_rows_per_assignment(self):
+        relation = ExactAnalysis(figure4(), output_required=REQUIRED).relation()
+        row_counts = {(0, 0): 5, (0, 1): 3, (1, 0): 4, (1, 1): 1}
+        for (a, b), n in row_counts.items():
+            assert len(relation.rows({"x1": a, "x2": b})) == n, (a, b)
+
+    def test_exact_minimal_rows_per_assignment(self):
+        relation = ExactAnalysis(figure4(), output_required=REQUIRED).relation()
+        minimal_counts = {(0, 0): 2, (0, 1): 1, (1, 0): 1, (1, 1): 1}
+        for (a, b), n in minimal_counts.items():
+            assert len(relation.minimal_rows({"x1": a, "x2": b})) == n, (a, b)
+
+    def test_approx1_prime(self):
+        result = Approx1Analysis(figure4(), output_required=REQUIRED).run()
+        assert result.primes == [
+            frozenset(
+                {
+                    "alpha[x1,1]",
+                    "alpha[x2,1]",
+                    "alpha[x2,2]",
+                    "beta[x1,1]",
+                    "beta[x2,1]",
+                }
+            )
+        ]

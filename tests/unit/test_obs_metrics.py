@@ -1,0 +1,227 @@
+"""Metrics registry: instruments, snapshots/diffs, and engine telemetry."""
+
+import gc
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    REGISTRY,
+    Counter,
+    EngineTelemetry,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Snapshot,
+)
+
+
+class TestInstruments:
+    def test_counter(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_counter_rejects_decrease(self):
+        with pytest.raises(ValueError, match="cannot decrease"):
+            Counter("c").inc(-1)
+
+    def test_gauge(self):
+        g = Gauge("g")
+        g.set(5)
+        g.add(-2)
+        assert g.value == 3.0
+
+    def test_histogram(self):
+        h = Histogram("h")
+        for v in (3.0, 1.0, 2.0):
+            h.observe(v)
+        assert h.values() == {"count": 3, "sum": 6.0, "min": 1.0, "max": 3.0}
+
+    def test_empty_histogram_values(self):
+        assert Histogram("h").values() == {
+            "count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+        }
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError, match="already registered as Counter"):
+            reg.gauge("a")
+
+    def test_snapshot_flattens_histograms(self):
+        reg = MetricsRegistry()
+        reg.histogram("h").observe(2.0)
+        reg.histogram("h").observe(4.0)
+        snap = reg.snapshot()
+        assert snap.get("h.count") == 2
+        assert snap.get("h.sum") == 6.0
+        assert "h.min" not in snap.values  # non-monotone: kept out of diffs
+
+    def test_snapshot_includes_collectors(self):
+        reg = MetricsRegistry()
+        reg.register_collector("fake", lambda: {"fake.total": 7.0})
+        assert reg.snapshot().get("fake.total") == 7.0
+        reg.unregister_collector("fake")
+        assert "fake.total" not in reg.snapshot().values
+
+    def test_reset_drops_direct_metrics_only(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.register_collector("fake", lambda: {"fake.total": 1.0})
+        reg.reset()
+        snap = reg.snapshot()
+        assert "a" not in snap.values
+        assert snap.get("fake.total") == 1.0
+
+    def test_process_registry_is_shared(self):
+        from repro.obs import metrics
+
+        assert metrics.REGISTRY is REGISTRY
+
+
+class TestSnapshotDiff:
+    def test_diff_reports_nonzero_deltas(self):
+        a = Snapshot({"x": 1.0, "y": 5.0, "z": 2.0})
+        b = Snapshot({"x": 4.0, "y": 5.0, "z": 1.0})
+        assert b.diff(a) == {"x": 3.0, "z": -1.0}
+
+    def test_diff_handles_new_and_vanished_keys(self):
+        a = Snapshot({"gone": 2.0})
+        b = Snapshot({"new": 3.0})
+        assert b.diff(a) == {"new": 3.0, "gone": -2.0}
+
+    def test_diff_of_identical_snapshots_is_empty(self):
+        snap = Snapshot({"x": 1.0})
+        assert snap.diff(Snapshot({"x": 1.0})) == {}
+
+    def test_interval_accounting_on_registry(self):
+        reg = MetricsRegistry()
+        reg.counter("ops").inc(10)
+        before = reg.snapshot()
+        reg.counter("ops").inc(4)
+        assert reg.snapshot().diff(before) == {"ops": 4.0}
+
+
+class _FakeEngine:
+    def __init__(self, work=0, live=0):
+        self.work = work
+        self.live = live
+
+
+def _counters(state):
+    return {"fake.work": float(state["work"])}
+
+
+def _gauges(state):
+    return {"fake.nodes_live": float(state["live"])}
+
+
+class TestEngineTelemetry:
+    def test_live_objects_are_summed(self):
+        tel = EngineTelemetry("fake", _counters, _gauges)
+        e1, e2 = _FakeEngine(work=3, live=10), _FakeEngine(work=4, live=20)
+        tel.track(e1)
+        tel.track(e2)
+        got = tel.collect()
+        assert got["fake.work"] == 7.0
+        assert got["fake.nodes_live"] == 30.0
+        assert got["fake.tracked"] == 2.0
+
+    def test_dead_engine_counters_are_retained(self):
+        tel = EngineTelemetry("fake", _counters, _gauges)
+        engine = _FakeEngine(work=5, live=99)
+        tel.track(engine)
+        del engine
+        gc.collect()
+        got = tel.collect()
+        # monotone counters survive the object ...
+        assert got["fake.work"] == 5.0
+        # ... instantaneous gauges do not
+        assert "fake.nodes_live" not in got
+        assert got["fake.live"] == 0.0  # no live engines remain
+
+    def test_interval_diff_never_loses_dead_engine_work(self):
+        reg = MetricsRegistry()
+        tel = EngineTelemetry("fake", _counters)
+        reg.register_collector("fake", tel.collect)
+        before = reg.snapshot()
+        engine = _FakeEngine()
+        tel.track(engine)
+        engine.work = 42
+        del engine
+        gc.collect()
+        delta = reg.snapshot().diff(before)
+        assert delta["fake.work"] == 42.0
+
+    def test_concurrent_engines_diff_cleanly(self):
+        """Per-thread interval accounting under parallel engine activity."""
+        reg = MetricsRegistry()
+        tel = EngineTelemetry("fake", _counters)
+        reg.register_collector("fake", tel.collect)
+        barrier = threading.Barrier(4)
+        totals = []
+        lock = threading.Lock()
+
+        def worker(amount):
+            engine = _FakeEngine()
+            tel.track(engine)
+            barrier.wait()
+            for _ in range(amount):
+                engine.work += 1
+            with lock:
+                totals.append(amount)
+
+        threads = [
+            threading.Thread(target=worker, args=(n,))
+            for n in (100, 200, 300, 400)
+        ]
+        before = reg.snapshot()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        gc.collect()
+        delta = reg.snapshot().diff(before)
+        assert delta["fake.work"] == float(sum(totals))
+
+
+class TestEngineIntegration:
+    """The real collectors registered by the BDD and SAT engines."""
+
+    def test_bdd_work_is_visible_in_snapshots(self):
+        from repro.bdd.manager import BddManager
+
+        before = REGISTRY.snapshot()
+        mgr = BddManager()
+        x = mgr.add_var("x")
+        y = mgr.add_var("y")
+        _ = x & y
+        delta = REGISTRY.snapshot().diff(before)
+        assert delta.get("bdd.nodes_created", 0) > 0
+        assert delta.get("bdd.tracked", 0) >= 1
+        del mgr, x, y
+        gc.collect()
+        # the dead manager's node counts are retained (monotone) ...
+        final = REGISTRY.snapshot().diff(before)
+        assert final.get("bdd.nodes_created", 0) > 0
+
+    def test_sat_work_is_visible_in_snapshots(self):
+        from repro.sat import Cnf, Solver
+
+        before = REGISTRY.snapshot()
+        cnf = Cnf()
+        a, b = cnf.new_var(), cnf.new_var()
+        cnf.add_clauses([[a, b], [-a]])
+        solver = Solver(cnf)
+        assert solver.solve([])
+        delta = REGISTRY.snapshot().diff(before)
+        assert delta.get("sat.tracked", 0) >= 1
+        assert delta.get("sat.propagations", 0) > 0

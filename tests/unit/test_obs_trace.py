@@ -1,0 +1,326 @@
+"""Tracing spans: nesting, unwinding, exports, and the disabled fast path."""
+
+import json
+import threading
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs.trace import (
+    _NOOP,
+    Trace,
+    active_trace,
+    is_tracing,
+    read_jsonl,
+    records_to_chrome,
+    render_summary,
+    span,
+    start_trace,
+    stop_trace,
+    tracing,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_trace():
+    """Every test starts and ends with tracing disabled."""
+    if is_tracing():
+        stop_trace()
+    yield
+    if is_tracing():
+        stop_trace()
+
+
+class TestDisabledMode:
+    def test_span_returns_shared_noop(self):
+        assert span("anything", key=1) is _NOOP
+        assert span("other") is _NOOP
+
+    def test_noop_supports_full_span_surface(self):
+        with span("x", a=1) as sp:
+            assert sp.set(b=2) is sp
+
+    def test_noop_swallows_nothing(self):
+        with pytest.raises(ValueError):
+            with span("x"):
+                raise ValueError("must propagate")
+
+    def test_not_tracing_by_default(self):
+        assert not is_tracing()
+        assert active_trace() is None
+
+
+class TestSpanNesting:
+    def test_tree_structure(self):
+        with tracing() as trace:
+            with span("root"):
+                with span("child.a"):
+                    with span("grandchild"):
+                        pass
+                with span("child.b"):
+                    pass
+        assert [sp.name for sp, _ in trace.walk()] == [
+            "root", "child.a", "grandchild", "child.b",
+        ]
+        assert [depth for _, depth in trace.walk()] == [0, 1, 2, 1]
+        (root,) = trace.roots
+        assert [c.name for c in root.children] == ["child.a", "child.b"]
+
+    def test_sibling_roots(self):
+        with tracing() as trace:
+            with span("first"):
+                pass
+            with span("second"):
+                pass
+        assert [sp.name for sp in trace.roots] == ["first", "second"]
+
+    def test_durations_nest(self):
+        with tracing() as trace:
+            with span("outer"):
+                with span("inner"):
+                    pass
+        (outer,) = trace.roots
+        (inner,) = outer.children
+        assert outer.duration >= inner.duration >= 0.0
+        assert outer.self_time() == pytest.approx(
+            outer.duration - inner.duration
+        )
+
+    def test_attrs_and_set(self):
+        with tracing() as trace:
+            with span("op", circuit="fig4") as sp:
+                sp.set(nodes=17)
+        (sp,) = trace.roots
+        assert sp.attrs == {"circuit": "fig4", "nodes": 17}
+
+    def test_num_spans_and_coverage(self):
+        with tracing() as trace:
+            with span("a"):
+                with span("b"):
+                    pass
+        assert trace.num_spans == 2
+        assert 0.0 < trace.coverage() <= 1.0
+
+
+class TestExceptionUnwinding:
+    def test_error_status_records_exception_type(self):
+        with tracing() as trace:
+            with pytest.raises(KeyError):
+                with span("fails"):
+                    raise KeyError("boom")
+        (sp,) = trace.roots
+        assert sp.status == "error:KeyError"
+        assert sp.end is not None
+
+    def test_exception_closes_nested_spans(self):
+        with tracing() as trace:
+            with pytest.raises(RuntimeError):
+                with span("outer"):
+                    with span("inner"):
+                        raise RuntimeError
+            with span("after"):
+                pass
+        outer, after = trace.roots
+        assert outer.status == "error:RuntimeError"
+        assert outer.children[0].status == "error:RuntimeError"
+        # the stack unwound fully: the next span is a root, not a child
+        assert after.name == "after"
+
+    def test_leaked_span_closed_by_parent_exit(self):
+        with tracing() as trace:
+            with span("parent"):
+                leaked = span("leaked")
+                leaked.__enter__()
+                # never exited — e.g. a generator dropped mid-iteration
+        (parent,) = trace.roots
+        (leaked_sp,) = parent.children
+        assert leaked_sp.status == "leaked"
+        assert leaked_sp.end == parent.end
+
+    def test_leaked_root_closed_by_finish(self):
+        start_trace()
+        span("dangling").__enter__()
+        trace = stop_trace()
+        (sp,) = trace.roots
+        assert sp.status == "leaked"
+        assert sp.end == trace.duration
+
+
+class TestLifecycle:
+    def test_double_start_raises(self):
+        start_trace()
+        with pytest.raises(ObsError, match="already active"):
+            start_trace()
+        stop_trace()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(ObsError, match="no trace"):
+            stop_trace()
+
+    def test_tracing_contextmanager_scopes(self):
+        assert not is_tracing()
+        with tracing() as trace:
+            assert active_trace() is trace
+        assert not is_tracing()
+
+    def test_tracing_contextmanager_tolerates_inner_stop(self):
+        with tracing() as trace:
+            stopped = stop_trace()
+        assert stopped is trace
+        assert not is_tracing()
+
+    def test_per_thread_root_forests(self):
+        with tracing() as trace:
+            def worker():
+                with span("thread.work"):
+                    pass
+            with span("main.work"):
+                t = threading.Thread(target=worker)
+                t.start()
+                t.join()
+        # the worker span is a root (its own thread's stack), not a child
+        names = sorted(sp.name for sp in trace.roots)
+        assert names == ["main.work", "thread.work"]
+        threads = {sp.thread for sp in trace.roots}
+        assert len(threads) == 2
+
+
+class TestMetricsCapture:
+    def test_span_metrics_are_registry_deltas(self):
+        from repro.obs.metrics import REGISTRY
+
+        with tracing() as trace:
+            with span("counted"):
+                REGISTRY.counter("test.obs.trace.events").inc(3)
+        (sp,) = trace.roots
+        assert sp.metrics["test.obs.trace.events"] == 3.0
+
+    def test_capture_metrics_false_skips_snapshots(self):
+        from repro.obs.metrics import REGISTRY
+
+        with tracing(capture_metrics=False) as trace:
+            with span("uncounted"):
+                REGISTRY.counter("test.obs.trace.skipped").inc()
+        (sp,) = trace.roots
+        assert sp.metrics == {}
+
+
+class TestJsonlExport:
+    def _roundtrip(self):
+        with tracing() as trace:
+            with span("root", circuit="fig4") as sp:
+                sp.set(outputs=2)
+                with span("child"):
+                    pass
+        return trace, read_jsonl(trace.to_jsonl())
+
+    def test_header(self):
+        trace, (header, _roots) = self._roundtrip()
+        assert header["type"] == "repro-trace"
+        assert header["version"] == 1
+        assert header["duration"] == pytest.approx(trace.duration)
+
+    def test_tree_roundtrips(self):
+        _trace, (_header, roots) = self._roundtrip()
+        (root,) = roots
+        assert root.name == "root"
+        assert root.attrs == {"circuit": "fig4", "outputs": 2}
+        assert [c.name for c in root.children] == ["child"]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ObsError, match="empty"):
+            read_jsonl("")
+
+    def test_rejects_non_json_header(self):
+        with pytest.raises(ObsError, match="not JSON"):
+            read_jsonl("this is not a trace\n")
+
+    def test_rejects_foreign_json(self):
+        with pytest.raises(ObsError, match="repro-trace"):
+            read_jsonl('{"type": "something-else"}\n')
+
+    def test_rejects_unknown_parent(self):
+        lines = [
+            json.dumps({"type": "repro-trace", "version": 1}),
+            json.dumps(
+                {"id": 0, "parent": 99, "name": "x", "start": 0, "dur": 1}
+            ),
+        ]
+        with pytest.raises(ObsError, match="unknown parent"):
+            read_jsonl("\n".join(lines))
+
+    def test_rejects_malformed_record(self):
+        lines = [
+            json.dumps({"type": "repro-trace", "version": 1}),
+            json.dumps({"id": 0, "parent": None, "start": "not-a-number"}),
+        ]
+        with pytest.raises(ObsError, match="malformed span record"):
+            read_jsonl("\n".join(lines))
+
+    def test_render_summary(self):
+        _trace, (header, roots) = self._roundtrip()
+        text = render_summary(header, roots)
+        assert "root" in text and "child" in text
+        assert "spans" in text.splitlines()[0]
+
+
+class TestChromeExport:
+    def _chrome(self):
+        with tracing() as trace:
+            with span("op", circuit="fig4"):
+                with pytest.raises(ValueError):
+                    with span("bad"):
+                        raise ValueError
+        return trace.to_chrome()
+
+    def test_schema(self):
+        doc = self._chrome()
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        assert events[0]["ph"] == "M"  # process_name metadata record
+        assert events[0]["args"] == {"name": "repro"}
+        for ev in events[1:]:
+            assert ev["ph"] == "X"
+            assert ev["cat"] == "repro"
+            assert isinstance(ev["ts"], float) and ev["ts"] >= 0
+            assert isinstance(ev["dur"], float) and ev["dur"] >= 0
+            assert isinstance(ev["args"], dict)
+
+    def test_error_status_lands_in_args(self):
+        doc = self._chrome()
+        bad = [e for e in doc["traceEvents"] if e.get("name") == "bad"]
+        assert bad and bad[0]["args"]["status"] == "error:ValueError"
+
+    def test_document_is_json_serializable(self):
+        json.dumps(self._chrome())
+
+    def test_records_to_chrome_matches_live_export(self):
+        with tracing() as trace:
+            with span("op", circuit="fig4", n=3):
+                pass
+        header, roots = read_jsonl(trace.to_jsonl())
+        live = trace.to_chrome()["traceEvents"]
+        reread = records_to_chrome(header, roots)["traceEvents"]
+        assert [e["name"] for e in live] == [e["name"] for e in reread]
+        assert [e["args"] for e in live] == [e["args"] for e in reread]
+
+
+class TestSave:
+    def test_auto_format_by_extension(self, tmp_path):
+        with tracing() as trace:
+            with span("x"):
+                pass
+        jsonl_path = tmp_path / "out.jsonl"
+        chrome_path = tmp_path / "out.json"
+        trace.save(str(jsonl_path))
+        trace.save(str(chrome_path))
+        header, _ = read_jsonl(jsonl_path.read_text())
+        assert header["type"] == "repro-trace"
+        doc = json.loads(chrome_path.read_text())
+        assert "traceEvents" in doc
+
+    def test_unknown_format_raises(self, tmp_path):
+        trace = Trace()
+        trace.duration = 0.0
+        with pytest.raises(ObsError, match="unknown trace format"):
+            trace.save(str(tmp_path / "out"), format="xml")
