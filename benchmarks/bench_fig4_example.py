@@ -4,7 +4,15 @@ Checks the bit-exact reproduction of the paper's relation tables while
 timing the exact and approximate-1 constructions on the example circuit.
 
 Run:  pytest benchmarks/bench_fig4_example.py --benchmark-only -q
+
+Script mode — ``python benchmarks/bench_fig4_example.py --jobs N
+[--json OUT]`` — runs the same two analyses as parallel tasks and
+asserts the golden relation/prime values against the paper, so a CI
+smoke run of ``--jobs 2`` proves both the pool plumbing and bit-exact
+parity with the serial path.
 """
+
+import sys
 
 from _harness import TableCollector, traced_pedantic
 from repro.circuits import figure4
@@ -65,3 +73,104 @@ def test_approx1(benchmark):
 def test_zzz_print(benchmark):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     TABLE.print_once()
+
+
+# ----------------------------------------------------------------------
+# script mode: the worked example as a (tiny) parallel batch
+# ----------------------------------------------------------------------
+#: the paper's Section-4 golden values: row / minimal-row counts of the
+#: exact relation per input minterm, and the single approx-1 prime
+GOLDEN_ROWS = {"00": [5, 2], "01": [3, 1], "10": [4, 1], "11": [1, 1]}
+GOLDEN_PRIMES = [
+    sorted(
+        [
+            "alpha[x1,1]",
+            "alpha[x2,1]",
+            "alpha[x2,2]",
+            "beta[x1,1]",
+            "beta[x2,1]",
+        ]
+    )
+]
+
+
+def script_tasks():
+    from repro.parallel import CircuitRef, required_time_task
+
+    ref = CircuitRef.factory("example:figure4")
+    return [
+        required_time_task(
+            ref, "exact", output_required=2.0, options={"exact_row_counts": 6}
+        ),
+        required_time_task(ref, "approx1", output_required=2.0),
+    ]
+
+
+def main(argv=None) -> int:
+    import argparse
+    import json
+    import time
+
+    from repro.parallel import run_batch
+
+    parser = argparse.ArgumentParser(
+        description="Figure-4 worked example as a parallel batch."
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (0 = one per core; 1 = serial in-process)",
+    )
+    parser.add_argument(
+        "--json", metavar="OUT", help="write canonical rows + wall time as JSON"
+    )
+    args = parser.parse_args(argv)
+
+    t0 = time.perf_counter()
+    batch = run_batch(script_tasks(), jobs=args.jobs)
+    wall = time.perf_counter() - t0
+
+    ok = not batch.errors
+    rows = []
+    for outcome in batch.outcomes:
+        if not outcome.ok:
+            print(f"FAILED: {outcome.task_id}: {outcome.error}", file=sys.stderr)
+            continue
+        value = outcome.value
+        row = value.row()
+        row["jobs"] = batch.jobs
+        row["elapsed"] = round(value.elapsed, 3)
+        rows.append(row)
+        if value.method == "exact":
+            matches = value.digest.get("rows") == GOLDEN_ROWS
+        else:
+            matches = value.digest.get("primes") == GOLDEN_PRIMES
+        if not matches:
+            ok = False
+            print(
+                f"GOLDEN MISMATCH: {outcome.task_id}: {value.digest}",
+                file=sys.stderr,
+            )
+        print(
+            f"{value.circuit}/{value.method}: nontrivial={value.nontrivial} "
+            f"matches-paper={matches} ({value.elapsed:.3f}s)"
+        )
+    print(f"wall time: {wall:.3f}s, jobs={batch.jobs}, retries={batch.num_retries}")
+    if args.json:
+        payload = {
+            "bench": "fig4_example",
+            "jobs": batch.jobs,
+            "wall_seconds": round(wall, 3),
+            "rows": rows,
+            "run": batch.report(),
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,7 +12,15 @@ reports them.  The shape targets are:
   than approximate 1 (value-independent search).
 
 Run:  pytest benchmarks/bench_table1.py --benchmark-only -q
+
+Script mode runs the same grid as one parallel batch — ``python
+benchmarks/bench_table1.py --jobs N [--json OUT]`` — one task per
+(circuit, method) on a warm worker pool.  Canonical result rows are
+time-free, so ``--jobs 1`` and ``--jobs N`` outputs are bit-comparable
+(the BENCH_parallel.json parity gate).
 """
+
+import sys
 
 import pytest
 
@@ -148,3 +156,124 @@ def test_zzz_shape_and_print(benchmark):
 
     TABLE.print_once()
     ENGINE_STATS.print_once()
+
+
+# ----------------------------------------------------------------------
+# script mode: the same grid as one parallel batch (--jobs N)
+# ----------------------------------------------------------------------
+#: deterministic approx2 budgets for script mode.  The pytest grid keeps
+#: the paper's wall-clock budget; script-mode rows must be bit-identical
+#: across ``--jobs``, so the abort trigger is a check *count*, not a
+#: clock (m10 emulates the paper's budget abort at 8 checks).
+APPROX2_SCRIPT_CHECKS = {"m10": 8}
+APPROX2_SCRIPT_DEFAULT_CHECKS = 400
+
+
+def script_tasks():
+    """The Table-1 grid as parallel tasks: one per (circuit, method)."""
+    from repro.parallel import CircuitRef, estimate_cost, required_time_task
+
+    tasks = []
+
+    def add(name: str, method: str, options: dict) -> None:
+        tasks.append(
+            required_time_task(
+                CircuitRef.factory(f"mcnc:{name}"),
+                method,
+                output_required=0.0,
+                options=options,
+                cost=estimate_cost(SPECS[name].network, method, options),
+            )
+        )
+
+    for name in EXACT_CIRCUITS:
+        add(name, "exact", {"max_nodes": EXACT_CIRCUITS[name]})
+    for name, max_nodes in APPROX1_CIRCUITS.items():
+        add(name, "approx1", {"max_nodes": max_nodes} if max_nodes else {})
+    for i in range(1, 11):
+        name = f"m{i}"
+        add(
+            name,
+            "approx2",
+            {
+                "engine": "sat",
+                "max_checks": APPROX2_SCRIPT_CHECKS.get(
+                    name, APPROX2_SCRIPT_DEFAULT_CHECKS
+                ),
+            },
+        )
+    return tasks
+
+
+def main(argv=None) -> int:
+    import argparse
+    import json
+    import time
+
+    from _harness import TableCollector, star
+    from repro.parallel import run_batch
+
+    parser = argparse.ArgumentParser(
+        description="Run the Table-1 grid as a sharded parallel batch."
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (0 = one per core; 1 = serial in-process)",
+    )
+    parser.add_argument(
+        "--json", metavar="OUT", help="write canonical rows + wall time as JSON"
+    )
+    args = parser.parse_args(argv)
+
+    tasks = script_tasks()
+    t0 = time.perf_counter()
+    batch = run_batch(tasks, jobs=args.jobs)
+    wall = time.perf_counter() - t0
+
+    table = TableCollector(
+        f"Table 1 (script mode, jobs={batch.jobs})",
+        ["circuit", "method", "CPU (s)", "nontrivial", "status"],
+    )
+    rows = []
+    for outcome in batch.outcomes:
+        if outcome.ok:
+            value = outcome.value
+            row = value.row()
+            row["jobs"] = batch.jobs
+            row["elapsed"] = round(value.elapsed, 3)
+            table.add(
+                value.circuit,
+                value.method,
+                value.elapsed,
+                star(value.nontrivial),
+                value.status,
+            )
+        else:
+            row = {"task": outcome.task_id, "error": outcome.error, "jobs": batch.jobs}
+        rows.append(row)
+    table.print_once()
+    print(
+        f"wall time: {wall:.2f}s over {len(batch.outcomes)} tasks, "
+        f"jobs={batch.jobs}, retries={batch.num_retries}"
+    )
+    if args.json:
+        payload = {
+            "bench": "table1",
+            "jobs": batch.jobs,
+            "wall_seconds": round(wall, 3),
+            "rows": rows,
+            "run": batch.report(),
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+    for outcome in batch.errors:
+        print(f"FAILED: {outcome.task_id}: {outcome.error}", file=sys.stderr)
+    return 1 if batch.errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

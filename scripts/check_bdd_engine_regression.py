@@ -11,12 +11,23 @@ wall times against the committed baseline ``BENCH_bdd_engine.json``:
 
 Usage::
 
-    python scripts/check_bdd_engine_regression.py           # check
-    python scripts/check_bdd_engine_regression.py --update  # re-baseline
+    python scripts/check_bdd_engine_regression.py             # engine gate
+    python scripts/check_bdd_engine_regression.py --update    # re-baseline
+    python scripts/check_bdd_engine_regression.py --parallel  # parallel gate
+    python scripts/check_bdd_engine_regression.py --parallel --smoke
 
 ``--update`` re-measures and rewrites the ``baseline`` block (the
-``pre_pr`` block is historical and never rewritten).  Exit status is 0
-when every gate passes, 1 otherwise.
+``pre_pr`` block is historical and never rewritten).
+
+``--parallel`` switches to the ``BENCH_parallel.json`` gate: the
+benchmark script modes are run at ``--jobs 1`` and ``--jobs <cores>``
+and must produce bit-identical canonical rows; the serial wall must stay
+within tolerance of the recorded baseline; and on multi-core machines
+the parallel run must hit the core-count-scaled speedup floor.
+``--smoke`` restricts the parallel gate to the (fast) Figure-4 example —
+the CI smoke configuration.  A missing baseline file is a loud failure
+(exit 1), never a skip.  Exit status is 0 when every gate passes, 1
+otherwise.
 """
 
 from __future__ import annotations
@@ -31,12 +42,27 @@ from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
 BASELINE_FILE = REPO / "BENCH_bdd_engine.json"
+PARALLEL_BASELINE_FILE = REPO / "BENCH_parallel.json"
 
 BENCHMARKS = [
     "benchmarks/bench_table1.py",
     "benchmarks/bench_ablation_engine.py",
     "benchmarks/bench_obs_overhead.py",
 ]
+
+
+def load_baseline(path: Path) -> dict:
+    """Read a committed baseline file; a missing file fails the gate."""
+    if not path.exists():
+        raise SystemExit(
+            f"error: baseline file {path.name} is missing — the gate cannot "
+            f"run.\nRegenerate it with --update and commit it; a missing "
+            f"baseline is a failure, not a skip."
+        )
+    try:
+        return json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"error: baseline file {path.name} is corrupt: {exc}")
 
 
 def run_benchmark(target: str) -> float:
@@ -68,6 +94,123 @@ def measure() -> dict[str, float]:
     return times
 
 
+# ----------------------------------------------------------------------
+# the parallel-speedup / parity gate (BENCH_parallel.json)
+# ----------------------------------------------------------------------
+#: script-mode benchmark targets of the parallel gate; "smoke" marks the
+#: fast target CI runs on every push
+PARALLEL_TARGETS = {
+    "table1": {"script": "benchmarks/bench_table1.py", "smoke": False},
+    "fig4_example": {"script": "benchmarks/bench_fig4_example.py", "smoke": True},
+}
+
+
+def run_script_mode(script: str, jobs: int, out: Path) -> float:
+    """One ``python <script> --jobs N --json OUT`` run; returns wall s."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    start = time.perf_counter()
+    result = subprocess.run(
+        [sys.executable, Path(script).name, "--jobs", str(jobs), "--json", str(out)],
+        cwd=REPO / "benchmarks",
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    elapsed = time.perf_counter() - start
+    if result.returncode != 0:
+        sys.stderr.write(result.stdout)
+        raise SystemExit(f"benchmark {script} --jobs {jobs} failed (rc={result.returncode})")
+    return elapsed
+
+
+def canonical_rows(payload: dict) -> list[dict]:
+    """Strip the volatile (timing / job-count) fields for parity checks."""
+    return [
+        {k: v for k, v in row.items() if k not in ("elapsed", "jobs")}
+        for row in payload["rows"]
+    ]
+
+
+def required_speedup(gates: dict, cores: int) -> float | None:
+    """The speedup floor for this machine (None below 2 cores)."""
+    floors = {int(k): float(v) for k, v in gates["min_speedup"].items()}
+    eligible = [c for c in floors if c <= cores]
+    return floors[max(eligible)] if eligible else None
+
+
+def check_parallel(update: bool, smoke: bool) -> int:
+    data = load_baseline(PARALLEL_BASELINE_FILE)
+    cores = len(os.sched_getaffinity(0))
+    jobs = max(2, cores)
+    tmp = Path("/tmp")
+
+    ok = True
+    measured: dict[str, float] = {}
+    for name, target in PARALLEL_TARGETS.items():
+        if smoke and not target["smoke"]:
+            continue
+        script = target["script"]
+        serial_out = tmp / f"bench_{name}_serial.json"
+        par_out = tmp / f"bench_{name}_par.json"
+        print(f"running {script} --jobs 1 ...", flush=True)
+        serial_wall = run_script_mode(script, 1, serial_out)
+        measured[name] = round(serial_wall, 2)
+        print(f"  {serial_wall:.2f}s")
+        print(f"running {script} --jobs {jobs} ...", flush=True)
+        par_wall = run_script_mode(script, jobs, par_out)
+        print(f"  {par_wall:.2f}s")
+
+        serial_rows = canonical_rows(json.loads(serial_out.read_text()))
+        par_rows = canonical_rows(json.loads(par_out.read_text()))
+        if serial_rows != par_rows:
+            print(f"{name}: PARITY FAIL — rows differ between --jobs 1 and --jobs {jobs}")
+            ok = False
+        else:
+            print(f"{name}: parity ok ({len(serial_rows)} rows bit-identical)")
+
+        if update:
+            continue
+        base = data["baseline"]["wall_seconds_serial"].get(name)
+        tolerance = data["gates"]["serial_tolerance"]
+        if base is None:
+            print(f"{name}: no serial baseline recorded — run --parallel --update")
+            ok = False
+        elif name == "table1" and serial_wall > base * (1.0 + tolerance):
+            # only the long grid gets a wall gate; the Figure-4 example is
+            # interpreter-startup-dominated and would flake
+            print(
+                f"{name}: serial wall {serial_wall:.2f}s exceeds baseline "
+                f"{base:.2f}s +{tolerance:.0%}  FAIL"
+            )
+            ok = False
+
+        # the speedup gate only makes sense on the long-running grid and
+        # on machines that actually have cores to convert into wall time
+        floor = required_speedup(data["gates"], cores)
+        if name == "table1" and floor is not None:
+            speedup = serial_wall / par_wall if par_wall > 0 else float("inf")
+            verdict = "ok" if speedup >= floor else "FAIL"
+            if speedup < floor:
+                ok = False
+            print(
+                f"{name}: speedup {speedup:.2f}x at jobs={jobs} "
+                f"(floor {floor:.2f}x for {cores} cores)  {verdict}"
+            )
+        elif name == "table1":
+            print(f"{name}: 1 core — speedup gate skipped (parity still enforced)")
+
+    if update:
+        data["baseline"]["wall_seconds_serial"].update(measured)
+        data["baseline"]["python"] = sys.version.split()[0]
+        data["baseline"]["cores"] = cores
+        PARALLEL_BASELINE_FILE.write_text(json.dumps(data, indent=2) + "\n")
+        print(f"baseline updated in {PARALLEL_BASELINE_FILE.name}")
+        return 0
+    return 0 if ok else 1
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -75,9 +218,22 @@ def main() -> int:
         action="store_true",
         help="re-measure and rewrite the baseline block",
     )
+    parser.add_argument(
+        "--parallel",
+        action="store_true",
+        help="run the BENCH_parallel.json parity/speedup gate instead",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="with --parallel: only the fast Figure-4 target (CI smoke)",
+    )
     args = parser.parse_args()
 
-    data = json.loads(BASELINE_FILE.read_text())
+    if args.parallel:
+        return check_parallel(update=args.update, smoke=args.smoke)
+
+    data = load_baseline(BASELINE_FILE)
     times = measure()
 
     if args.update:

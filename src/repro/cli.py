@@ -98,6 +98,16 @@ def cmd_required(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.reorder and args.method not in ("exact", "approx1"):
+        print(
+            f"error: --reorder only applies to --method exact/approx1 "
+            f"(got --method {args.method})",
+            file=sys.stderr,
+        )
+        return 2
+    if args.jobs < 0:
+        print(f"error: --jobs must be >= 0 (got {args.jobs})", file=sys.stderr)
+        return 2
     options = {}
     if args.method == "approx2":
         options["engine"] = args.engine
@@ -105,6 +115,10 @@ def cmd_required(args: argparse.Namespace) -> int:
             options["time_budget"] = args.budget
     if args.method in ("exact", "approx1") and args.max_nodes is not None:
         options["max_nodes"] = args.max_nodes
+    if args.reorder:
+        options["reorder"] = True
+    if args.jobs not in (1,):
+        return _cmd_required_sharded(args, options)
 
     trace = None
     if args.trace is not None:
@@ -158,6 +172,102 @@ def cmd_required(args: argparse.Namespace) -> int:
                     f"by {format_time(r0)} when 0"
                 )
     return 0
+
+
+def _cmd_required_sharded(args: argparse.Namespace, options: dict) -> int:
+    """``required --jobs N``: one task per output cone, min-merged.
+
+    Each primary output's transitive-fanin cone is an independent
+    required-time problem (the per-output decomposition functional timing
+    engines exploit); the requirement an input must satisfy is the
+    earliest any cone demands.  The merge is exact for ``topological``
+    and sound-but-possibly-tighter for the approximate methods (a cone
+    cannot see looseness that only exists network-wide); the serial
+    whole-network analysis stays the default at ``--jobs 1``.
+    """
+    from repro.core.required_time import topological_input_required_times
+    from repro.parallel import (
+        merge_required_outcomes,
+        run_batch,
+        shard_required_time,
+    )
+
+    trace_to = None
+    if args.trace is not None:
+        from repro.obs import start_trace
+
+        start_trace()
+    try:
+        from repro.obs import span
+
+        with span(
+            "cli.required",
+            netlist=args.netlist,
+            method=args.method,
+            jobs=args.jobs,
+        ):
+            net = load_network(args.netlist)
+            tasks = shard_required_time(
+                net, args.method, output_required=args.required, options=options
+            )
+            batch = run_batch(tasks, jobs=args.jobs)
+            outcomes = [o.value for o in batch.outcomes if o.ok]
+            merged = merge_required_outcomes(outcomes)
+    finally:
+        if args.trace is not None:
+            from repro.obs import stop_trace
+
+            trace_to = stop_trace()
+            trace_to.save(args.trace)
+            print(
+                f"trace: {trace_to.num_spans} spans, "
+                f"coverage {trace_to.coverage():.1%}, written to {args.trace}",
+                file=sys.stderr,
+            )
+    errors = batch.errors
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "circuit": net.name,
+                    "method": args.method,
+                    "jobs": batch.jobs,
+                    "nontrivial": merged["nontrivial_any_cone"],
+                    "nontrivial_merged": merged["nontrivial_merged"],
+                    "input_times": {
+                        x: format_time(t)
+                        for x, t in sorted(merged["input_times"].items())
+                    },
+                    "aborted_cones": merged["aborted_cones"],
+                    "task_errors": [o.task_id for o in errors],
+                    "run": batch.report(),
+                }
+            )
+        )
+        return 0 if not errors else 1
+    print(f"method:      {args.method} (sharded per output, jobs={batch.jobs})")
+    print(f"circuit:     {net.name}")
+    print(f"cones:       {len(batch.outcomes)} ({len(errors)} failed)")
+    print(f"non-trivial: {'yes' if merged['nontrivial_any_cone'] else 'no'}")
+    print(f"wall time:   {batch.wall:.3f}s")
+    if merged["aborted_cones"]:
+        print(f"aborted:     {', '.join(merged['aborted_cones'])}")
+    print("\nmerged required times at the primary inputs (min over cones):")
+    baseline = merged["baseline"]
+    for x in sorted(merged["input_times"]):
+        t = merged["input_times"][x]
+        gain = t - baseline.get(x, t)
+        marker = f"  (+{gain:g} vs topological)" if gain > 0 else ""
+        print(f"  {x}: {format_time(t)}{marker}")
+    for outcome in errors:
+        print(f"task {outcome.task_id} FAILED: {outcome.error}", file=sys.stderr)
+    for event in batch.events:
+        if event.kind in ("timeout", "worker-death", "retry"):
+            print(
+                f"pool event: {event.kind} {event.task_id} ({event.detail})",
+                file=sys.stderr,
+            )
+    return 0 if not errors else 1
 
 
 def cmd_slack(args: argparse.Namespace) -> int:
@@ -236,6 +346,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         corpus_dir=args.corpus,
         shrink=not args.no_shrink,
         stop_on_failure=args.stop_on_failure,
+        jobs=args.jobs,
         log=None if args.json else lambda v: print(v.render()),
     )
     report = runner.run()
@@ -314,6 +425,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", default=None, metavar="OUT",
                    help="record a span trace of the run; .json writes Chrome "
                         "trace_event format, anything else JSONL")
+    p.add_argument("--reorder", action="store_true",
+                   help="dynamic variable reordering by sifting "
+                        "(exact/approx1, the paper's §6 setup)")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="shard the analysis per output cone onto N worker "
+                        "processes (0 = one per core; default 1 = serial "
+                        "whole-network analysis)")
     p.set_defaults(func=cmd_required)
 
     p = sub.add_parser("slack", help="true vs topological slack per node")
@@ -350,6 +468,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip delta-debugging of failures")
     p.add_argument("--stop-on-failure", action="store_true",
                    help="stop at the first failing case")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="run cases on N worker processes (0 = one per "
+                        "core; default 1 = serial)")
     p.add_argument("--replay", default=None, metavar="DIR",
                    help="replay a saved corpus instead of fuzzing")
     p.add_argument("--json", action="store_true", help="machine-readable report")

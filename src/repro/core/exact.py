@@ -45,6 +45,29 @@ class LeafVar:
     var_name: str
 
 
+@dataclass(frozen=True)
+class ExactOptions:
+    """Resource/search options of the exact relation construction.
+
+    ``reorder`` mirrors the paper's §6 setup ("the exact algorithm was run
+    with dynamic variable reordering being set"): automatic sifting while
+    the relation is built, plus a final :func:`repro.bdd.reorder.sift`
+    pass over the finished relation.  Exposed on the CLI as
+    ``repro required --reorder``.
+    """
+
+    max_nodes: int | None = None
+    reorder: bool = False
+    max_leaves: int = 50_000
+
+    def kwargs(self) -> dict:
+        return {
+            "max_nodes": self.max_nodes,
+            "reorder": self.reorder,
+            "max_leaves": self.max_leaves,
+        }
+
+
 class ExactAnalysis:
     """Builds the exact Boolean relation for one network."""
 
@@ -58,7 +81,12 @@ class ExactAnalysis:
         reorder: bool = False,
         max_leaves: int = 50_000,
         output_dc: Mapping[str, object] | None = None,
+        options: ExactOptions | None = None,
     ):
+        if options is not None:
+            max_nodes = options.max_nodes
+            reorder = options.reorder
+            max_leaves = options.max_leaves
         self.network = network
         self.delays = delays or unit_delay()
         self.output_required = output_required

@@ -12,7 +12,7 @@ from __future__ import annotations
 import time as _time
 from dataclasses import dataclass, field
 
-from repro.fuzz.checks import CaseResult, EngineSuite, run_differential
+from repro.fuzz.checks import CaseResult, CheckFailure, EngineSuite, run_differential
 from repro.fuzz.corpus import save_repro
 from repro.fuzz.gen import FuzzProfile, generate_case
 from repro.fuzz.shrink import failure_predicate, shrink_case
@@ -130,6 +130,7 @@ class FuzzRunner:
         oracle_max_inputs: int = 6,
         exact_max_inputs: int = 7,
         max_shrink_evals: int = 300,
+        jobs: int = 1,
         log=None,
     ):
         self.seed = seed
@@ -143,6 +144,12 @@ class FuzzRunner:
         self.oracle_max_inputs = oracle_max_inputs
         self.exact_max_inputs = exact_max_inputs
         self.max_shrink_evals = max_shrink_evals
+        #: case-loop parallelism: 1 = serial (reference semantics), N>1 =
+        #: a warm worker pool runs ``run_differential`` per case, 0 = one
+        #: worker per core.  Cases are deterministic functions of
+        #: (seed, profile, index), so workers regenerate them from the
+        #: index alone and the verdict sequence is identical to serial.
+        self.jobs = jobs
         #: optional per-verdict callback (the CLI's live output)
         self.log = log
 
@@ -153,12 +160,22 @@ class FuzzRunner:
             else self.profile
         )
 
+    def _parallel_capable(self) -> bool:
+        """Workers rebuild the suite from its budgets; a subclassed suite
+        (mutation tests inject those) cannot cross the process boundary."""
+        return self.jobs != 1 and type(self.suite) is EngineSuite
+
     def run(self) -> FuzzReport:
         start = _time.monotonic()
         before = REGISTRY.snapshot()
         cases_metric = REGISTRY.counter("fuzz.cases")
         failures_metric = REGISTRY.counter("fuzz.failures")
         report = FuzzReport(seed=str(self.seed), profile=self._profile_name())
+        if self._parallel_capable():
+            self._run_parallel(report, start, cases_metric, failures_metric)
+            report.elapsed = _time.monotonic() - start
+            report.metrics = REGISTRY.snapshot().diff(before)
+            return report
         for index in range(self.budget):
             if (
                 self.time_budget is not None
@@ -188,6 +205,111 @@ class FuzzRunner:
         report.metrics = REGISTRY.snapshot().diff(before)
         return report
 
+    def _run_parallel(self, report, start, cases_metric, failures_metric) -> None:
+        """The pooled case loop (``jobs != 1``).
+
+        Cases are dispatched in chunks so the wall-clock budget and
+        ``stop_on_failure`` keep deterministic cut points: a chunk either
+        runs entirely or not at all, and on a failure the verdict list is
+        truncated at the first failing index — the same prefix a serial
+        stop-on-failure run reports.  Shrinking and corpus writes happen
+        in the parent, serially, on regenerated cases.
+        """
+        from repro.parallel.pool import WorkerPool, default_jobs
+        from repro.parallel.tasks import Task
+
+        jobs = self.jobs if self.jobs > 0 else default_jobs()
+        profile_name = self._profile_name()
+        suite_args = {
+            "exact_max_nodes": self.suite.exact_max_nodes,
+            "approx1_max_nodes": self.suite.approx1_max_nodes,
+            "approx2_max_checks": self.suite.approx2_max_checks,
+        }
+
+        def task_for(index: int) -> Task:
+            return Task(
+                task_id=f"case-{index}",
+                kind="fuzz_case",
+                payload={
+                    "seed": self.seed,
+                    "profile": profile_name,
+                    "index": index,
+                    "suite": suite_args,
+                    "oracle_max_inputs": self.oracle_max_inputs,
+                    "exact_max_inputs": self.exact_max_inputs,
+                },
+                circuit_key=f"fuzz:{self.seed}:{profile_name}",
+                cost=1.0,
+            )
+
+        chunk_size = max(jobs * 2, 4)
+        with WorkerPool(jobs) as pool:
+            for lo in range(0, self.budget, chunk_size):
+                if (
+                    self.time_budget is not None
+                    and _time.monotonic() - start > self.time_budget
+                ):
+                    report.stopped = "time"
+                    break
+                chunk = [task_for(i) for i in range(lo, min(lo + chunk_size, self.budget))]
+                with span("fuzz.chunk", first=lo, size=len(chunk)):
+                    batch = pool.run(chunk)
+                failed_here = False
+                for outcome in batch.outcomes:
+                    verdict = self._verdict_from_outcome(outcome)
+                    cases_metric.inc()
+                    if not verdict.ok:
+                        failures_metric.inc()
+                        failed_here = True
+                    report.verdicts.append(verdict)
+                    if self.log is not None:
+                        self.log(verdict)
+                    if not verdict.ok and self.stop_on_failure:
+                        break
+                if failed_here and self.stop_on_failure:
+                    report.stopped = "stop-on-failure"
+                    first_bad = next(
+                        i for i, v in enumerate(report.verdicts) if not v.ok
+                    )
+                    del report.verdicts[first_bad + 1 :]
+                    break
+
+    def _verdict_from_outcome(self, outcome) -> CaseVerdict:
+        """A pooled case's verdict; failures re-run the serial tail."""
+        value = outcome.value
+        if not outcome.ok or value is None:
+            # the pool already retried worker faults; a residual error is
+            # recorded as a failed verdict, never raised
+            return CaseVerdict(
+                index=int(outcome.task_id.rsplit("-", 1)[1]),
+                case_id=outcome.task_id,
+                family="unknown",
+                num_inputs=0,
+                num_gates=0,
+                ok=False,
+                failed_checks=["pool-error"],
+                elapsed=outcome.elapsed,
+                metrics=outcome.metrics,
+            )
+        verdict = CaseVerdict(
+            index=value.index,
+            case_id=value.case_id,
+            family=value.family,
+            num_inputs=value.num_inputs,
+            num_gates=value.num_gates,
+            ok=value.ok,
+            failed_checks=list(value.failed_checks),
+            elapsed=value.elapsed,
+            metrics=dict(value.metrics),
+        )
+        if verdict.ok:
+            return verdict
+        # regenerate the deterministic case in the parent for the serial
+        # shrink/save tail (identical to what the serial loop would do)
+        case = generate_case(self.seed, self.profile, value.index)
+        failures = [CheckFailure(check, detail) for check, detail in value.failures]
+        return self._shrink_and_save(case, failures, verdict)
+
     def _verdict(self, index: int, result: CaseResult) -> CaseVerdict:
         case = result.case
         verdict = CaseVerdict(
@@ -203,11 +325,17 @@ class FuzzRunner:
         )
         if result.ok:
             return verdict
+        return self._shrink_and_save(case, result.failures, verdict)
+
+    def _shrink_and_save(
+        self, case, failures: list[CheckFailure], verdict: CaseVerdict
+    ) -> CaseVerdict:
+        """The serial failure tail: delta-debug and persist one repro."""
         shrunk = case
         if self.shrink:
             predicate = failure_predicate(
                 self.suite,
-                checks=set(result.failed_checks),
+                checks=set(verdict.failed_checks),
                 oracle_max_inputs=self.oracle_max_inputs,
                 exact_max_inputs=self.exact_max_inputs,
             )
@@ -222,9 +350,9 @@ class FuzzRunner:
                 oracle_max_inputs=self.oracle_max_inputs,
                 exact_max_inputs=self.exact_max_inputs,
             )
-            failures = final.failures if final.failures else result.failures
+            use = final.failures if final.failures else failures
             verdict.repro = save_repro(
-                self.corpus_dir, shrunk, failures, original=case
+                self.corpus_dir, shrunk, use, original=case
             )
         return verdict
 

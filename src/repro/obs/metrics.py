@@ -24,6 +24,7 @@ CLI's ``--metrics-json``.
 
 from __future__ import annotations
 
+import collections
 import threading
 import weakref
 from typing import Callable, Mapping
@@ -159,7 +160,25 @@ class EngineTelemetry:
         self._lock = threading.Lock()
         self._live: dict[int, weakref.ref] = {}
         self._retained: dict[str, float] = {}
+        # dead-object finals waiting to be folded into _retained.  Weakref
+        # callbacks run at arbitrary allocation points — including while
+        # this thread already holds _lock — so the callback must never
+        # acquire it; deque.append is atomic, and track()/collect() drain
+        # the queue under the lock.
+        self._pending: collections.deque = collections.deque()
         self._created = 0
+
+    def _drain_pending(self) -> None:
+        """Fold queued dead-object finals into ``_retained`` (lock held)."""
+        while True:
+            try:
+                key, final = self._pending.popleft()
+            except IndexError:
+                break
+            self._live.pop(key, None)
+            for k, v in final.items():
+                if v:
+                    self._retained[k] = self._retained.get(k, 0.0) + v
 
     def track(self, obj: object) -> None:
         """Start aggregating ``obj``'s counters (until it is collected)."""
@@ -170,20 +189,18 @@ class EngineTelemetry:
         key = id(obj)
 
         def _finalize(_ref: weakref.ref, state=state, key=key) -> None:
-            final = self._extract(state)
-            with self._lock:
-                self._live.pop(key, None)
-                for k, v in final.items():
-                    if v:
-                        self._retained[k] = self._retained.get(k, 0.0) + v
+            # lock-free: may run re-entrantly via GC inside a locked section
+            self._pending.append((key, self._extract(state)))
 
         with self._lock:
+            self._drain_pending()
             self._created += 1
             self._live[key] = weakref.ref(obj, _finalize)
 
     def collect(self) -> dict[str, float]:
         """Current totals: retained dead-object counts plus live objects."""
         with self._lock:
+            self._drain_pending()
             out = dict(self._retained)
             refs = list(self._live.values())
         out[f"{self.prefix}.tracked"] = float(self._created)

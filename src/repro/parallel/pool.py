@@ -1,0 +1,391 @@
+"""A persistent fork-based worker pool with warm workers and a fault envelope.
+
+Design (see docs/PARALLEL.md for the full lifecycle):
+
+* **Persistent workers** — ``jobs`` child processes are forked once and
+  survive across :meth:`WorkerPool.run` calls, so warm per-circuit state
+  (parsed networks) amortizes over a whole batch and across batches.
+* **Parent-side scheduling** — each worker has a private duplex pipe and
+  holds at most one task; the parent picks the next task itself instead
+  of letting a shared queue decide.  That buys (a) LPT ordering — most
+  expensive task first, so a big BDD job never dangles off the end of the
+  schedule, (b) circuit affinity — a task prefers a worker already warm
+  on its circuit, and (c) exact knowledge of which task died with which
+  worker.
+* **Fault envelope** — a worker that dies mid-task (segfault, OOM kill)
+  or exceeds the task's ``timeout`` is killed and replaced; its task is
+  requeued with exponential backoff up to ``task.max_retries`` extra
+  attempts.  Exhausted retries produce an error :class:`TaskOutcome`,
+  never an exception: one poisoned task cannot sink the batch, and the
+  parent never hangs on a dead child.  A *clean* task exception is
+  deterministic and is recorded immediately without retry.
+* **Deterministic merge** — results are reassembled in submission order
+  regardless of completion order; worker metric deltas and span trees are
+  folded into the parent's observability registry/trace as they arrive
+  (:mod:`repro.parallel.merge`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time as _time
+from multiprocessing.connection import wait as _conn_wait
+
+from repro.obs.metrics import REGISTRY
+from repro.obs import trace as _trace_mod
+from repro.parallel import merge as _merge
+from repro.parallel.results import BatchResult, PoolEvent, TaskOutcome
+from repro.parallel.tasks import ParallelError, Task
+from repro.parallel.worker import child_main
+
+
+def default_jobs() -> int:
+    """The ``--jobs 0`` resolution: one worker per available core."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover — non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
+class _Worker:
+    """Parent-side handle of one child process."""
+
+    __slots__ = ("proc", "conn", "envelope", "deadline", "warm_key", "sent_at")
+
+    def __init__(self, proc, conn):
+        self.proc = proc
+        self.conn = conn
+        self.envelope: dict | None = None
+        self.deadline: float | None = None
+        self.warm_key: str | None = None
+        self.sent_at: float = 0.0
+
+    @property
+    def busy(self) -> bool:
+        return self.envelope is not None
+
+    @property
+    def pid(self) -> int | None:
+        return self.proc.pid
+
+
+class _Pending:
+    """One queued (task, attempts) entry with its backoff gate."""
+
+    __slots__ = ("task", "index", "attempts", "not_before")
+
+    def __init__(self, task: Task, index: int, attempts: int = 0, not_before: float = 0.0):
+        self.task = task
+        self.index = index
+        self.attempts = attempts
+        self.not_before = not_before
+
+
+class WorkerPool:
+    """``jobs`` warm fork workers executing :class:`Task` batches."""
+
+    def __init__(
+        self,
+        jobs: int,
+        start_method: str | None = None,
+        retry_backoff: float = 0.05,
+        poll_interval: float = 0.05,
+    ):
+        if jobs < 1:
+            raise ParallelError(f"jobs must be >= 1 (got {jobs})")
+        self.jobs = jobs
+        if start_method is None:
+            start_method = (
+                "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+            )
+        self._ctx = mp.get_context(start_method)
+        self.start_method = start_method
+        self.retry_backoff = retry_backoff
+        self.poll_interval = poll_interval
+        self._workers: list[_Worker] = []
+        self._closed = False
+        self._spawned = 0
+
+    # -- lifecycle ------------------------------------------------------
+    def _spawn_worker(self) -> _Worker:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=child_main,
+            args=(child_conn, os.getpid()),
+            daemon=True,
+            name=f"repro-pool-{self._spawned}",
+        )
+        proc.start()
+        child_conn.close()
+        self._spawned += 1
+        REGISTRY.counter("parallel.workers_spawned").inc()
+        return _Worker(proc, parent_conn)
+
+    def _ensure_workers(self) -> None:
+        if self._closed:
+            raise ParallelError("pool is closed")
+        while len(self._workers) < self.jobs:
+            self._workers.append(self._spawn_worker())
+
+    def _replace(self, worker: _Worker) -> None:
+        """Kill/reap ``worker`` and fork a fresh one in its slot."""
+        try:
+            if worker.proc.is_alive():
+                worker.proc.terminate()
+            worker.proc.join(timeout=5.0)
+            if worker.proc.is_alive():  # pragma: no cover — terminate failed
+                worker.proc.kill()
+                worker.proc.join(timeout=5.0)
+        finally:
+            try:
+                worker.conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._workers[self._workers.index(worker)] = self._spawn_worker()
+
+    def close(self) -> None:
+        """Stop every worker (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for w in self._workers:
+            try:
+                w.conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for w in self._workers:
+            w.proc.join(timeout=2.0)
+            if w.proc.is_alive():
+                w.proc.terminate()
+                w.proc.join(timeout=2.0)
+            try:
+                w.conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._workers.clear()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- the batch loop -------------------------------------------------
+    def run(self, tasks: list[Task], merge_obs: bool = True) -> BatchResult:
+        """Execute ``tasks``; outcomes come back in submission order.
+
+        ``merge_obs=True`` folds each worker's metric deltas into the
+        parent registry and grafts worker span trees into the parent's
+        active trace (when one is recording).
+        """
+        ids = [t.task_id for t in tasks]
+        if len(set(ids)) != len(ids):
+            raise ParallelError("duplicate task_ids in batch")
+        self._ensure_workers()
+        t0 = _time.perf_counter()
+        trace_tasks = _trace_mod.is_tracing()
+        events: list[PoolEvent] = []
+        results: dict[str, TaskOutcome] = {}
+        # LPT order: most expensive first, submission order on ties
+        pending: list[_Pending] = [
+            _Pending(task, i) for i, task in enumerate(tasks)
+        ]
+        pending.sort(key=lambda p: (-p.task.cost, p.index))
+
+        def record(outcome: TaskOutcome, worker: _Worker | None) -> None:
+            results[outcome.task_id] = outcome
+            REGISTRY.counter(
+                "parallel.tasks_completed" if outcome.ok else "parallel.tasks_failed"
+            ).inc()
+            if merge_obs and worker is not None:
+                _merge.merge_outcome_obs(
+                    outcome, base_offset=worker.sent_at - t0
+                )
+
+        def attempt_failed(worker: _Worker, kind: str, detail: str) -> None:
+            envelope = worker.envelope
+            task: Task = envelope["task"]
+            attempts = envelope["attempts"] + 1
+            now = _time.perf_counter() - t0
+            events.append(
+                PoolEvent(
+                    kind=kind,
+                    task_id=task.task_id,
+                    detail=detail,
+                    worker_pid=worker.pid,
+                    attempts=attempts,
+                    t=now,
+                )
+            )
+            REGISTRY.counter(f"parallel.{kind.replace('-', '_')}s").inc()
+            self._replace(worker)
+            if attempts <= task.max_retries:
+                backoff = self.retry_backoff * (2 ** (attempts - 1))
+                events.append(
+                    PoolEvent(
+                        kind="retry",
+                        task_id=task.task_id,
+                        detail=f"backoff {backoff:.2f}s",
+                        attempts=attempts,
+                        t=now,
+                    )
+                )
+                REGISTRY.counter("parallel.retries").inc()
+                entry = _Pending(
+                    task,
+                    index=ids.index(task.task_id),
+                    attempts=attempts,
+                    not_before=_time.perf_counter() + backoff,
+                )
+                pending.append(entry)
+                pending.sort(key=lambda p: (-p.task.cost, p.index))
+            else:
+                record(
+                    TaskOutcome(
+                        task_id=task.task_id,
+                        ok=False,
+                        error=f"{kind} after {attempts} attempts: {detail}",
+                        error_type="PoolFault",
+                        attempts=attempts,
+                    ),
+                    None,
+                )
+
+        def pick(worker: _Worker) -> _Pending | None:
+            """Highest-priority dispatchable task, warm-affinity first."""
+            now = _time.perf_counter()
+            fallback = None
+            for entry in pending:
+                if entry.not_before > now:
+                    continue
+                if worker.warm_key and entry.task.circuit_key == worker.warm_key:
+                    return entry
+                if fallback is None:
+                    fallback = entry
+            # when another idle worker is warm on the fallback's circuit,
+            # leave it for that worker only if it could take it now
+            if fallback is not None and fallback.task.circuit_key:
+                for other in self._workers:
+                    if (
+                        other is not worker
+                        and not other.busy
+                        and other.warm_key == fallback.task.circuit_key
+                    ):
+                        for entry in pending:
+                            if entry is not fallback and entry.not_before <= now:
+                                return entry
+                        break
+            return fallback
+
+        while len(results) < len(tasks):
+            now = _time.perf_counter()
+            # liveness sweep (busy deaths are handled below on EOF, but a
+            # child can die without closing the pipe promptly)
+            for worker in list(self._workers):
+                if not worker.proc.is_alive():
+                    if worker.busy:
+                        attempt_failed(
+                            worker,
+                            "worker-death",
+                            f"worker pid={worker.pid} exited "
+                            f"(code {worker.proc.exitcode})",
+                        )
+                    else:
+                        self._replace(worker)
+            # dispatch
+            for worker in self._workers:
+                if worker.busy or not pending:
+                    continue
+                entry = pick(worker)
+                if entry is None:
+                    continue
+                pending.remove(entry)
+                envelope = {
+                    "task": entry.task,
+                    "attempts": entry.attempts,
+                    "trace": trace_tasks,
+                }
+                try:
+                    worker.conn.send(envelope)
+                except (BrokenPipeError, OSError):
+                    pending.append(entry)
+                    pending.sort(key=lambda p: (-p.task.cost, p.index))
+                    self._replace(worker)
+                    continue
+                worker.envelope = envelope
+                worker.sent_at = _time.perf_counter()
+                worker.deadline = (
+                    worker.sent_at + entry.task.timeout
+                    if entry.task.timeout is not None
+                    else None
+                )
+                worker.warm_key = entry.task.circuit_key or worker.warm_key
+            # wait for results / deaths / deadlines
+            busy = [w for w in self._workers if w.busy]
+            if not busy:
+                if not pending:  # pragma: no cover — scheduler invariant
+                    raise ParallelError(
+                        f"pool lost track of "
+                        f"{len(tasks) - len(results)} task(s)"
+                    )
+                _time.sleep(min(self.poll_interval, 0.02))
+                continue
+            timeout = self.poll_interval
+            for worker in busy:
+                if worker.deadline is not None:
+                    timeout = min(timeout, max(0.0, worker.deadline - now))
+            ready = _conn_wait([w.conn for w in busy], timeout)
+            by_conn = {w.conn: w for w in busy}
+            for conn in ready:
+                worker = by_conn[conn]
+                try:
+                    outcome: TaskOutcome = conn.recv()
+                except (EOFError, OSError):
+                    attempt_failed(
+                        worker,
+                        "worker-death",
+                        f"pipe to pid={worker.pid} closed mid-task",
+                    )
+                    continue
+                worker.envelope = None
+                worker.deadline = None
+                record(outcome, worker)
+                if not outcome.ok and outcome.error_type != "PoolFault":
+                    events.append(
+                        PoolEvent(
+                            kind="task-error",
+                            task_id=outcome.task_id,
+                            detail=outcome.error or "",
+                            worker_pid=worker.pid,
+                            attempts=outcome.attempts,
+                            t=_time.perf_counter() - t0,
+                        )
+                    )
+            # deadline sweep
+            now = _time.perf_counter()
+            for worker in list(self._workers):
+                if not worker.busy or worker.deadline is None:
+                    continue
+                if now < worker.deadline:
+                    continue
+                # the result may have landed right at the wire
+                if worker.conn.poll(0):
+                    continue  # picked up on the next iteration
+                task: Task = worker.envelope["task"]
+                attempt_failed(
+                    worker,
+                    "timeout",
+                    f"exceeded {task.timeout:.2f}s budget",
+                )
+
+        outcomes = [results[tid] for tid in ids]
+        return BatchResult(
+            outcomes=outcomes,
+            events=events,
+            wall=_time.perf_counter() - t0,
+            jobs=self.jobs,
+        )
+
+
+__all__ = ["WorkerPool", "default_jobs"]

@@ -1,0 +1,193 @@
+"""Picklable result types shipped from pool workers back to the parent.
+
+Every field that crosses the process boundary is plain data (strings,
+numbers, tuples, dicts): engine objects — BDD managers, relations, SAT
+solvers — never leave the worker.  What does leave is the *canonical
+result row* (:meth:`RequiredTimeOutcome.row`), which deliberately excludes
+wall-clock fields so that serial and parallel runs of the same task are
+bit-comparable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+INF = math.inf
+
+
+@dataclass
+class TaskOutcome:
+    """What the pool records for one task, however it ended.
+
+    ``ok=False`` covers both clean handler exceptions (``error`` carries
+    the message, no retry: a deterministic failure would fail again) and
+    exhausted fault retries (worker deaths / timeouts; see
+    ``BatchResult.events`` for the per-attempt timeline).
+    """
+
+    task_id: str
+    ok: bool
+    #: handler-specific payload (e.g. :class:`RequiredTimeOutcome`);
+    #: ``None`` on failure
+    value: object = None
+    error: str | None = None
+    error_type: str | None = None
+    traceback: str | None = None
+    #: attempts consumed (1 = first try succeeded)
+    attempts: int = 1
+    elapsed: float = 0.0
+    worker_pid: int | None = None
+    #: obs-registry deltas bracketed around this task alone
+    #: (``REGISTRY.snapshot()``/``diff()`` in the worker)
+    metrics: dict[str, float] = field(default_factory=dict)
+    #: serialized span tree recorded in the worker (when the parent was
+    #: tracing), ready for grafting into the parent trace
+    spans: list[dict] = field(default_factory=list)
+
+
+@dataclass
+class RequiredTimeOutcome:
+    """One required-time analysis, reduced to its picklable essence."""
+
+    method: str
+    circuit: str
+    #: the cone this task analyzed (None = whole network)
+    outputs: tuple[str, ...] | None
+    nontrivial: bool
+    elapsed: float
+    aborted: bool = False
+    abort_reason: str | None = None
+    #: engine stats (leaf counts, BDD/SAT counters) — plain dicts
+    stats: dict = field(default_factory=dict)
+    #: method-specific canonical results (approx2 best vector, approx1
+    #: primes, exact row counts, …) — deterministic, time-free
+    digest: dict = field(default_factory=dict)
+    #: the value-independent requirement this task's cone imposes per
+    #: input (the min-merge currency); None when the method yields no
+    #: single safe vector (exact)
+    input_times: dict[str, float] | None = None
+    #: the topological baseline restricted to this cone's inputs
+    baseline: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def status(self) -> str:
+        if not self.aborted:
+            return "ok"
+        reason = self.abort_reason or ""
+        return "memory out" if "node budget" in reason else "aborted"
+
+    def row(self) -> dict:
+        """The canonical (time-free) result row used for parity checks."""
+        return {
+            "circuit": self.circuit,
+            "method": self.method,
+            "outputs": list(self.outputs) if self.outputs is not None else None,
+            "nontrivial": self.nontrivial,
+            "status": self.status,
+            "digest": _canonical(self.digest),
+        }
+
+
+@dataclass
+class FuzzCaseOutcome:
+    """One differential-fuzzing case, reduced to its verdict."""
+
+    index: int
+    case_id: str
+    family: str
+    num_inputs: int
+    num_gates: int
+    ok: bool
+    failed_checks: list[str] = field(default_factory=list)
+    #: (check, detail) pairs of every violated invariant
+    failures: list[tuple[str, str]] = field(default_factory=list)
+    checks_run: list[str] = field(default_factory=list)
+    skipped: list[str] = field(default_factory=list)
+    elapsed: float = 0.0
+    metrics: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class PoolEvent:
+    """One entry of the pool's fault/retry timeline."""
+
+    kind: str  # "timeout" | "worker-death" | "retry" | "task-error"
+    task_id: str
+    detail: str = ""
+    worker_pid: int | None = None
+    attempts: int = 0
+    #: seconds since the batch started
+    t: float = 0.0
+
+
+@dataclass
+class BatchResult:
+    """Everything one :meth:`WorkerPool.run` produced, in canonical order.
+
+    ``outcomes[i]`` corresponds to ``tasks[i]`` as submitted, regardless
+    of the order tasks actually completed in — the deterministic merge.
+    """
+
+    outcomes: list[TaskOutcome]
+    events: list[PoolEvent] = field(default_factory=list)
+    wall: float = 0.0
+    jobs: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return all(o.ok for o in self.outcomes)
+
+    @property
+    def errors(self) -> list[TaskOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    @property
+    def num_retries(self) -> int:
+        return sum(1 for e in self.events if e.kind == "retry")
+
+    def outcome(self, task_id: str) -> TaskOutcome:
+        for o in self.outcomes:
+            if o.task_id == task_id:
+                return o
+        raise KeyError(task_id)
+
+    def report(self) -> dict:
+        """A JSON-ready run report (the CLI/bench summary block)."""
+        return {
+            "jobs": self.jobs,
+            "tasks": len(self.outcomes),
+            "failures": len(self.errors),
+            "retries": self.num_retries,
+            "wall_seconds": round(self.wall, 3),
+            "events": [
+                {
+                    "kind": e.kind,
+                    "task": e.task_id,
+                    "detail": e.detail,
+                    "attempts": e.attempts,
+                    "t": round(e.t, 3),
+                }
+                for e in self.events
+            ],
+        }
+
+
+def _canonical(value):
+    """Recursively normalize containers for order-independent equality."""
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (set, frozenset)):
+        return sorted(_canonical(v) for v in value)
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    return value
+
+
+__all__ = [
+    "BatchResult",
+    "FuzzCaseOutcome",
+    "PoolEvent",
+    "RequiredTimeOutcome",
+    "TaskOutcome",
+]

@@ -1,0 +1,343 @@
+"""Worker-side execution: handlers, warm per-circuit state, obs shipping.
+
+The same :func:`execute_envelope` core runs in two places:
+
+* inside a pool worker process (:func:`child_main`, the fork target), and
+* in the parent for ``jobs=1`` — the serial path of
+  :func:`repro.parallel.batch.run_batch` — so serial and parallel runs
+  share every line of task-execution code and differ only in transport.
+
+Each execution is bracketed with ``REGISTRY.snapshot()``/``diff()`` so the
+counter deltas attributable to *this task alone* ship back with the
+result, and (when the parent is tracing) with a worker-local trace whose
+span tree is serialized into plain dicts for grafting into the parent
+trace.  Merged parallel runs therefore expose the same ``bdd.*``/``sat.*``
+metrics and span taxonomy as serial runs.
+
+Warm state: a worker keeps the most recently resolved :class:`Network`
+per ``circuit_key`` (and a bounded LRU of others), so a stream of tasks
+against the same circuit pays parsing/construction once.  Analyses always
+run on a private ``copy()`` — warmth never leaks mutation between tasks.
+"""
+
+from __future__ import annotations
+
+import os
+import time as _time
+import traceback as _traceback
+from collections import OrderedDict
+
+from repro.obs.metrics import REGISTRY
+from repro.obs import trace as _trace_mod
+from repro.parallel.results import (
+    FuzzCaseOutcome,
+    RequiredTimeOutcome,
+    TaskOutcome,
+)
+from repro.parallel.tasks import ParallelError, Task, output_cone
+
+
+class WorkerState:
+    """Per-worker warm caches (networks now, managers by opt-in)."""
+
+    def __init__(self, max_networks: int = 8):
+        self.max_networks = max_networks
+        self._networks: OrderedDict[str, object] = OrderedDict()
+        self.tasks_run = 0
+
+    def network(self, ref) -> object:
+        """A fresh private copy of ``ref``'s network, via the warm cache."""
+        cached = self._networks.get(ref.key)
+        if cached is None:
+            cached = ref.resolve()
+            self._networks[ref.key] = cached
+            if len(self._networks) > self.max_networks:
+                self._networks.popitem(last=False)
+        else:
+            self._networks.move_to_end(ref.key)
+        return cached.copy()
+
+
+# ----------------------------------------------------------------------
+# handlers
+# ----------------------------------------------------------------------
+def _handle_required(payload: dict, state: WorkerState) -> RequiredTimeOutcome:
+    from repro.core.required_time import (
+        analyze_required_times,
+        topological_input_required_times,
+    )
+
+    ref = payload["circuit"]
+    method = payload["method"]
+    outputs = payload["outputs"]
+    delays = payload["delays"]
+    options = dict(payload["options"])
+    # layer options (digest controls) must not reach the engine kwargs
+    row_counts_opt = options.pop("exact_row_counts", None)
+    network = state.network(ref)
+    circuit_name = network.name
+    if outputs is not None:
+        network = output_cone(network, list(outputs))
+    output_required = payload["output_required"]
+
+    baseline = topological_input_required_times(network, delays, output_required)
+    report = analyze_required_times(
+        network, method, delays=delays, output_required=output_required, **options
+    )
+    digest: dict = {}
+    input_times: dict[str, float] | None = None
+    detail = report.detail
+    if method == "topological":
+        input_times = dict(detail)
+    elif method == "approx2" and detail is not None:
+        digest["checks"] = getattr(detail, "checks", None)
+        digest["best"] = dict(detail.best)
+        digest["r_bottom"] = dict(detail.r_bottom)
+        input_times = dict(detail.best)
+    elif method == "approx1" and detail is not None:
+        digest["num_parameters"] = detail.num_parameters
+        digest["primes"] = [sorted(p) for p in detail.primes]
+        digest["profiles"] = [
+            sorted(pr.as_dict().items()) for pr in detail.profiles
+        ]
+        input_times = _loosest_profile_times(detail, baseline)
+    elif method == "exact" and detail is not None and not report.aborted:
+        digest["leaf_variables"] = detail.num_leaf_variables
+        if row_counts_opt is not None:
+            # bit-exact relation digests for small circuits (the Figure-4
+            # parity check): row/minimal-row counts per input minterm
+            digest["rows"] = _exact_row_counts(detail, int(row_counts_opt))
+        # the relation itself cannot cross the process boundary; the
+        # guaranteed-safe vector view is the topological baseline
+        input_times = dict(baseline)
+    if report.aborted:
+        input_times = dict(baseline)
+    return RequiredTimeOutcome(
+        method=method,
+        circuit=circuit_name,
+        outputs=outputs,
+        nontrivial=report.nontrivial,
+        elapsed=report.elapsed,
+        aborted=report.aborted,
+        abort_reason=report.abort_reason,
+        stats=_plain(report.stats),
+        digest=digest,
+        input_times=input_times,
+        baseline=dict(baseline),
+    )
+
+
+def _plain(value):
+    """Deep-copy ``value`` keeping only plain JSON-ish data (defensive:
+    engine stats must never smuggle an unpicklable object across)."""
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def _loosest_profile_times(result, baseline: dict) -> dict[str, float]:
+    """The value-independent view of approx1's loosest single profile.
+
+    Profiles are *alternative* safe assignments; coordinates from
+    different profiles must not be mixed.  Picks the profile with the
+    greatest total looseness gain over the baseline (ties broken
+    lexicographically on the rendered profile, so the choice is
+    deterministic), falling back to the baseline when there are none.
+    """
+    best = dict(baseline)
+    best_gain = 0.0
+    for profile in sorted(result.profiles, key=lambda p: sorted(p.as_dict().items())):
+        times = profile.value_independent()
+        gain = sum(
+            (t - baseline[x]) if t != float("inf") else 1.0
+            for x, t in times.items()
+            if x in baseline and t > baseline[x]
+        )
+        if gain > best_gain:
+            best_gain = gain
+            best = {x: times.get(x, baseline[x]) for x in baseline}
+    return best
+
+
+def _exact_row_counts(relation, max_inputs: int) -> dict:
+    import itertools
+
+    inputs = relation.network.inputs
+    if len(inputs) > max_inputs:
+        return {}
+    rows: dict[str, list[int]] = {}
+    for bits in itertools.product((0, 1), repeat=len(inputs)):
+        minterm = dict(zip(inputs, bits))
+        key = "".join(str(b) for b in bits)
+        rows[key] = [
+            len(relation.rows(minterm)),
+            len(relation.minimal_rows(minterm)),
+        ]
+    return rows
+
+
+def _handle_fuzz_case(payload: dict, state: WorkerState) -> FuzzCaseOutcome:
+    from repro.fuzz.checks import EngineSuite, run_differential
+    from repro.fuzz.gen import generate_case
+
+    index = payload["index"]
+    case = generate_case(payload["seed"], payload["profile"], index)
+    suite = EngineSuite(**payload.get("suite", {}))
+    result = run_differential(
+        case,
+        suite,
+        oracle_max_inputs=payload.get("oracle_max_inputs", 6),
+        exact_max_inputs=payload.get("exact_max_inputs", 7),
+    )
+    return FuzzCaseOutcome(
+        index=index,
+        case_id=case.case_id,
+        family=case.family,
+        num_inputs=case.num_inputs,
+        num_gates=case.num_gates,
+        ok=result.ok,
+        failed_checks=list(result.failed_checks),
+        failures=[(f.check, f.detail) for f in result.failures],
+        checks_run=list(result.checks_run),
+        skipped=list(result.skipped),
+        elapsed=result.elapsed,
+        metrics=dict(result.metrics),
+    )
+
+
+# -- fault-injection handlers (used only by the pool's own tests) -------
+def _handle_test_probe(payload: dict, state: WorkerState):
+    return {
+        "echo": payload.get("echo"),
+        "pid": os.getpid(),
+        "tasks_run": state.tasks_run,
+    }
+
+
+def _handle_test_sleep(payload: dict, state: WorkerState):
+    _time.sleep(float(payload["seconds"]))
+    return {"slept": payload["seconds"], "pid": os.getpid()}
+
+
+def _handle_test_kill(payload: dict, state: WorkerState):
+    # dies (hard, no cleanup) until the given attempt number is reached,
+    # so the pool's retry path is exercised end to end
+    if payload["_attempts"] < int(payload.get("until_attempt", 1)):
+        os.kill(os.getpid(), 9)
+    return {"survived": True, "pid": os.getpid()}
+
+
+def _handle_test_fail(payload: dict, state: WorkerState):
+    raise RuntimeError(payload.get("message", "injected failure"))
+
+
+HANDLERS = {
+    "required": _handle_required,
+    "fuzz_case": _handle_fuzz_case,
+    "_test_probe": _handle_test_probe,
+    "_test_sleep": _handle_test_sleep,
+    "_test_kill": _handle_test_kill,
+    "_test_fail": _handle_test_fail,
+}
+
+
+# ----------------------------------------------------------------------
+# execution core (shared by the child loop and the serial path)
+# ----------------------------------------------------------------------
+def execute_envelope(envelope: dict, state: WorkerState) -> TaskOutcome:
+    """Run one task envelope, bracketed with metrics (and a local trace)."""
+    task: Task = envelope["task"]
+    attempts: int = envelope.get("attempts", 0)
+    want_trace: bool = envelope.get("trace", False)
+    handler = HANDLERS.get(task.kind)
+    outcome = TaskOutcome(
+        task_id=task.task_id,
+        ok=False,
+        attempts=attempts + 1,
+        worker_pid=os.getpid(),
+    )
+    if handler is None:
+        outcome.error = f"unknown task kind {task.kind!r}"
+        outcome.error_type = "ParallelError"
+        return outcome
+
+    payload = dict(task.payload)
+    payload["_attempts"] = attempts
+    before = REGISTRY.snapshot()
+    local_trace = None
+    if want_trace and not _trace_mod.is_tracing():
+        local_trace = _trace_mod.start_trace()
+    t0 = _time.perf_counter()
+    try:
+        with _trace_mod.span(
+            "parallel.task", task=task.task_id, kind=task.kind, attempt=attempts + 1
+        ):
+            outcome.value = handler(payload, state)
+        outcome.ok = True
+    except Exception as exc:  # noqa: BLE001 — every task error is data
+        outcome.error = f"{type(exc).__name__}: {exc}"
+        outcome.error_type = type(exc).__name__
+        outcome.traceback = _traceback.format_exc()
+    finally:
+        outcome.elapsed = _time.perf_counter() - t0
+        if local_trace is not None:
+            finished = _trace_mod.stop_trace()
+            outcome.spans = serialize_spans(finished.roots)
+        outcome.metrics = REGISTRY.snapshot().diff(before)
+        state.tasks_run += 1
+    return outcome
+
+
+def serialize_spans(roots) -> list[dict]:
+    """Span tree → nested plain dicts (the picklable trace payload)."""
+    def one(sp) -> dict:
+        return {
+            "name": sp.name,
+            "start": sp.start,
+            "dur": sp.duration,
+            "status": sp.status,
+            "attrs": dict(sp.attrs),
+            "metrics": dict(sp.metrics),
+            "children": [one(c) for c in sp.children],
+        }
+
+    return [one(sp) for sp in roots]
+
+
+# ----------------------------------------------------------------------
+# the child process loop
+# ----------------------------------------------------------------------
+def child_main(conn, parent_pid: int) -> None:  # pragma: no cover — runs in
+    # a forked child; the execution core above is covered in-process
+    state = WorkerState()
+    # a fork inherits the parent's active trace object; recording into it
+    # from the child would interleave two processes' span stacks
+    _trace_mod._ACTIVE = None
+    try:
+        while True:
+            try:
+                envelope = conn.recv()
+            except (EOFError, OSError):
+                break
+            if envelope is None:
+                break
+            outcome = execute_envelope(envelope, state)
+            try:
+                conn.send(outcome)
+            except (BrokenPipeError, OSError):
+                break
+    finally:
+        conn.close()
+
+
+__all__ = [
+    "HANDLERS",
+    "WorkerState",
+    "child_main",
+    "execute_envelope",
+    "serialize_spans",
+]

@@ -161,6 +161,21 @@ class TestEngineTelemetry:
         delta = reg.snapshot().diff(before)
         assert delta["fake.work"] == 42.0
 
+    def test_finalizer_never_acquires_the_lock(self):
+        """A tracked object can be collected at *any* allocation point —
+        including while this very thread holds the telemetry lock (GC can
+        run a weakref callback re-entrantly mid-``track``/``collect``).
+        The callback must therefore never block on the lock; with a
+        lock-taking finalizer this test deadlocks forever."""
+        tel = EngineTelemetry("fake", _counters)
+        engine = _FakeEngine(work=8)
+        tel.track(engine)
+        with tel._lock:  # simulate dying inside a locked section
+            del engine
+            gc.collect()
+        assert tel.collect()["fake.work"] == 8.0
+        assert tel.collect()["fake.live"] == 0.0
+
     def test_concurrent_engines_diff_cleanly(self):
         """Per-thread interval accounting under parallel engine activity."""
         reg = MetricsRegistry()

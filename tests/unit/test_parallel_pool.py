@@ -1,0 +1,242 @@
+"""Pool mechanics and the fault envelope, exercised with injected faults.
+
+The ``_test_*`` task kinds (see :data:`repro.parallel.worker.HANDLERS`)
+let these tests kill workers mid-task, sleep past deadlines, and raise
+clean exceptions on demand, so every branch of the retry-and-requeue
+machinery runs against a real forked pool.
+"""
+
+import os
+
+import pytest
+
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import start_trace, stop_trace
+from repro.parallel import ParallelError, Task, WorkerPool, run_batch
+from repro.parallel.merge import merge_metrics, _collect_merged
+
+
+def probe(task_id="probe", **payload):
+    return Task(task_id=task_id, kind="_test_probe", payload=payload)
+
+
+@pytest.fixture(scope="module")
+def pool():
+    with WorkerPool(2, poll_interval=0.02) as p:
+        yield p
+
+
+class TestBasics:
+    def test_round_trip_runs_out_of_process(self, pool):
+        batch = pool.run([probe(echo=42)])
+        (outcome,) = batch.outcomes
+        assert outcome.ok
+        assert outcome.value["echo"] == 42
+        assert outcome.value["pid"] != os.getpid()
+        assert outcome.attempts == 1
+
+    def test_outcomes_keep_submission_order_despite_lpt(self, pool):
+        # LPT dispatches "late" (cost 9) first; outcomes must still come
+        # back in submission order
+        tasks = [
+            Task(task_id="early", kind="_test_probe", cost=1.0),
+            Task(task_id="late", kind="_test_probe", cost=9.0),
+        ]
+        batch = pool.run(tasks)
+        assert [o.task_id for o in batch.outcomes] == ["early", "late"]
+        assert batch.ok
+
+    def test_workers_stay_warm_across_runs(self, pool):
+        first = pool.run([probe(task_id=f"w{i}") for i in range(4)])
+        second = pool.run([probe(task_id=f"x{i}") for i in range(4)])
+        pids = {o.value["pid"] for o in first.outcomes} | {
+            o.value["pid"] for o in second.outcomes
+        }
+        # both rounds ran on the same two persistent workers
+        assert len(pids) <= 2
+        assert max(o.value["tasks_run"] for o in second.outcomes) > 1
+
+    def test_duplicate_task_ids_rejected(self, pool):
+        with pytest.raises(ParallelError, match="duplicate"):
+            pool.run([probe(), probe()])
+
+    def test_unknown_kind_is_a_task_error(self, pool):
+        batch = pool.run([Task(task_id="k", kind="nope")])
+        (outcome,) = batch.outcomes
+        assert not outcome.ok
+        assert "unknown task kind" in outcome.error
+        assert [e.kind for e in batch.events] == ["task-error"]
+
+    def test_jobs_below_one_rejected(self):
+        with pytest.raises(ParallelError):
+            WorkerPool(0)
+
+    def test_closed_pool_rejects_runs(self):
+        p = WorkerPool(1)
+        p.close()
+        p.close()  # idempotent
+        with pytest.raises(ParallelError, match="closed"):
+            p.run([probe()])
+
+
+class TestFaultEnvelope:
+    def test_killed_worker_is_retried_and_succeeds(self, pool):
+        # the handler SIGKILLs its own process on the first attempt and
+        # succeeds on the second — the pool must replace the worker,
+        # requeue with backoff, and still deliver a clean outcome
+        task = Task(
+            task_id="kill-once", kind="_test_kill", payload={"until_attempt": 1}
+        )
+        batch = pool.run([task])
+        (outcome,) = batch.outcomes
+        assert outcome.ok
+        assert outcome.attempts == 2
+        kinds = [e.kind for e in batch.events]
+        assert "worker-death" in kinds
+        assert "retry" in kinds
+        assert batch.num_retries == 1
+
+    def test_timeout_is_retried_then_reported_not_raised(self, pool):
+        # sleeps far past its 0.2s budget on every attempt: both retries
+        # burn out and the batch reports a per-task error entry instead
+        # of hanging or crashing the parent
+        task = Task(
+            task_id="sleepy",
+            kind="_test_sleep",
+            payload={"seconds": 30.0},
+            timeout=0.2,
+            max_retries=1,
+        )
+        batch = pool.run([task])
+        (outcome,) = batch.outcomes
+        assert not outcome.ok
+        assert outcome.error_type == "PoolFault"
+        assert "timeout" in outcome.error
+        assert outcome.attempts == 2
+        timeouts = [e for e in batch.events if e.kind == "timeout"]
+        assert len(timeouts) == 2
+        # the fault report surfaces in the machine-readable run report too
+        report = batch.report()
+        assert report["failures"] == 1
+        assert any(e["kind"] == "timeout" for e in report["events"])
+
+    def test_retry_backoff_grows_exponentially(self, pool):
+        task = Task(
+            task_id="kill-twice", kind="_test_kill", payload={"until_attempt": 2}
+        )
+        batch = pool.run([task])
+        (outcome,) = batch.outcomes
+        assert outcome.ok
+        assert outcome.attempts == 3
+        backoffs = [
+            float(e.detail.split()[1].rstrip("s"))
+            for e in batch.events
+            if e.kind == "retry"
+        ]
+        assert len(backoffs) == 2
+        assert backoffs[1] > backoffs[0]
+
+    def test_clean_exception_is_not_retried(self, pool):
+        batch = pool.run(
+            [Task(task_id="boom", kind="_test_fail", payload={"message": "boom"})]
+        )
+        (outcome,) = batch.outcomes
+        assert not outcome.ok
+        assert outcome.attempts == 1  # deterministic failure: no retry
+        assert "boom" in outcome.error
+        assert outcome.traceback  # diagnosis ships back to the parent
+        assert batch.num_retries == 0
+
+    def test_poisoned_task_does_not_sink_neighbors(self, pool):
+        tasks = [
+            probe(task_id="ok-1"),
+            Task(
+                task_id="always-dies",
+                kind="_test_kill",
+                payload={"until_attempt": 99},
+                max_retries=1,
+            ),
+            probe(task_id="ok-2"),
+        ]
+        batch = pool.run(tasks)
+        assert batch.outcome("ok-1").ok
+        assert batch.outcome("ok-2").ok
+        dead = batch.outcome("always-dies")
+        assert not dead.ok
+        assert dead.error_type == "PoolFault"
+
+
+class TestObsMerge:
+    def test_worker_metric_deltas_fold_into_parent_registry(self):
+        task = Task(
+            task_id="m1",
+            kind="_test_fail",  # any handler; metrics ride the envelope
+            payload={"message": "x"},
+        )
+        before = REGISTRY.snapshot()
+        with WorkerPool(1) as p:
+            p.run([probe(task_id="metrics-probe")])
+        diff = REGISTRY.snapshot().diff(before)
+        assert diff.get("parallel.tasks_completed") == 1
+        assert diff.get("parallel.workers_spawned", 0) >= 1
+        assert task.task_id  # keep the unused-var linter quiet
+
+    def test_gauge_suffixes_are_dropped_on_merge(self):
+        before = dict(_collect_merged())
+        merge_metrics(
+            {
+                "bdd.apply_ops": 5.0,
+                "bdd.nodes_live": 100.0,
+                "bdd.peak_live": 80.0,
+                "sat.conflicts": -3.0,  # negative delta: gauge artifact
+            }
+        )
+        after = _collect_merged()
+        assert after.get("bdd.apply_ops", 0) - before.get("bdd.apply_ops", 0) == 5.0
+        assert after.get("bdd.nodes_live") == before.get("bdd.nodes_live")
+        assert after.get("sat.conflicts") == before.get("sat.conflicts")
+
+    def test_worker_spans_graft_into_parent_trace(self):
+        start_trace()
+        try:
+            with WorkerPool(1) as p:
+                p.run([probe(task_id="traced")])
+        finally:
+            trace = stop_trace()
+        names = set()
+
+        def walk(spans):
+            for sp in spans:
+                names.add(sp.name)
+                walk(sp.children)
+
+        walk(trace.roots)
+        assert "parallel.merge" in names
+        assert "parallel.task" in names  # the grafted worker-side span
+
+
+class TestRunBatch:
+    def test_serial_path_shares_the_execution_core(self):
+        batch = run_batch([probe(echo="s")], jobs=1)
+        (outcome,) = batch.outcomes
+        assert outcome.ok
+        assert outcome.value["pid"] == os.getpid()  # in-process, no fork
+        assert batch.jobs == 1
+
+    def test_serial_path_records_task_errors_as_events(self):
+        batch = run_batch(
+            [Task(task_id="bad", kind="_test_fail", payload={"message": "m"})],
+            jobs=1,
+        )
+        assert not batch.ok
+        assert [e.kind for e in batch.events] == ["task-error"]
+
+    def test_jobs_zero_resolves_to_core_count(self):
+        batch = run_batch([probe(task_id="auto")], jobs=0)
+        assert batch.jobs >= 1
+
+    def test_external_pool_is_reused_not_closed(self, pool):
+        batch = run_batch([probe(task_id="ext")], pool=pool)
+        assert batch.ok
+        # the pool stays usable — run_batch must not close a borrowed pool
+        assert pool.run([probe(task_id="ext2")]).ok
