@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""The persistent result cache: cold, warm, and incremental runs.
+
+Walks the full cache story (docs/CACHING.md) on ISCAS-85 C17:
+
+1. a **cold** exact analysis through the cache (computes and stores),
+2. the **warm** repeat — a hit: no engine runs, and the canonical row
+   is byte-identical to the cold one,
+3. content addressing in action: a *renamed* copy of the circuit still
+   hits (the key is the structure, not the name),
+4. **incremental** re-analysis after rewriting one gate (`G10` NAND →
+   AND): only the output cone containing the rewrite (`G22`) is
+   recomputed; the untouched `G23` cone is served from the cache.
+
+Run:  python examples/cache_warmup.py
+"""
+
+import json
+import tempfile
+import time
+
+from repro.cache import (
+    ResultCache,
+    cached_analyze_required_times,
+    diff_cones,
+    incremental_required_times,
+)
+from repro.circuits import c17
+from repro.network import Network
+
+
+def mutated_c17() -> Network:
+    """C17 with G10 rewritten NAND → AND — a single-cone mutation."""
+    net = Network("c17-resynth")
+    for pi in ["G1", "G2", "G3", "G6", "G7"]:
+        net.add_input(pi)
+    net.add_gate("G10", "AND", ["G1", "G3"])
+    net.add_gate("G11", "NAND", ["G3", "G6"])
+    net.add_gate("G16", "NAND", ["G2", "G11"])
+    net.add_gate("G19", "NAND", ["G11", "G7"])
+    net.add_gate("G22", "NAND", ["G10", "G16"])
+    net.add_gate("G23", "NAND", ["G16", "G19"])
+    net.set_outputs(["G22", "G23"])
+    return net
+
+
+def timed(fn):
+    t0 = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - t0
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="repro-cache-demo-") as cache_dir:
+        cache = ResultCache(cache_dir)
+        net = c17()
+
+        # 1. cold: computes, stores one entry under the content digest
+        (cold, hit), cold_s = timed(
+            lambda: cached_analyze_required_times(
+                net, "exact", cache, output_required=5.0
+            )
+        )
+        print(f"cold:  hit={hit}  {cold_s * 1e3:7.2f} ms  "
+              f"nontrivial={cold.nontrivial}")
+
+        # 2. warm: the same five key ingredients -> the same digest -> hit
+        (warm, hit), warm_s = timed(
+            lambda: cached_analyze_required_times(
+                net, "exact", cache, output_required=5.0
+            )
+        )
+        same = json.dumps(cold.row(), sort_keys=True) == json.dumps(
+            warm.row(), sort_keys=True
+        )
+        print(f"warm:  hit={hit}  {warm_s * 1e3:7.2f} ms  "
+              f"row identical to cold: {same}  "
+              f"({cold_s / max(warm_s, 1e-9):.0f}x faster)")
+
+        # 3. the name is not part of the key
+        renamed = net.copy(name="totally-different-name")
+        _, hit = cached_analyze_required_times(
+            renamed, "exact", cache, output_required=5.0
+        )
+        print(f"renamed copy: hit={hit} (content-addressed)")
+
+        # 4. incremental: per-cone keys make reuse automatic
+        print("\nrewriting G10, re-analyzing per output cone:")
+        report = diff_cones(net, mutated_c17(), "exact", output_required=5.0)
+        print(f"  diff_cones: clean={report['clean']} dirty={report['dirty']}")
+
+        incremental_required_times(net, "exact", cache, output_required=5.0)
+        result = incremental_required_times(
+            mutated_c17(), "exact", cache, output_required=5.0
+        )
+        print(f"  recomputed: {result.dirty}   from cache: {result.clean}")
+        for name, t in sorted(result.merged["input_times"].items()):
+            print(f"  merged required time at {name}: {t}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,235 @@
+#!/usr/bin/env python3
+"""Docs consistency gate (run by CI, runnable locally any time).
+
+Three checks, all derived from the artifacts themselves so the docs
+cannot silently drift from the code:
+
+1. **Links** — every relative markdown link in the curated docs set
+   (README, CONTRIBUTING, DESIGN, EXPERIMENTS, ROADMAP, docs/*.md) must
+   resolve to a file inside the repository.
+2. **CLI drift** — the `## CLI` section of docs/API.md must contain one
+   ``### `repro <command>` `` subsection per parser subcommand (including
+   nested ones like ``cache gc``), documenting *exactly* the long
+   options that subcommand defines — no missing flags, no stale ones.
+   Every top-level command name must also appear in the README.
+3. **Docstring coverage** — `src/repro/cache/` (the subsystem this gate
+   shipped with) must keep module/class/function docstring coverage at
+   or above 90%.
+
+Usage: ``python scripts/check_docs.py [--verbose]`` — exits non-zero
+with one line per violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+#: root-level docs that participate in the link check (generated /
+#: driver files like PAPER.md and SNIPPETS.md are excluded on purpose)
+ROOT_DOCS = [
+    "README.md",
+    "CONTRIBUTING.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "ROADMAP.md",
+]
+
+#: directory whose API docstring coverage is gated
+COVERAGE_TARGET = os.path.join("src", "repro", "cache")
+COVERAGE_FLOOR = 0.90
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_CLI_HEADING = re.compile(r"^### `repro ([a-z][a-z0-9 -]*)`\s*$", re.M)
+_FLAG = re.compile(r"`(--[a-z][a-z0-9-]*)`")
+
+
+def doc_files() -> list[str]:
+    files = [os.path.join(REPO, name) for name in ROOT_DOCS]
+    docs_dir = os.path.join(REPO, "docs")
+    files += sorted(
+        os.path.join(docs_dir, n)
+        for n in os.listdir(docs_dir)
+        if n.endswith(".md")
+    )
+    return [f for f in files if os.path.isfile(f)]
+
+
+# ----------------------------------------------------------------------
+# 1. intra-repo link validation
+# ----------------------------------------------------------------------
+def check_links(errors: list[str]) -> None:
+    for path in doc_files():
+        base = os.path.dirname(path)
+        rel = os.path.relpath(path, REPO)
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+        for match in _LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            target = target.split("#", 1)[0]
+            if not target:
+                continue
+            resolved = os.path.normpath(os.path.join(base, target))
+            if not resolved.startswith(REPO):
+                errors.append(f"{rel}: link escapes the repo: {match.group(1)}")
+            elif not os.path.exists(resolved):
+                errors.append(f"{rel}: broken link: {match.group(1)}")
+
+
+# ----------------------------------------------------------------------
+# 2. CLI ↔ docs drift
+# ----------------------------------------------------------------------
+def parser_commands() -> dict[str, set[str]]:
+    """``command path → set of long option strings`` from the live parser."""
+    from repro.cli import build_parser
+
+    def subparsers_of(parser):
+        for action in parser._actions:  # noqa: SLF001 — argparse has no
+            # public introspection API; this is the documented-by-usage way
+            if isinstance(action, argparse._SubParsersAction):
+                return action.choices
+        return {}
+
+    out: dict[str, set[str]] = {}
+
+    def walk(prefix: str, parser) -> None:
+        children = subparsers_of(parser)
+        for name, child in children.items():
+            path = f"{prefix} {name}".strip()
+            grandchildren = subparsers_of(child)
+            if grandchildren:
+                walk(path, child)
+                continue
+            flags = set()
+            for action in child._actions:  # noqa: SLF001
+                for opt in action.option_strings:
+                    if opt.startswith("--") and opt != "--help":
+                        flags.add(opt)
+            out[path] = flags
+
+    walk("", build_parser())
+    return out
+
+
+def documented_commands(api_text: str) -> dict[str, set[str]]:
+    """The same mapping, read from docs/API.md's `## CLI` section."""
+    cli_start = api_text.find("## CLI")
+    if cli_start < 0:
+        return {}
+    section = api_text[cli_start:]
+    headings = list(_CLI_HEADING.finditer(section))
+    out: dict[str, set[str]] = {}
+    for i, match in enumerate(headings):
+        body_end = headings[i + 1].start() if i + 1 < len(headings) else len(section)
+        body = section[match.end():body_end]
+        out[match.group(1).strip()] = set(_FLAG.findall(body))
+    return out
+
+
+def check_cli(errors: list[str]) -> None:
+    api_path = os.path.join(REPO, "docs", "API.md")
+    with open(api_path, encoding="utf-8") as fh:
+        api_text = fh.read()
+    actual = parser_commands()
+    documented = documented_commands(api_text)
+
+    for command in sorted(set(actual) - set(documented)):
+        errors.append(f"docs/API.md: CLI section missing `repro {command}`")
+    for command in sorted(set(documented) - set(actual)):
+        errors.append(f"docs/API.md: documents unknown command `repro {command}`")
+    for command in sorted(set(actual) & set(documented)):
+        missing = actual[command] - documented[command]
+        stale = documented[command] - actual[command]
+        for flag in sorted(missing):
+            errors.append(f"docs/API.md: `repro {command}` is missing `{flag}`")
+        for flag in sorted(stale):
+            errors.append(
+                f"docs/API.md: `repro {command}` documents stale flag `{flag}`"
+            )
+
+    with open(os.path.join(REPO, "README.md"), encoding="utf-8") as fh:
+        readme = fh.read()
+    top_level = {command.split()[0] for command in actual}
+    for name in sorted(top_level):
+        if not re.search(rf"\b{re.escape(name)}\b", readme):
+            errors.append(f"README.md: never mentions the `{name}` subcommand")
+
+
+# ----------------------------------------------------------------------
+# 3. docstring coverage floor
+# ----------------------------------------------------------------------
+def docstring_stats(path: str) -> tuple[int, int]:
+    """(documented, total) over the module plus its module- and
+    class-level defs.  Dunder methods and defs nested inside function
+    bodies are implementation detail and don't count either way."""
+    with open(path, encoding="utf-8") as fh:
+        tree = ast.parse(fh.read(), filename=path)
+
+    def collect(body):
+        for node in body:
+            if isinstance(node, ast.ClassDef):
+                yield node
+                yield from collect(node.body)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if not (node.name.startswith("__") and node.name.endswith("__")):
+                    yield node
+
+    nodes = [tree] + list(collect(tree.body))
+    documented = sum(1 for n in nodes if ast.get_docstring(n))
+    return documented, len(nodes)
+
+
+def check_docstrings(errors: list[str], verbose: bool) -> None:
+    target = os.path.join(REPO, COVERAGE_TARGET)
+    documented = total = 0
+    for dirpath, _dirnames, filenames in os.walk(target):
+        for name in sorted(filenames):
+            if not name.endswith(".py"):
+                continue
+            d, t = docstring_stats(os.path.join(dirpath, name))
+            documented += d
+            total += t
+            if verbose:
+                print(f"  docstrings {name}: {d}/{t}")
+    if total == 0:
+        errors.append(f"{COVERAGE_TARGET}: no python files found")
+        return
+    coverage = documented / total
+    if coverage < COVERAGE_FLOOR:
+        errors.append(
+            f"{COVERAGE_TARGET}: docstring coverage {coverage:.0%} "
+            f"({documented}/{total}) below the {COVERAGE_FLOOR:.0%} floor"
+        )
+    elif verbose:
+        print(f"docstring coverage: {coverage:.0%} ({documented}/{total})")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    errors: list[str] = []
+    check_links(errors)
+    check_cli(errors)
+    check_docstrings(errors, args.verbose)
+
+    if errors:
+        for line in errors:
+            print(f"FAIL: {line}", file=sys.stderr)
+        print(f"{len(errors)} docs problem(s)", file=sys.stderr)
+        return 1
+    print("docs ok: links resolve, CLI matches, docstrings covered")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,220 @@
+"""Incremental re-analysis: recompute only the cones a mutation dirtied.
+
+The resynthesis loop the paper's Section 5 motivates — analyze, rewrite a
+subcircuit, re-analyze — re-runs an almost identical network each
+iteration.  Because cache keys are content-addressed *per output cone*
+(the cone's own structure, delays, and boundary condition are the key;
+see :mod:`repro.cache.keys`), incrementality needs no explicit
+dependency tracking: an output whose transitive-fanin cone is untouched
+by the mutation hashes to the same digest and hits; only the dirty cones
+miss and run.  :func:`diff_cones` exposes the same comparison as an
+explicit old-vs-new report for assertions and tooling.
+
+The per-cone results are min-merged with the exact same
+:func:`repro.parallel.merge.merge_required_outcomes` a sharded
+``required --jobs N`` run uses, so an incremental warm result is
+bit-identical to a cold sharded run of the whole network.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.cache.keys import CacheKey, required_key
+from repro.cache.results import CachedRequiredResult
+from repro.cache.store import ResultCache
+from repro.network.network import Network
+from repro.obs.trace import span
+
+
+def _required_map(
+    network: Network, output_required: Mapping[str, float] | float
+) -> dict[str, float]:
+    """The boundary condition as an explicit per-output float map."""
+    if isinstance(output_required, Mapping):
+        return {o: float(output_required[o]) for o in network.outputs}
+    return {o: float(output_required) for o in network.outputs}
+
+
+def cone_keys(
+    network: Network,
+    method: str,
+    delays=None,
+    output_required: Mapping[str, float] | float = 0.0,
+    options: Mapping[str, object] | None = None,
+) -> dict[str, tuple[CacheKey, Network]]:
+    """Per-output ``(cache key, cone network)`` pairs, in output order."""
+    from repro.parallel.tasks import output_cone
+
+    req_map = _required_map(network, output_required)
+    out: dict[str, tuple[CacheKey, Network]] = {}
+    for name in network.outputs:
+        cone = output_cone(network, [name])
+        key = required_key(
+            cone, method, delays, {name: req_map[name]}, options
+        )
+        out[name] = (key, cone)
+    return out
+
+
+def diff_cones(
+    old: Network,
+    new: Network,
+    method: str = "topological",
+    delays=None,
+    output_required: Mapping[str, float] | float = 0.0,
+    options: Mapping[str, object] | None = None,
+) -> dict[str, list[str]]:
+    """Classify ``new``'s outputs against ``old``'s cached-cone identities.
+
+    ``clean`` outputs would hit entries populated by analyzing ``old``;
+    ``dirty`` ones have structurally different cones (or boundary
+    conditions); ``added``/``removed`` track the output sets themselves.
+    """
+    old_keys = {
+        name: key.digest
+        for name, (key, _) in cone_keys(
+            old, method, delays, output_required, options
+        ).items()
+    }
+    new_keys = cone_keys(new, method, delays, output_required, options)
+    clean, dirty = [], []
+    for name, (key, _) in new_keys.items():
+        if old_keys.get(name) == key.digest:
+            clean.append(name)
+        elif name in old_keys:
+            dirty.append(name)
+    return {
+        "clean": clean,
+        "dirty": dirty,
+        "added": [n for n in new_keys if n not in old_keys],
+        "removed": [n for n in old_keys if n not in new_keys],
+    }
+
+
+@dataclass
+class IncrementalResult:
+    """What one incremental (or cold) per-cone analysis produced."""
+
+    #: the min-merged network view (see ``merge_required_outcomes``)
+    merged: dict
+    #: outputs recomputed this run (cache misses)
+    dirty: list[str] = field(default_factory=list)
+    #: outputs served from cache (no engine ran)
+    clean: list[str] = field(default_factory=list)
+    #: outputs whose recompute task failed (excluded from the merge)
+    failed: list[str] = field(default_factory=list)
+    wall: float = 0.0
+    jobs: int = 1
+
+    @property
+    def ok(self) -> bool:
+        """True when every cone either hit or recomputed successfully."""
+        return not self.failed
+
+    def report(self) -> dict:
+        """A machine-readable summary (mirrors ``BatchResult.report``)."""
+        return {
+            "cones": len(self.dirty) + len(self.clean),
+            "recomputed": sorted(self.dirty),
+            "cached": sorted(self.clean),
+            "failed": sorted(self.failed),
+            "wall_seconds": round(self.wall, 3),
+            "jobs": self.jobs,
+        }
+
+
+def incremental_required_times(
+    network: Network,
+    method: str,
+    cache: ResultCache,
+    delays=None,
+    output_required: Mapping[str, float] | float = 0.0,
+    options: Mapping[str, object] | None = None,
+    jobs: int = 1,
+) -> IncrementalResult:
+    """Per-cone required times with cache reuse; dirty cones only recompute.
+
+    On a cold cache every cone is dirty and this is exactly the sharded
+    analysis of ``required --jobs N``; on a warm cache after a local
+    mutation, only the cones whose content digests changed run (the
+    others are replayed from the store), and the merge is bit-identical
+    to a full recompute — the property the cache parity tests and
+    ``benchmarks/bench_cache.py`` assert.
+    """
+    from repro.parallel import (
+        CircuitRef,
+        merge_required_outcomes,
+        required_time_task,
+        run_batch,
+    )
+    from repro.parallel.tasks import estimate_cost
+
+    options = dict(options or {})
+    t0 = _time.perf_counter()
+    with span(
+        "cache.incremental", circuit=network.name, method=method, jobs=jobs
+    ):
+        keys = cone_keys(network, method, delays, output_required, options)
+        outcomes: dict[str, object] = {}
+        clean: list[str] = []
+        dirty: list[str] = []
+        tasks = []
+        task_outputs: list[str] = []
+        for name, (key, cone) in keys.items():
+            payload = cache.get(key)
+            if payload is not None:
+                result = CachedRequiredResult.from_payload(payload)
+                result.circuit = network.name
+                outcomes[name] = result.to_outcome()
+                clean.append(name)
+                continue
+            dirty.append(name)
+            req = _required_map(network, output_required)[name]
+            tasks.append(
+                required_time_task(
+                    CircuitRef.inline(cone, key=f"{network.name}/{name}"),
+                    method,
+                    output_required={name: req},
+                    delays=delays,
+                    options=options,
+                    cost=estimate_cost(cone, method, options),
+                    task_id=f"{network.name}/{method}/{name}",
+                )
+            )
+            task_outputs.append(name)
+        failed: list[str] = []
+        if tasks:
+            batch = run_batch(tasks, jobs=jobs)
+            for name, outcome in zip(task_outputs, batch.outcomes):
+                if not outcome.ok:
+                    failed.append(name)
+                    continue
+                value = outcome.value
+                outcomes[name] = value
+                if not value.aborted:
+                    key, _ = keys[name]
+                    cache.put(
+                        key, CachedRequiredResult.from_outcome(value).to_payload()
+                    )
+        merged = merge_required_outcomes(
+            [outcomes[name] for name in network.outputs if name in outcomes]
+        )
+    return IncrementalResult(
+        merged=merged,
+        dirty=dirty,
+        clean=clean,
+        failed=failed,
+        wall=_time.perf_counter() - t0,
+        jobs=jobs,
+    )
+
+
+__all__ = [
+    "IncrementalResult",
+    "cone_keys",
+    "diff_cones",
+    "incremental_required_times",
+]

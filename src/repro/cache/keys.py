@@ -1,0 +1,155 @@
+"""Canonical cache keys: content-addressed digests of analysis inputs.
+
+A required-time result is a pure function of five things — the network
+structure, the delay specification, the boundary conditions (required
+times at the outputs), the method plus its semantically relevant options,
+and the code/schema version.  :func:`required_key` folds exactly those
+five into one SHA-256 digest, so the digest *is* the identity of the
+result: two analyses with the same key must produce bit-identical
+canonical rows, and anything that could change the answer must appear in
+the key (see docs/CACHING.md for the invalidation rules).
+
+Canonicalization choices:
+
+* the network **name is excluded** (content addressing: a renamed copy of
+  a circuit hits the same entry; callers re-stamp the display name);
+* nodes are keyed **sorted by name** with their fanin lists and SOP
+  cover patterns verbatim (fanin order is semantic — cover columns map
+  to it — but dict insertion order is not);
+* input/output lists are kept **in declaration order** — engines
+  enumerate over them, so order is part of the result's identity;
+* delay overrides are restricted to the network before hashing, so a
+  model carrying overrides for shrunk-away nodes keys identically;
+* only options that can change the *answer* enter the key (node budgets,
+  check budgets, engine, reorder); purely observational knobs must never
+  be added to :data:`SEMANTIC_OPTIONS`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.network.network import Network
+
+#: Bump whenever the canonical payload layout, the digest recipe, or the
+#: meaning of a cached result changes: old entries become unreachable
+#: (they live under a versioned directory) instead of wrongly reused.
+SCHEMA_VERSION = 1
+
+#: Options that can change the canonical result row and therefore key
+#: the cache entry: engine knobs (budgets, engine, reorder) plus
+#: ``exact_row_counts``, which widens the exact method's digest payload.
+#: Transport/layer options such as ``cache_dir`` are excluded on purpose.
+SEMANTIC_OPTIONS = (
+    "engine",
+    "exact_row_counts",
+    "max_nodes",
+    "max_checks",
+    "reorder",
+    "time_budget",
+)
+
+
+def canonical_network(network: Network) -> dict:
+    """The name-free structural description entering the digest."""
+    return {
+        "inputs": list(network.inputs),
+        "outputs": list(network.outputs),
+        "nodes": {
+            name: {
+                "fanins": list(node.fanins),
+                "cover": [cube.to_pattern() for cube in node.cover],
+            }
+            for name, node in sorted(network.nodes.items())
+            if not node.is_input
+        },
+    }
+
+
+def network_digest(network: Network) -> str:
+    """SHA-256 of the canonical structure alone (no delays, no method)."""
+    return _digest({"schema": SCHEMA_VERSION, "network": canonical_network(network)})
+
+
+def _canonical_required(
+    network: Network, output_required: Mapping[str, float] | float
+) -> dict[str, float]:
+    """The boundary condition as an explicit per-output float map."""
+    if isinstance(output_required, Mapping):
+        return {o: float(output_required[o]) for o in network.outputs}
+    return {o: float(output_required) for o in network.outputs}
+
+
+def _canonical_options(options: Mapping[str, object] | None) -> dict:
+    """The :data:`SEMANTIC_OPTIONS` subset, with unset/False values
+    dropped so explicit defaults key identically to absent options."""
+    options = options or {}
+    return {
+        name: options[name]
+        for name in SEMANTIC_OPTIONS
+        if options.get(name) not in (None, False)
+    }
+
+
+def _digest(payload: dict) -> str:
+    """SHA-256 over the minimal canonical JSON encoding of ``payload``."""
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    """One content-addressed result identity.
+
+    ``digest`` names the entry on disk; ``method``/``kind`` are carried
+    for display and debugging only — both are already folded into the
+    digest, so the digest alone is the full identity.
+    """
+
+    digest: str
+    method: str
+    kind: str = "required"
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.kind}/{self.method}/{self.digest[:12]}"
+
+
+def required_key(
+    network: Network,
+    method: str,
+    delays=None,
+    output_required: Mapping[str, float] | float = 0.0,
+    options: Mapping[str, object] | None = None,
+) -> CacheKey:
+    """The cache key of one required-time analysis of ``network``.
+
+    ``network`` may be a whole circuit or an output cone — the cone *is*
+    its own content, which is what makes the incremental layer work: an
+    unchanged cone of a mutated network hashes to the same key and hits.
+    """
+    from repro.timing.delay import unit_delay
+
+    delays = (delays or unit_delay()).restricted_to(network)
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "kind": "required",
+        "method": method,
+        "network": canonical_network(network),
+        "delays": delays.to_spec(),
+        "output_required": _canonical_required(network, output_required),
+        "options": _canonical_options(options),
+    }
+    return CacheKey(digest=_digest(payload), method=method)
+
+
+__all__ = [
+    "CacheKey",
+    "SCHEMA_VERSION",
+    "SEMANTIC_OPTIONS",
+    "canonical_network",
+    "network_digest",
+    "required_key",
+]

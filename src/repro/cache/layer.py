@@ -1,0 +1,65 @@
+"""The cache-through analysis entry point (whole-network granularity).
+
+``cached_analyze_required_times`` is ``analyze_required_times`` with a
+:class:`~repro.cache.store.ResultCache` in front: a hit skips the engines
+entirely and returns the stored canonical result; a miss computes,
+stores, and returns the same canonical form, so callers see one type
+regardless of temperature.  Aborted runs (budget exhaustion) are **never
+stored** — whether a run aborts depends on wall-clock/budget context, and
+replaying an abort from cache would violate the warm ≡ cold contract.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.cache.keys import required_key
+from repro.cache.results import CachedRequiredResult
+from repro.cache.store import ResultCache
+from repro.network.network import Network
+from repro.obs.trace import span
+
+
+def cached_analyze_required_times(
+    network: Network,
+    method: str,
+    cache: ResultCache,
+    delays=None,
+    output_required: Mapping[str, float] | float = 0.0,
+    options: Mapping[str, object] | None = None,
+) -> tuple[CachedRequiredResult, bool]:
+    """Run (or reuse) one required-time analysis through the cache.
+
+    Returns ``(result, hit)``; ``hit`` is True when no engine ran.  The
+    stored entry is content-addressed, so the display name of a renamed
+    but structurally identical circuit is re-stamped on the way out.
+    """
+    from repro.core.required_time import (
+        analyze_required_times,
+        topological_input_required_times,
+    )
+
+    options = dict(options or {})
+    key = required_key(network, method, delays, output_required, options)
+    # a layer option, not an engine kwarg — but part of the key because
+    # it widens the exact method's canonical digest
+    row_counts = options.pop("exact_row_counts", None)
+    with span("cache.lookup", method=method, key=key.digest[:12]):
+        payload = cache.get(key)
+    if payload is not None:
+        result = CachedRequiredResult.from_payload(payload)
+        result.circuit = network.name
+        return result, True
+    baseline = topological_input_required_times(network, delays, output_required)
+    report = analyze_required_times(
+        network, method, delays=delays, output_required=output_required, **options
+    )
+    result = CachedRequiredResult.from_report(report, baseline, row_counts=row_counts)
+    result.circuit = network.name
+    if not report.aborted:
+        with span("cache.store", method=method, key=key.digest[:12]):
+            cache.put(key, result.to_payload())
+    return result, False
+
+
+__all__ = ["cached_analyze_required_times"]

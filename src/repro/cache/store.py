@@ -1,0 +1,361 @@
+"""The two-tier result store: in-memory LRU over a content-addressed disk tier.
+
+On-disk layout (documented in docs/CACHING.md)::
+
+    <cache_dir>/v<SCHEMA_VERSION>/<digest[:2]>/<digest>.json
+
+Every entry is one self-contained JSON document; the digest in the file
+name is the full cache key, so the directory tree *is* the index.  The
+write protocol is atomic-rename: an entry is written to a same-directory
+``.tmp`` file and published with :func:`os.replace`, so readers — in this
+process or any concurrent worker process — only ever observe absent or
+complete entries, never partial ones.  Concurrent writers of the same key
+are harmless by construction: both write the same deterministic content
+and the last rename wins.  ``gc``/``clear`` serialize against each other
+through an ``flock`` on ``<cache_dir>/.lock`` (a no-op on platforms
+without ``fcntl``), and readers treat a file deleted mid-lookup exactly
+like a miss.
+
+Corruption policy: a truncated or unparsable entry is **a miss, never a
+crash** — the reader unlinks it, bumps ``cache.corrupt_entries``, and the
+caller recomputes (the entry is rewritten on the following ``put``).
+
+All counters are direct :data:`repro.obs.metrics.REGISTRY` counters under
+the ``cache.`` prefix, so worker-process cache activity ships back to the
+parent through the existing snapshot/diff merge (docs/OBSERVABILITY.md).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time as _time
+from collections import OrderedDict
+from typing import Iterator, NamedTuple
+
+from repro.cache.keys import SCHEMA_VERSION, CacheKey
+from repro.obs.metrics import REGISTRY
+
+try:  # pragma: no cover - always present on the supported platforms
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None
+
+
+def _count(name: str, amount: float = 1.0) -> None:
+    """Bump one ``cache.*`` counter in the process-wide registry."""
+    REGISTRY.counter(name).inc(amount)
+
+
+class MemoryLRU:
+    """A bounded name → payload map with least-recently-used eviction."""
+
+    def __init__(self, max_entries: int = 256):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[str, dict] = OrderedDict()
+
+    def get(self, digest: str) -> dict | None:
+        """The stored payload (freshened to most-recent) or ``None``."""
+        payload = self._entries.get(digest)
+        if payload is not None:
+            self._entries.move_to_end(digest)
+        return payload
+
+    def put(self, digest: str, payload: dict) -> None:
+        """Insert/refresh an entry, evicting the LRU tail past the cap."""
+        self._entries[digest] = payload
+        self._entries.move_to_end(digest)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            _count("cache.evictions")
+
+    def clear(self) -> None:
+        """Drop every entry (no eviction counters — not capacity)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class DiskEntry(NamedTuple):
+    """One on-disk entry as seen by ``stats``/``gc`` (metadata only)."""
+
+    digest: str
+    path: str
+    size: int
+    mtime: float
+
+
+class DiskStore:
+    """The content-addressed durable tier.
+
+    The store is lazy: nothing touches the filesystem until the first
+    ``put`` creates the versioned root.  Reads of other schema versions'
+    trees never happen — the version directory namespaces them away.
+    """
+
+    def __init__(self, root: str, schema: int = SCHEMA_VERSION):
+        self.root = os.path.expanduser(root)
+        self.schema = schema
+        self._dir = os.path.join(self.root, f"v{schema}")
+
+    def path_for(self, digest: str) -> str:
+        """Where ``digest``'s entry lives (two-hex-char fan-out shards)."""
+        return os.path.join(self._dir, digest[:2], f"{digest}.json")
+
+    # ------------------------------------------------------------------
+    # read / write
+    # ------------------------------------------------------------------
+    def get(self, digest: str) -> dict | None:
+        """Read one entry; absent, racing-deleted, or corrupt → ``None``."""
+        path = self.path_for(digest)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                text = fh.read()
+        except (FileNotFoundError, NotADirectoryError):
+            return None
+        except OSError:
+            return None
+        try:
+            payload = json.loads(text)
+        except ValueError:
+            # truncated/garbled entry: quarantine by unlinking and miss
+            _count("cache.corrupt_entries")
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+        if not isinstance(payload, dict):
+            _count("cache.corrupt_entries")
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+        return payload
+
+    def put(self, digest: str, payload: dict) -> int:
+        """Atomically publish ``payload``; returns the bytes written."""
+        path = self.path_for(digest)
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        text = json.dumps(payload, sort_keys=True)
+        data = text.encode("utf-8")
+        tmp = os.path.join(directory, f".{digest}.{os.getpid()}.tmp")
+        try:
+            with open(tmp, "wb") as fh:
+                fh.write(data)
+            os.replace(tmp, path)
+        finally:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+        _count("cache.bytes_written", len(data))
+        return len(data)
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def entries(self) -> Iterator[DiskEntry]:
+        """Every published entry of this schema version (metadata only)."""
+        if not os.path.isdir(self._dir):
+            return
+        for shard in sorted(os.listdir(self._dir)):
+            shard_dir = os.path.join(self._dir, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if not name.endswith(".json") or name.startswith("."):
+                    continue
+                path = os.path.join(shard_dir, name)
+                try:
+                    st = os.stat(path)
+                except OSError:
+                    continue
+                yield DiskEntry(name[: -len(".json")], path, st.st_size, st.st_mtime)
+
+    def stats(self) -> dict:
+        """Entry count, byte total, and age bounds (``repro cache stats``)."""
+        total = 0
+        count = 0
+        oldest: float | None = None
+        newest: float | None = None
+        for entry in self.entries():
+            count += 1
+            total += entry.size
+            oldest = entry.mtime if oldest is None else min(oldest, entry.mtime)
+            newest = entry.mtime if newest is None else max(newest, entry.mtime)
+        return {
+            "dir": self.root,
+            "schema": self.schema,
+            "entries": count,
+            "bytes": total,
+            "oldest_age_seconds": None if oldest is None else _time.time() - oldest,
+            "newest_age_seconds": None if newest is None else _time.time() - newest,
+        }
+
+    def _locked(self):
+        """An exclusive advisory lock serializing gc/clear across processes."""
+
+        class _Lock:
+            def __init__(self, root: str):
+                self._root = root
+                self._fh = None
+
+            def __enter__(self):
+                if fcntl is None:
+                    return self
+                os.makedirs(self._root, exist_ok=True)
+                self._fh = open(os.path.join(self._root, ".lock"), "w")
+                fcntl.flock(self._fh, fcntl.LOCK_EX)
+                return self
+
+            def __exit__(self, *exc):
+                if self._fh is not None:
+                    fcntl.flock(self._fh, fcntl.LOCK_UN)
+                    self._fh.close()
+                return False
+
+        return _Lock(self.root)
+
+    def clear(self) -> int:
+        """Remove every entry of this schema version; returns the count."""
+        removed = 0
+        with self._locked():
+            for entry in list(self.entries()):
+                try:
+                    os.unlink(entry.path)
+                    removed += 1
+                except OSError:
+                    pass
+        _count("cache.gc_removed", removed)
+        return removed
+
+    def gc(
+        self,
+        max_bytes: int | None = None,
+        max_age_seconds: float | None = None,
+        now: float | None = None,
+    ) -> dict:
+        """Expire old entries, then evict oldest-first down to ``max_bytes``.
+
+        Age is the entry's mtime (refreshed on every ``put``); removal is
+        oldest-first so a byte budget keeps the warmest results.  Entries
+        vanishing concurrently (another gc, a racing clear) are skipped —
+        the protocol makes that indistinguishable from an ordinary miss.
+        """
+        now = _time.time() if now is None else now
+        removed = 0
+        kept_bytes = 0
+        with self._locked():
+            entries = sorted(self.entries(), key=lambda e: e.mtime)
+            survivors = []
+            for entry in entries:
+                if max_age_seconds is not None and now - entry.mtime > max_age_seconds:
+                    try:
+                        os.unlink(entry.path)
+                        removed += 1
+                    except OSError:
+                        pass
+                else:
+                    survivors.append(entry)
+            if max_bytes is not None:
+                total = sum(e.size for e in survivors)
+                for entry in survivors:
+                    if total <= max_bytes:
+                        break
+                    try:
+                        os.unlink(entry.path)
+                        removed += 1
+                        total -= entry.size
+                    except OSError:
+                        pass
+                kept_bytes = total
+            else:
+                kept_bytes = sum(e.size for e in survivors)
+        _count("cache.gc_removed", removed)
+        return {"removed": removed, "kept_bytes": kept_bytes}
+
+
+class ResultCache:
+    """The two-tier facade the analysis layers talk to.
+
+    ``get``/``put`` speak :class:`~repro.cache.keys.CacheKey` and plain
+    JSON-ready payload dicts.  The memory tier front-runs the disk tier
+    and is populated on disk hits (read-through); a ``cache_dir`` of
+    ``None`` degrades to memory-only, which is still enough for warm
+    reuse inside one process.
+    """
+
+    def __init__(
+        self,
+        cache_dir: str | None = None,
+        memory_entries: int = 256,
+        schema: int = SCHEMA_VERSION,
+    ):
+        self.memory = MemoryLRU(memory_entries)
+        self.disk = DiskStore(cache_dir, schema=schema) if cache_dir else None
+
+    @property
+    def cache_dir(self) -> str | None:
+        """The disk tier's root directory, or ``None`` when memory-only."""
+        return self.disk.root if self.disk is not None else None
+
+    def get(self, key: CacheKey) -> dict | None:
+        """Memory first, then disk (read-through); counts hit/miss."""
+        payload = self.memory.get(key.digest)
+        if payload is not None:
+            _count("cache.hits")
+            _count("cache.hits_memory")
+            return payload
+        if self.disk is not None:
+            payload = self.disk.get(key.digest)
+            if payload is not None:
+                self.memory.put(key.digest, payload)
+                _count("cache.hits")
+                _count("cache.hits_disk")
+                return payload
+        _count("cache.misses")
+        return None
+
+    def put(self, key: CacheKey, payload: dict) -> None:
+        """Publish to both tiers (the disk write is atomic-rename)."""
+        self.memory.put(key.digest, payload)
+        if self.disk is not None:
+            self.disk.put(key.digest, payload)
+        _count("cache.puts")
+
+    def stats(self) -> dict:
+        """Memory entry count plus the disk tier's stats, if any."""
+        out = {"memory_entries": len(self.memory)}
+        if self.disk is not None:
+            out.update(self.disk.stats())
+        return out
+
+    def clear(self) -> int:
+        """Empty both tiers; returns the number of disk entries removed."""
+        self.memory.clear()
+        return self.disk.clear() if self.disk is not None else 0
+
+
+def default_cache_dir() -> str | None:
+    """The ambient disk tier: ``$REPRO_CACHE_DIR``, or ``None`` (off).
+
+    Caching is strictly opt-in — an unset environment and no
+    ``--cache-dir`` flag mean analyses never touch the filesystem.
+    """
+    value = os.environ.get("REPRO_CACHE_DIR", "").strip()
+    return value or None
+
+
+__all__ = [
+    "DiskEntry",
+    "DiskStore",
+    "MemoryLRU",
+    "ResultCache",
+    "default_cache_dir",
+]

@@ -19,6 +19,8 @@ Commands
   shrink any failure and save it to a regression corpus.
 * ``trace``    — pretty-print / summarize a trace file produced by
   ``required --trace`` (or convert it to Chrome ``about:tracing`` JSON).
+* ``cache``    — inspect and maintain the persistent result cache
+  (``stats`` / ``clear`` / ``gc``); see docs/CACHING.md.
 
 Netlists are read from BLIF (``.blif``) or ISCAS bench (``.bench``)
 files, chosen by extension.  All analyses default to the paper's setup:
@@ -108,6 +110,9 @@ def cmd_required(args: argparse.Namespace) -> int:
     if args.jobs < 0:
         print(f"error: --jobs must be >= 0 (got {args.jobs})", file=sys.stderr)
         return 2
+    from repro.cache import default_cache_dir
+
+    cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
     options = {}
     if args.method == "approx2":
         options["engine"] = args.engine
@@ -118,7 +123,9 @@ def cmd_required(args: argparse.Namespace) -> int:
     if args.reorder:
         options["reorder"] = True
     if args.jobs not in (1,):
-        return _cmd_required_sharded(args, options)
+        return _cmd_required_sharded(args, options, cache_dir)
+    if cache_dir is not None:
+        return _cmd_required_cached(args, options, cache_dir)
 
     trace = None
     if args.trace is not None:
@@ -174,7 +181,68 @@ def cmd_required(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_required_sharded(args: argparse.Namespace, options: dict) -> int:
+def _cmd_required_cached(
+    args: argparse.Namespace, options: dict, cache_dir: str
+) -> int:
+    """``required`` through the persistent result cache (serial path).
+
+    A hit replays the stored canonical result without running any
+    engine; a miss computes and stores it.  The machine-readable row of
+    a warm run is bit-identical to the cold run it reuses (including the
+    recorded cold CPU time) — only the ``cache`` field differs.
+    """
+    from repro.cache import ResultCache, cached_analyze_required_times
+    from repro.obs import span
+
+    trace = None
+    if args.trace is not None:
+        from repro.obs import start_trace
+
+        start_trace()
+    try:
+        with span(
+            "cli.required", netlist=args.netlist, method=args.method, cache=True
+        ):
+            net = load_network(args.netlist)
+            cache = ResultCache(cache_dir)
+            result, hit = cached_analyze_required_times(
+                net, args.method, cache, output_required=args.required,
+                options=options,
+            )
+    finally:
+        if args.trace is not None:
+            from repro.obs import stop_trace
+
+            trace = stop_trace()
+            trace.save(args.trace)
+            print(
+                f"trace: {trace.num_spans} spans, "
+                f"coverage {trace.coverage():.1%}, written to {args.trace}",
+                file=sys.stderr,
+            )
+    if args.json:
+        row = result.table_row()
+        row["cache"] = "hit" if hit else "miss"
+        print(json.dumps(row))
+        return 0
+    print(f"method:      {result.method}")
+    print(f"circuit:     {result.circuit}")
+    print(f"cache:       {'hit' if hit else 'miss'} ({cache_dir})")
+    print(f"non-trivial: {'yes' if result.nontrivial else 'no'}")
+    print(f"cpu time:    {result.elapsed:.3f}s" + (" (cached)" if hit else ""))
+    if result.time_to_first_nontrivial is not None:
+        print(f"first r != r_bot after {result.time_to_first_nontrivial:.3f}s")
+    if result.aborted:
+        print(f"ABORTED: {result.abort_reason}")
+    detail = result.render_detail()
+    if detail:
+        print(detail)
+    return 0
+
+
+def _cmd_required_sharded(
+    args: argparse.Namespace, options: dict, cache_dir: str | None = None
+) -> int:
     """``required --jobs N``: one task per output cone, min-merged.
 
     Each primary output's transitive-fanin cone is an independent
@@ -207,8 +275,13 @@ def _cmd_required_sharded(args: argparse.Namespace, options: dict) -> int:
             jobs=args.jobs,
         ):
             net = load_network(args.netlist)
+            task_options = dict(options)
+            if cache_dir is not None:
+                # workers consult/populate the shared disk tier per cone
+                task_options["cache_dir"] = cache_dir
             tasks = shard_required_time(
-                net, args.method, output_required=args.required, options=options
+                net, args.method, output_required=args.required,
+                options=task_options,
             )
             batch = run_batch(tasks, jobs=args.jobs)
             outcomes = [o.value for o in batch.outcomes if o.ok]
@@ -375,6 +448,50 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_cache(args: argparse.Namespace) -> int:
+    from repro.cache import DiskStore, default_cache_dir
+
+    cache_dir = args.cache_dir or default_cache_dir()
+    if not cache_dir:
+        print(
+            "error: no cache directory "
+            "(pass --cache-dir or set REPRO_CACHE_DIR)",
+            file=sys.stderr,
+        )
+        return 2
+    store = DiskStore(cache_dir)
+    if args.cache_command == "stats":
+        stats = store.stats()
+        if args.json:
+            print(json.dumps(stats, sort_keys=True))
+            return 0
+        print(f"cache dir: {stats['dir']} (schema v{stats['schema']})")
+        print(f"entries:   {stats['entries']}")
+        print(f"bytes:     {stats['bytes']}")
+        if stats["oldest_age_seconds"] is not None:
+            print(f"oldest:    {stats['oldest_age_seconds']:.0f}s ago")
+            print(f"newest:    {stats['newest_age_seconds']:.0f}s ago")
+        return 0
+    if args.cache_command == "clear":
+        removed = store.clear()
+        print(f"removed {removed} entries from {cache_dir}")
+        return 0
+    if args.cache_command == "gc":
+        max_age = None
+        if args.max_age_days is not None:
+            max_age = args.max_age_days * 86400.0
+        outcome = store.gc(max_bytes=args.max_bytes, max_age_seconds=max_age)
+        if args.json:
+            print(json.dumps(outcome, sort_keys=True))
+            return 0
+        print(
+            f"removed {outcome['removed']} entries, "
+            f"{outcome['kept_bytes']} bytes kept in {cache_dir}"
+        )
+        return 0
+    raise AssertionError(f"unknown cache command {args.cache_command!r}")
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs import read_jsonl, records_to_chrome, render_summary
 
@@ -432,6 +549,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="shard the analysis per output cone onto N worker "
                         "processes (0 = one per core; default 1 = serial "
                         "whole-network analysis)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="persistent result cache directory (default: "
+                        "$REPRO_CACHE_DIR if set, else caching is off); "
+                        "warm results are bit-identical to cold ones")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the result cache even if REPRO_CACHE_DIR "
+                        "is set")
     p.set_defaults(func=cmd_required)
 
     p = sub.add_parser("slack", help="true vs topological slack per node")
@@ -488,6 +612,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--min-frac", type=float, default=0.0,
                    help="hide spans below this fraction of total time")
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("cache", help="inspect / maintain the result cache")
+    csub = p.add_subparsers(dest="cache_command", required=True)
+    for name, help_text in (
+        ("stats", "entry count, bytes, and age of the disk tier"),
+        ("clear", "remove every cached entry"),
+        ("gc", "expire old entries / shrink to a byte budget"),
+    ):
+        cp = csub.add_parser(name, help=help_text)
+        cp.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="cache directory (default: $REPRO_CACHE_DIR)")
+        if name in ("stats", "gc"):
+            cp.add_argument("--json", action="store_true",
+                            help="machine-readable output")
+        if name == "gc":
+            cp.add_argument("--max-bytes", type=int, default=None,
+                            help="evict oldest entries beyond this size")
+            cp.add_argument("--max-age-days", type=float, default=None,
+                            help="expire entries older than this many days")
+        cp.set_defaults(func=cmd_cache)
 
     p = sub.add_parser("paths", help="classify the longest paths")
     p.add_argument("netlist")

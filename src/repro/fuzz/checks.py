@@ -23,7 +23,12 @@ with the engine under test:
   ``oracle-exact-minterm`` — on small instances, exhaustive ternary
   XBD0 simulation over every input vector confirms each engine's answer
   with an implementation that shares neither χ covers nor BDDs nor CNF
-  with any engine.
+  with any engine;
+* ``cache-parity`` — the persistent result cache replayed against a
+  fresh computation: a cold run through a throwaway cache followed by a
+  warm run must hit and return a bit-identical canonical row (the free
+  cache-correctness oracle of docs/CACHING.md — every fuzz case
+  exercises keying, serialization, and warm reconstruction).
 
 Any engine exception is itself a verdict (``engine-error``): a crash on
 a generated circuit is a bug the shrinker can minimize like any other.
@@ -362,9 +367,76 @@ def run_differential(
     else:
         result.skipped.append("oracle")
 
+    # ------------------------------------------------------------------
+    # cache parity: warm must be bit-identical to cold
+    # ------------------------------------------------------------------
+    _check_cache_parity(case, suite, ran, fail, result)
+
     result.elapsed = _time.monotonic() - start
     result.metrics = REGISTRY.snapshot().diff(before)
     return result
+
+
+def _check_cache_parity(
+    case: "FuzzCase", suite: EngineSuite, ran, fail, result: CaseResult
+) -> None:
+    """Round-trip the cheap methods through a throwaway result cache.
+
+    Runs ``topological`` and ``approx2`` (the lightest engines, so the
+    extra cost per case stays small) cold through a fresh two-tier cache
+    and then warm; the warm call must *hit* and the canonical rows must
+    be JSON-bit-identical.  Aborted cold runs are uncacheable by design
+    and are skipped.
+    """
+    import json
+    import tempfile
+
+    from repro.cache import ResultCache, cached_analyze_required_times
+
+    ran("cache-parity")
+    with tempfile.TemporaryDirectory(prefix="repro-fuzz-cache-") as tmp:
+        cache = ResultCache(tmp)
+        for method, options in (
+            ("topological", {}),
+            ("approx2", {"engine": "sat", "max_checks": suite.approx2_max_checks}),
+        ):
+            try:
+                cold, hit0 = cached_analyze_required_times(
+                    case.network, method, cache,
+                    delays=case.delays,
+                    output_required=case.output_required,
+                    options=options,
+                )
+                if cold.aborted:
+                    result.skipped.append(f"cache-parity[{method}]")
+                    continue
+                warm, hit1 = cached_analyze_required_times(
+                    case.network, method, cache,
+                    delays=case.delays,
+                    output_required=case.output_required,
+                    options=options,
+                )
+            except ResourceLimitError:
+                result.skipped.append(f"cache-parity[{method}]")
+                continue
+            except Exception as exc:  # noqa: BLE001 — any crash is a finding
+                fail(
+                    "engine-error",
+                    f"cache[{method}]: {type(exc).__name__}: {exc}",
+                )
+                continue
+            if hit0:
+                fail("cache-parity", f"{method}: first lookup hit a fresh cache")
+            if not hit1:
+                fail("cache-parity", f"{method}: warm lookup missed")
+                continue
+            cold_row = json.dumps(cold.row(), sort_keys=True)
+            warm_row = json.dumps(warm.row(), sort_keys=True)
+            if cold_row != warm_row:
+                fail(
+                    "cache-parity",
+                    f"{method}: warm != cold: {warm_row} vs {cold_row}",
+                )
 
 
 #: Every check name the runner can emit.
@@ -384,6 +456,7 @@ ALL_CHECKS = (
     "oracle-a2-safe[sat]",
     "oracle-a2-safe[bdd]",
     "oracle-exact-minterm",
+    "cache-parity",
 )
 
 __all__ = [

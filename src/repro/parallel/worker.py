@@ -44,6 +44,19 @@ class WorkerState:
         self.max_networks = max_networks
         self._networks: OrderedDict[str, object] = OrderedDict()
         self.tasks_run = 0
+        #: cache_dir → ResultCache: each worker keeps one two-tier handle
+        #: per shared disk tree, so its memory tier stays warm across
+        #: tasks while the disk tier is shared with every sibling worker
+        self._result_caches: dict[str, object] = {}
+
+    def result_cache(self, cache_dir: str):
+        cache = self._result_caches.get(cache_dir)
+        if cache is None:
+            from repro.cache import ResultCache
+
+            cache = ResultCache(cache_dir, memory_entries=64)
+            self._result_caches[cache_dir] = cache
+        return cache
 
     def network(self, ref) -> object:
         """A fresh private copy of ``ref``'s network, via the warm cache."""
@@ -67,12 +80,19 @@ def _handle_required(payload: dict, state: WorkerState) -> RequiredTimeOutcome:
         topological_input_required_times,
     )
 
+    from repro.cache import CachedRequiredResult, required_key
+    from repro.cache.results import summarize_report
+
     ref = payload["circuit"]
     method = payload["method"]
     outputs = payload["outputs"]
     delays = payload["delays"]
     options = dict(payload["options"])
-    # layer options (digest controls) must not reach the engine kwargs
+    # transport option: names the shared disk tier this worker consults
+    cache_dir = options.pop("cache_dir", None)
+    # key options still include exact_row_counts (it widens the digest);
+    # the engine kwargs must not
+    key_options = dict(options)
     row_counts_opt = options.pop("exact_row_counts", None)
     network = state.network(ref)
     circuit_name = network.name
@@ -80,39 +100,24 @@ def _handle_required(payload: dict, state: WorkerState) -> RequiredTimeOutcome:
         network = output_cone(network, list(outputs))
     output_required = payload["output_required"]
 
+    cache = state.result_cache(cache_dir) if cache_dir else None
+    key = None
+    if cache is not None:
+        key = required_key(network, method, delays, output_required, key_options)
+        stored = cache.get(key)
+        if stored is not None:
+            result = CachedRequiredResult.from_payload(stored)
+            result.circuit = circuit_name
+            outcome = result.to_outcome()
+            outcome.outputs = tuple(outputs) if outputs is not None else None
+            return outcome
+
     baseline = topological_input_required_times(network, delays, output_required)
     report = analyze_required_times(
         network, method, delays=delays, output_required=output_required, **options
     )
-    digest: dict = {}
-    input_times: dict[str, float] | None = None
-    detail = report.detail
-    if method == "topological":
-        input_times = dict(detail)
-    elif method == "approx2" and detail is not None:
-        digest["checks"] = getattr(detail, "checks", None)
-        digest["best"] = dict(detail.best)
-        digest["r_bottom"] = dict(detail.r_bottom)
-        input_times = dict(detail.best)
-    elif method == "approx1" and detail is not None:
-        digest["num_parameters"] = detail.num_parameters
-        digest["primes"] = [sorted(p) for p in detail.primes]
-        digest["profiles"] = [
-            sorted(pr.as_dict().items()) for pr in detail.profiles
-        ]
-        input_times = _loosest_profile_times(detail, baseline)
-    elif method == "exact" and detail is not None and not report.aborted:
-        digest["leaf_variables"] = detail.num_leaf_variables
-        if row_counts_opt is not None:
-            # bit-exact relation digests for small circuits (the Figure-4
-            # parity check): row/minimal-row counts per input minterm
-            digest["rows"] = _exact_row_counts(detail, int(row_counts_opt))
-        # the relation itself cannot cross the process boundary; the
-        # guaranteed-safe vector view is the topological baseline
-        input_times = dict(baseline)
-    if report.aborted:
-        input_times = dict(baseline)
-    return RequiredTimeOutcome(
+    digest, input_times = summarize_report(report, baseline, row_counts_opt)
+    outcome = RequiredTimeOutcome(
         method=method,
         circuit=circuit_name,
         outputs=outputs,
@@ -125,6 +130,9 @@ def _handle_required(payload: dict, state: WorkerState) -> RequiredTimeOutcome:
         input_times=input_times,
         baseline=dict(baseline),
     )
+    if cache is not None and not report.aborted:
+        cache.put(key, CachedRequiredResult.from_outcome(outcome).to_payload())
+    return outcome
 
 
 def _plain(value):
@@ -137,47 +145,6 @@ def _plain(value):
     if isinstance(value, (str, int, float, bool)) or value is None:
         return value
     return str(value)
-
-
-def _loosest_profile_times(result, baseline: dict) -> dict[str, float]:
-    """The value-independent view of approx1's loosest single profile.
-
-    Profiles are *alternative* safe assignments; coordinates from
-    different profiles must not be mixed.  Picks the profile with the
-    greatest total looseness gain over the baseline (ties broken
-    lexicographically on the rendered profile, so the choice is
-    deterministic), falling back to the baseline when there are none.
-    """
-    best = dict(baseline)
-    best_gain = 0.0
-    for profile in sorted(result.profiles, key=lambda p: sorted(p.as_dict().items())):
-        times = profile.value_independent()
-        gain = sum(
-            (t - baseline[x]) if t != float("inf") else 1.0
-            for x, t in times.items()
-            if x in baseline and t > baseline[x]
-        )
-        if gain > best_gain:
-            best_gain = gain
-            best = {x: times.get(x, baseline[x]) for x in baseline}
-    return best
-
-
-def _exact_row_counts(relation, max_inputs: int) -> dict:
-    import itertools
-
-    inputs = relation.network.inputs
-    if len(inputs) > max_inputs:
-        return {}
-    rows: dict[str, list[int]] = {}
-    for bits in itertools.product((0, 1), repeat=len(inputs)):
-        minterm = dict(zip(inputs, bits))
-        key = "".join(str(b) for b in bits)
-        rows[key] = [
-            len(relation.rows(minterm)),
-            len(relation.minimal_rows(minterm)),
-        ]
-    return rows
 
 
 def _handle_fuzz_case(payload: dict, state: WorkerState) -> FuzzCaseOutcome:

@@ -1,0 +1,75 @@
+"""Property-based warm ≡ cold parity of the result cache.
+
+The cache's contract (docs/CACHING.md) is that a hit is observationally
+identical to a recomputation.  These tests drive random networks from
+the shared strategy through every method, cold then warm, and require
+byte-identical canonical rows — the same currency the fuzzer's
+`cache-parity` check and the benchmark gates use.
+"""
+
+import json
+from functools import partial
+
+from hypothesis import given, settings
+
+from repro.cache import ResultCache, cached_analyze_required_times, required_key
+from tests.strategies import small_networks as _small_networks
+
+small_networks = partial(_small_networks, n_inputs=3, max_gates=6, max_fanin=2)
+
+METHODS = (
+    ("topological", {}),
+    ("exact", {"max_nodes": 20_000}),
+    ("approx1", {"max_nodes": 20_000}),
+    ("approx2", {"engine": "sat", "max_checks": 500}),
+)
+
+
+def canon(result) -> str:
+    return json.dumps(result.row(), sort_keys=True)
+
+
+class TestWarmEqualsCold:
+    @given(small_networks())
+    @settings(max_examples=15, deadline=None)
+    def test_all_methods_round_trip(self, net):
+        cache = ResultCache(None)  # memory tier is enough for parity
+        for method, options in METHODS:
+            cold, hit0 = cached_analyze_required_times(
+                net, method, cache, output_required=0.0, options=dict(options)
+            )
+            warm, hit1 = cached_analyze_required_times(
+                net, method, cache, output_required=0.0, options=dict(options)
+            )
+            assert not hit0
+            if cold.aborted:
+                # budget aborts are never stored: the repeat recomputes
+                assert not hit1
+                continue
+            assert hit1, f"{method}: warm lookup missed"
+            assert canon(cold) == canon(warm), f"{method}: warm row differs"
+
+    @given(small_networks())
+    @settings(max_examples=10, deadline=None)
+    def test_disk_round_trip_matches_memory(self, net):
+        # a fresh handle on the same directory must produce the same row
+        # after a full JSON round-trip through the disk tier
+        import tempfile
+
+        with tempfile.TemporaryDirectory(prefix="repro-cache-prop-") as root:
+            cold, _ = cached_analyze_required_times(
+                net, "approx1", ResultCache(root), output_required=0.0
+            )
+            if cold.aborted:
+                return
+            warm, hit = cached_analyze_required_times(
+                net, "approx1", ResultCache(root), output_required=0.0
+            )
+            assert hit and canon(cold) == canon(warm)
+
+    @given(small_networks())
+    @settings(max_examples=15, deadline=None)
+    def test_key_determinism(self, net):
+        a = required_key(net, "exact", output_required=0.0)
+        b = required_key(net.copy(), "exact", output_required=0.0)
+        assert a == b

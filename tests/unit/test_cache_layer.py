@@ -1,0 +1,83 @@
+"""The cache-through entry point: hits, re-stamping, abort handling."""
+
+from repro.cache import ResultCache, cached_analyze_required_times, required_key
+from repro.circuits import c17, figure4
+from repro.obs.metrics import REGISTRY
+
+
+def delta_after(fn):
+    before = REGISTRY.snapshot()
+    value = fn()
+    return value, REGISTRY.snapshot().diff(before)
+
+
+class TestCachedAnalyze:
+    def test_cold_then_warm(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cold, hit0 = cached_analyze_required_times(
+            figure4(), "approx1", cache, output_required=2.0
+        )
+        warm, hit1 = cached_analyze_required_times(
+            figure4(), "approx1", cache, output_required=2.0
+        )
+        assert (hit0, hit1) == (False, True)
+        assert cold.row() == warm.row()
+        assert cold.nontrivial and warm.nontrivial
+
+    def test_hit_restamps_display_name(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cached_analyze_required_times(c17(), "topological", cache)
+        renamed = c17().copy(name="after-rename")
+        result, hit = cached_analyze_required_times(renamed, "topological", cache)
+        assert hit and result.circuit == "after-rename"
+
+    def test_warm_row_excludes_wall_clock(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cold, _ = cached_analyze_required_times(
+            figure4(), "exact", cache, output_required=2.0
+        )
+        warm, _ = cached_analyze_required_times(
+            figure4(), "exact", cache, output_required=2.0
+        )
+        # the warm result reports the stored cold run's elapsed seconds
+        assert warm.elapsed == cold.elapsed
+        assert "elapsed" not in warm.row()
+
+    def test_aborted_runs_are_never_stored(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        options = {"max_nodes": 2}  # guaranteed BDD budget abort
+        (result, hit), delta = delta_after(
+            lambda: cached_analyze_required_times(
+                c17(), "exact", cache, output_required=5.0, options=options
+            )
+        )
+        assert not hit and result.aborted
+        assert delta.get("cache.puts", 0) == 0
+        # the repeat is a miss again, not a replayed abort
+        _, hit = cached_analyze_required_times(
+            c17(), "exact", cache, output_required=5.0, options=options
+        )
+        assert not hit
+
+    def test_semantic_option_misses(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cached_analyze_required_times(
+            c17(), "approx2", cache, options={"engine": "sat"}
+        )
+        _, hit = cached_analyze_required_times(
+            c17(), "approx2", cache, options={"engine": "bdd"}
+        )
+        assert not hit
+
+    def test_layer_key_matches_standalone_key(self, tmp_path):
+        # the layer must not mutate the options it keys on
+        cache = ResultCache(str(tmp_path))
+        options = {"exact_row_counts": True}
+        cached_analyze_required_times(
+            figure4(), "exact", cache, output_required=2.0, options=options
+        )
+        key = required_key(
+            figure4(), "exact", output_required=2.0, options=options
+        )
+        assert cache.get(key) is not None
+        assert options == {"exact_row_counts": True}  # caller's dict untouched

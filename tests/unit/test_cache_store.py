@@ -1,0 +1,199 @@
+"""The two-tier store: LRU, disk round-trips, corruption, gc, locking.
+
+The corruption and concurrency tests pin the protocol promises of
+docs/CACHING.md: a damaged entry is a miss (never a crash), and two
+processes writing the same key atomically converge on one good entry.
+"""
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.cache import (
+    CacheKey,
+    DiskStore,
+    MemoryLRU,
+    ResultCache,
+    default_cache_dir,
+)
+from repro.obs.metrics import REGISTRY
+
+
+def key(n: int) -> CacheKey:
+    """A distinct, stable fake digest (64 hex chars like the real ones)."""
+    return CacheKey(digest=f"{n:064x}", method="exact")
+
+
+def delta_after(fn) -> dict:
+    before = REGISTRY.snapshot()
+    fn()
+    return REGISTRY.snapshot().diff(before)
+
+
+class TestMemoryLRU:
+    def test_round_trip_and_refresh(self):
+        lru = MemoryLRU(2)
+        lru.put("a", {"v": 1})
+        lru.put("b", {"v": 2})
+        assert lru.get("a") == {"v": 1}  # refreshes "a"
+        lru.put("c", {"v": 3})  # evicts "b", the LRU entry
+        assert lru.get("b") is None
+        assert lru.get("a") == {"v": 1}
+        assert len(lru) == 2
+
+    def test_eviction_counts(self):
+        lru = MemoryLRU(1)
+        lru.put("a", {})
+        delta = delta_after(lambda: lru.put("b", {}))
+        assert delta.get("cache.evictions") == 1
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            MemoryLRU(0)
+
+
+class TestDiskStore:
+    def test_round_trip(self, tmp_path):
+        store = DiskStore(str(tmp_path))
+        assert store.get(key(1).digest) is None
+        store.put(key(1).digest, {"answer": 42})
+        assert store.get(key(1).digest) == {"answer": 42}
+        assert os.path.exists(store.path_for(key(1).digest))
+
+    def test_versioned_layout(self, tmp_path):
+        store = DiskStore(str(tmp_path), schema=1)
+        path = store.path_for("ab" + "0" * 62)
+        assert f"{os.sep}v1{os.sep}ab{os.sep}" in path
+        # a different schema version cannot see v1's entries
+        store.put("ab" + "0" * 62, {"v": 1})
+        assert DiskStore(str(tmp_path), schema=2).get("ab" + "0" * 62) is None
+
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        store = DiskStore(str(tmp_path))
+        store.put(key(2).digest, {"big": "x" * 100})
+        path = store.path_for(key(2).digest)
+        with open(path, "w") as fh:
+            fh.write('{"big": "x')  # simulate a torn write / disk full
+        delta = delta_after(lambda: store.get(key(2).digest))
+        assert delta.get("cache.corrupt_entries") == 1
+        assert not os.path.exists(path)  # quarantined by unlinking
+        # the following put repairs it
+        store.put(key(2).digest, {"big": "y"})
+        assert store.get(key(2).digest) == {"big": "y"}
+
+    def test_non_dict_payload_is_corrupt(self, tmp_path):
+        store = DiskStore(str(tmp_path))
+        path = store.path_for(key(3).digest)
+        os.makedirs(os.path.dirname(path))
+        with open(path, "w") as fh:
+            json.dump([1, 2, 3], fh)
+        delta = delta_after(lambda: store.get(key(3).digest))
+        assert delta.get("cache.corrupt_entries") == 1
+
+    def test_stats_and_clear(self, tmp_path):
+        store = DiskStore(str(tmp_path))
+        for n in range(3):
+            store.put(key(n).digest, {"n": n})
+        stats = store.stats()
+        assert stats["entries"] == 3 and stats["bytes"] > 0
+        assert store.clear() == 3
+        assert store.stats()["entries"] == 0
+
+    def test_gc_by_age(self, tmp_path):
+        store = DiskStore(str(tmp_path))
+        store.put(key(1).digest, {"n": 1})
+        store.put(key(2).digest, {"n": 2})
+        old = store.path_for(key(1).digest)
+        past = os.stat(old).st_mtime - 3600
+        os.utime(old, (past, past))
+        report = store.gc(max_age_seconds=60)
+        assert report["removed"] == 1
+        assert store.get(key(1).digest) is None
+        assert store.get(key(2).digest) == {"n": 2}
+
+    def test_gc_by_bytes_keeps_newest(self, tmp_path):
+        store = DiskStore(str(tmp_path))
+        for n in range(4):
+            store.put(key(n).digest, {"n": n, "pad": "x" * 50})
+            path = store.path_for(key(n).digest)
+            # spread mtimes so "oldest-first" is deterministic
+            os.utime(path, (1_000_000 + n, 1_000_000 + n))
+        entry_size = os.stat(store.path_for(key(0).digest)).st_size
+        report = store.gc(max_bytes=2 * entry_size)
+        assert report["removed"] == 2
+        assert store.get(key(0).digest) is None
+        assert store.get(key(3).digest) is not None
+
+
+class TestResultCache:
+    def test_two_tier_read_through(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put(key(1), {"v": 1})
+        # a second handle on the same dir has a cold memory tier: the
+        # first get is a disk hit, the second a memory hit
+        other = ResultCache(str(tmp_path))
+        delta = delta_after(lambda: other.get(key(1)))
+        assert delta.get("cache.hits_disk") == 1
+        delta = delta_after(lambda: other.get(key(1)))
+        assert delta.get("cache.hits_memory") == 1
+
+    def test_memory_only_mode(self):
+        cache = ResultCache(None)
+        assert cache.cache_dir is None
+        cache.put(key(1), {"v": 1})
+        assert cache.get(key(1)) == {"v": 1}
+        assert cache.stats() == {"memory_entries": 1}
+        assert cache.clear() == 0
+
+    def test_miss_counts(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        delta = delta_after(lambda: cache.get(key(9)))
+        assert delta.get("cache.misses") == 1
+
+    def test_default_cache_dir_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert default_cache_dir() is None
+        monkeypatch.setenv("REPRO_CACHE_DIR", "/tmp/somewhere")
+        assert default_cache_dir() == "/tmp/somewhere"
+        monkeypatch.setenv("REPRO_CACHE_DIR", "   ")
+        assert default_cache_dir() is None
+
+
+def _writer(root: str, digest: str, payload: dict, barrier) -> None:
+    """Child-process body: wait on the barrier, then write the entry."""
+    store = DiskStore(root)
+    barrier.wait(timeout=30)
+    for _ in range(20):
+        store.put(digest, payload)
+
+
+class TestConcurrentWrites:
+    def test_two_processes_same_key(self, tmp_path):
+        """Racing same-key writers must leave exactly one intact entry."""
+        digest = key(7).digest
+        payload = {"answer": 42, "pad": "x" * 200}
+        ctx = multiprocessing.get_context("fork")
+        barrier = ctx.Barrier(2)
+        procs = [
+            ctx.Process(target=_writer, args=(str(tmp_path), digest, payload, barrier))
+            for _ in range(2)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=60)
+            assert p.exitcode == 0
+        store = DiskStore(str(tmp_path))
+        assert store.get(digest) == payload
+        # no tmp litter survived the replace protocol
+        shard_dir = os.path.dirname(store.path_for(digest))
+        assert [n for n in os.listdir(shard_dir) if n.endswith(".tmp")] == []
+
+    def test_gc_races_a_reader(self, tmp_path):
+        """An entry deleted mid-lookup is an ordinary miss."""
+        store = DiskStore(str(tmp_path))
+        store.put(key(1).digest, {"v": 1})
+        store.clear()
+        assert store.get(key(1).digest) is None

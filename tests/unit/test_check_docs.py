@@ -1,0 +1,18 @@
+"""The docs gate itself must pass on the committed tree."""
+
+import os
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def test_check_docs_passes_on_the_repo():
+    proc = subprocess.run(
+        [sys.executable, os.path.join(REPO, "scripts", "check_docs.py")],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "docs ok" in proc.stdout
