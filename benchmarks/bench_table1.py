@@ -169,13 +169,26 @@ APPROX2_SCRIPT_CHECKS = {"m10": 8}
 APPROX2_SCRIPT_DEFAULT_CHECKS = 400
 
 
-def script_tasks():
-    """The Table-1 grid as parallel tasks: one per (circuit, method)."""
+def script_tasks(methods=None, circuits=None, backend=None):
+    """The Table-1 grid as parallel tasks: one per (circuit, method).
+
+    ``methods`` / ``circuits`` filter the grid (``None`` = everything);
+    ``backend`` selects the BDD kernel for the BDD-bound methods (exact,
+    approx1) — this is what the ``check_bdd_engine_regression.py
+    --array-backend`` gate drives to compare the kernels on identical
+    row sets.
+    """
     from repro.parallel import CircuitRef, estimate_cost, required_time_task
 
     tasks = []
 
     def add(name: str, method: str, options: dict) -> None:
+        if methods is not None and method not in methods:
+            return
+        if circuits is not None and name not in circuits:
+            return
+        if backend is not None and method in ("exact", "approx1"):
+            options = dict(options, backend=backend)
         tasks.append(
             required_time_task(
                 CircuitRef.factory(f"mcnc:{name}"),
@@ -226,9 +239,32 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--json", metavar="OUT", help="write canonical rows + wall time as JSON"
     )
+    parser.add_argument(
+        "--methods",
+        default=None,
+        metavar="CSV",
+        help="restrict the grid to these methods (e.g. 'exact,approx1')",
+    )
+    parser.add_argument(
+        "--circuits",
+        default=None,
+        metavar="CSV",
+        help="restrict the grid to these circuits (e.g. 'm1,m2')",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=["object", "array"],
+        default=None,
+        help="BDD kernel for the exact/approx1 rows "
+             "(default: $REPRO_BDD_BACKEND, then 'object')",
+    )
     args = parser.parse_args(argv)
 
-    tasks = script_tasks()
+    tasks = script_tasks(
+        methods=None if args.methods is None else set(args.methods.split(",")),
+        circuits=None if args.circuits is None else set(args.circuits.split(",")),
+        backend=args.backend,
+    )
     t0 = time.perf_counter()
     batch = run_batch(tasks, jobs=args.jobs)
     wall = time.perf_counter() - t0
@@ -263,6 +299,9 @@ def main(argv=None) -> int:
         payload = {
             "bench": "table1",
             "jobs": batch.jobs,
+            "backend": args.backend,
+            "methods": args.methods,
+            "circuits": args.circuits,
             "wall_seconds": round(wall, 3),
             "rows": rows,
             "run": batch.report(),

@@ -15,9 +15,24 @@ Usage::
     python scripts/check_bdd_engine_regression.py --update    # re-baseline
     python scripts/check_bdd_engine_regression.py --parallel  # parallel gate
     python scripts/check_bdd_engine_regression.py --parallel --smoke
+    python scripts/check_bdd_engine_regression.py --array-backend
+    python scripts/check_bdd_engine_regression.py --array-backend --smoke
 
 ``--update`` re-measures and rewrites the ``baseline`` block (the
 ``pre_pr`` block is historical and never rewritten).
+
+``--array-backend`` switches to the ``array_backend`` section of
+``BENCH_bdd_engine.json``: the bench_table1 BDD-bound rows are run once
+per kernel (``--backend object`` / ``--backend array``), the canonical
+rows must be bit-identical, the array kernel must beat the object kernel
+by ``min_speedup_exact`` on the node-bound exact rows (where flat-array
+storage is the whole point — see docs/BDD_BACKENDS.md), must stay above
+``min_ratio_approx1`` on the small-op-dominated approx1 rows (where the
+object kernel's C-dict recursion is intrinsically competitive), and
+``bench_ablation_engine`` under ``REPRO_BDD_BACKEND=array`` must stay
+within tolerance of its recorded array baseline.  ``--smoke`` restricts
+the gate to row parity on the fast circuits (CI configuration, no
+timing gates).
 
 ``--parallel`` switches to the ``BENCH_parallel.json`` gate: the
 benchmark script modes are run at ``--jobs 1`` and ``--jobs <cores>``
@@ -211,6 +226,162 @@ def check_parallel(update: bool, smoke: bool) -> int:
     return 0 if ok else 1
 
 
+# ----------------------------------------------------------------------
+# the object-vs-array kernel gate (BENCH_bdd_engine.json "array_backend")
+# ----------------------------------------------------------------------
+def run_table1_subset(methods: str, backend: str, out: Path,
+                      circuits: str | None = None) -> float:
+    """One bench_table1 script-mode run; returns the in-process wall.
+
+    The in-process ``wall_seconds`` from the JSON payload (measured
+    around the batch, not the interpreter) is the comparison currency so
+    interpreter startup cannot dilute the kernel ratio.
+    """
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    env.pop("REPRO_BDD_BACKEND", None)  # the flag must win, explicitly
+    cmd = [
+        sys.executable, "bench_table1.py", "--jobs", "1",
+        "--methods", methods, "--backend", backend, "--json", str(out),
+    ]
+    if circuits is not None:
+        cmd += ["--circuits", circuits]
+    result = subprocess.run(
+        cmd,
+        cwd=REPO / "benchmarks",
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    if result.returncode != 0:
+        sys.stderr.write(result.stdout)
+        raise SystemExit(
+            f"bench_table1 --methods {methods} --backend {backend} failed "
+            f"(rc={result.returncode})"
+        )
+    return float(json.loads(out.read_text())["wall_seconds"])
+
+
+def run_ablation_array() -> float:
+    """bench_ablation_engine under ``REPRO_BDD_BACKEND=array``."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    env["REPRO_BDD_BACKEND"] = "array"
+    start = time.perf_counter()
+    result = subprocess.run(
+        [sys.executable, "-m", "pytest", "-x", "-q", "--benchmark-only",
+         "benchmarks/bench_ablation_engine.py"],
+        cwd=REPO,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    elapsed = time.perf_counter() - start
+    if result.returncode != 0:
+        sys.stderr.write(result.stdout)
+        raise SystemExit(
+            f"bench_ablation_engine under array backend failed "
+            f"(rc={result.returncode})"
+        )
+    return elapsed
+
+
+def _backend_pair(methods: str, circuits: str | None = None):
+    """Run one table1 subset under both kernels; returns walls + parity."""
+    tmp = Path("/tmp")
+    walls: dict[str, float] = {}
+    rows: dict[str, list] = {}
+    for backend in ("object", "array"):
+        out = tmp / f"bench_table1_{methods.replace(',', '_')}_{backend}.json"
+        print(f"running bench_table1 --methods {methods} --backend {backend} ...",
+              flush=True)
+        walls[backend] = run_table1_subset(methods, backend, out, circuits)
+        print(f"  {walls[backend]:.2f}s")
+        rows[backend] = canonical_rows(json.loads(out.read_text()))
+    parity = rows["object"] == rows["array"]
+    return walls, parity, len(rows["object"])
+
+
+def check_array_backend(update: bool, smoke: bool) -> int:
+    data = load_baseline(BASELINE_FILE)
+    section = data.get("array_backend")
+    if section is None:
+        raise SystemExit(
+            "error: BENCH_bdd_engine.json has no 'array_backend' section — "
+            "regenerate with --array-backend --update and commit it."
+        )
+    gates = section["gates"]
+
+    if smoke:
+        # CI smoke: row parity on the fast circuits only (m1 completes,
+        # m2 exercises the budget-abort row); no timing gates — those
+        # need the full grid and a quiet machine.
+        walls, parity, n = _backend_pair("exact,approx1", circuits="m1,m2")
+        print(f"smoke parity: {n} rows {'bit-identical  ok' if parity else 'DIFFER  FAIL'}")
+        return 0 if parity else 1
+
+    ok = True
+    measured: dict[str, dict[str, float]] = {}
+    ratios: dict[str, float] = {}
+    for label, methods in (("exact", "exact"), ("approx1", "approx1")):
+        walls, parity, n = _backend_pair(methods)
+        measured[f"table1_{label}"] = {
+            "object": round(walls["object"], 2),
+            "array": round(walls["array"], 2),
+        }
+        ratios[label] = walls["object"] / walls["array"]
+        if not parity:
+            print(f"table1[{label}]: PARITY FAIL — rows differ between kernels")
+            ok = False
+        else:
+            print(f"table1[{label}]: parity ok ({n} rows bit-identical)")
+        print(f"table1[{label}]: object/array speedup {ratios[label]:.2f}x")
+
+    floor = gates["min_speedup_exact"]
+    verdict = "ok" if ratios["exact"] >= floor else "FAIL"
+    if ratios["exact"] < floor:
+        ok = False
+    print(f"exact rows: array speedup {ratios['exact']:.2f}x (floor {floor:.2f}x)  {verdict}")
+
+    floor = gates["min_ratio_approx1"]
+    verdict = "ok" if ratios["approx1"] >= floor else "FAIL"
+    if ratios["approx1"] < floor:
+        ok = False
+    print(f"approx1 rows: array ratio {ratios['approx1']:.2f}x (floor {floor:.2f}x)  {verdict}")
+
+    print("running bench_ablation_engine under REPRO_BDD_BACKEND=array ...",
+          flush=True)
+    ablation = run_ablation_array()
+    measured["bench_ablation_engine_array"] = round(ablation, 2)
+    print(f"  {ablation:.2f}s")
+
+    if update:
+        section["baseline"] = dict(
+            measured, python=sys.version.split()[0]
+        )
+        BASELINE_FILE.write_text(json.dumps(data, indent=2) + "\n")
+        print(f"array_backend baseline updated in {BASELINE_FILE.name}")
+        return 0 if ok else 1
+
+    base = section["baseline"].get("bench_ablation_engine_array")
+    tolerance = gates["ablation_regression_tolerance"]
+    if base is None:
+        print("bench_ablation_engine[array]: no baseline — run --array-backend --update")
+        ok = False
+    else:
+        within = ablation <= base * (1.0 + tolerance)
+        verdict = "ok" if within else "FAIL"
+        if not within:
+            ok = False
+        print(
+            f"bench_ablation_engine[array]: {ablation:.2f}s "
+            f"(baseline {base:.2f}s +{tolerance:.0%})  {verdict}"
+        )
+    return 0 if ok else 1
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -226,12 +397,19 @@ def main() -> int:
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="with --parallel: only the fast Figure-4 target (CI smoke)",
+        help="with --parallel/--array-backend: the fast CI smoke subset",
+    )
+    parser.add_argument(
+        "--array-backend",
+        action="store_true",
+        help="run the object-vs-array kernel gate instead",
     )
     args = parser.parse_args()
 
     if args.parallel:
         return check_parallel(update=args.update, smoke=args.smoke)
+    if args.array_backend:
+        return check_array_backend(update=args.update, smoke=args.smoke)
 
     data = load_baseline(BASELINE_FILE)
     times = measure()

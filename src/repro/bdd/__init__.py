@@ -9,6 +9,12 @@ this environment, so this package implements one from scratch:
 * :class:`~repro.bdd.manager.BddManager` — unique table, ITE with a compute
   cache, standard Boolean operators, restriction, composition, existential
   and universal quantification, satisfiability helpers.
+* :class:`~repro.bdd.array_backend.ArrayBddManager` — the array kernel:
+  same surface over flat node arrays, open-addressed tables, iterative
+  apply loops, and compacting GC (see docs/BDD_BACKENDS.md).
+* :mod:`~repro.bdd.api` — the backend :class:`~repro.bdd.api.Manager`
+  protocol and the :func:`~repro.bdd.api.create_manager` factory that
+  selects between the kernels (``REPRO_BDD_BACKEND`` env default).
 * :mod:`~repro.bdd.reorder` — Rudell-style sifting dynamic variable
   reordering built on in-place adjacent-level swaps.
 * :mod:`~repro.bdd.minimal` — lattice operators over BDD-encoded sets
@@ -17,6 +23,13 @@ this environment, so this package implements one from scratch:
   enumeration used by approximate approach 1.
 """
 
+from repro.bdd.api import (
+    BACKENDS,
+    Manager,
+    backend_of,
+    create_manager,
+    resolve_backend,
+)
 from repro.bdd.manager import BddManager, BddNode
 from repro.bdd.minimal import (
     downward_closure,
@@ -27,11 +40,32 @@ from repro.bdd.minimal import (
 )
 
 __all__ = [
+    "ArrayBddManager",
+    "BACKENDS",
     "BddManager",
     "BddNode",
+    "Manager",
+    "backend_of",
+    "create_manager",
+    "resolve_backend",
     "minimal_elements",
     "maximal_elements",
     "upward_closure",
     "downward_closure",
     "monotone_primes",
 ]
+
+
+def __getattr__(name: str):
+    """Lazily expose the array kernel (PEP 562).
+
+    The array backend imports numpy; loading it eagerly would tax every
+    process that only ever touches the default object kernel with the
+    numpy import cost.  ``create_manager`` performs the same lazy import
+    internally.
+    """
+    if name == "ArrayBddManager":
+        from repro.bdd.array_backend import ArrayBddManager
+
+        return ArrayBddManager
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -44,6 +44,7 @@ SCHEMA_VERSION = 1
 #: ``exact_row_counts``, which widens the exact method's digest payload.
 #: Transport/layer options such as ``cache_dir`` are excluded on purpose.
 SEMANTIC_OPTIONS = (
+    "backend",
     "engine",
     "exact_row_counts",
     "max_nodes",
@@ -85,13 +86,29 @@ def _canonical_required(
 
 def _canonical_options(options: Mapping[str, object] | None) -> dict:
     """The :data:`SEMANTIC_OPTIONS` subset, with unset/False values
-    dropped so explicit defaults key identically to absent options."""
+    dropped so explicit defaults key identically to absent options.
+
+    ``backend`` is keyed by its *effective* value: an unset option falls
+    back to ``$REPRO_BDD_BACKEND``, so entries produced under an
+    env-selected array kernel can never alias object-kernel entries.
+    The resolved default (``object``) is dropped like every other unset
+    option, which keeps all pre-backend digests reachable without a
+    :data:`SCHEMA_VERSION` bump.
+    """
     options = options or {}
-    return {
+    out = {
         name: options[name]
         for name in SEMANTIC_OPTIONS
         if options.get(name) not in (None, False)
     }
+    from repro.bdd.api import DEFAULT_BACKEND, resolve_backend
+
+    effective = resolve_backend(options.get("backend"))
+    if effective == DEFAULT_BACKEND:
+        out.pop("backend", None)
+    else:
+        out["backend"] = effective
+    return out
 
 
 def _digest(payload: dict) -> str:

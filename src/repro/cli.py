@@ -107,6 +107,13 @@ def cmd_required(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.backend is not None and args.method not in ("exact", "approx1"):
+        print(
+            f"error: --backend only applies to --method exact/approx1 "
+            f"(got --method {args.method})",
+            file=sys.stderr,
+        )
+        return 2
     if args.jobs < 0:
         print(f"error: --jobs must be >= 0 (got {args.jobs})", file=sys.stderr)
         return 2
@@ -122,6 +129,8 @@ def cmd_required(args: argparse.Namespace) -> int:
         options["max_nodes"] = args.max_nodes
     if args.reorder:
         options["reorder"] = True
+    if args.backend is not None:
+        options["backend"] = args.backend
     if args.jobs not in (1,):
         return _cmd_required_sharded(args, options, cache_dir)
     if cache_dir is not None:
@@ -545,6 +554,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--reorder", action="store_true",
                    help="dynamic variable reordering by sifting "
                         "(exact/approx1, the paper's §6 setup)")
+    p.add_argument(
+        "--backend", choices=["object", "array"], default=None,
+        help="BDD kernel for --method exact/approx1 "
+             "(default: $REPRO_BDD_BACKEND, then 'object')")
     p.add_argument("--jobs", type=int, default=1, metavar="N",
                    help="shard the analysis per output cone onto N worker "
                         "processes (0 = one per core; default 1 = serial "

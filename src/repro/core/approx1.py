@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping
 
-from repro.bdd import BddManager, BddNode, monotone_primes
+from repro.bdd import BddManager, BddNode, create_manager, monotone_primes
 from repro.bdd.minimal import is_monotone_increasing
 from repro.bdd.reorder import sift
 from repro.core.leaves import LeafTimes, enumerate_leaf_times
@@ -71,6 +71,7 @@ class Approx1Analysis:
         reorder: bool = False,
         max_leaves: int = 50_000,
         check_theorems: bool = True,
+        backend: str | None = None,
     ):
         self.network = network
         self.delays = delays or unit_delay()
@@ -79,7 +80,7 @@ class Approx1Analysis:
             self.leaves: LeafTimes = enumerate_leaf_times(
                 network, self.delays, output_required, max_leaves=max_leaves
             )
-        self.manager = manager or BddManager(max_nodes=max_nodes)
+        self.manager = manager or create_manager(backend, max_nodes=max_nodes)
         self.reorder = reorder
         self.check_theorems = check_theorems
         self._built: tuple[BddNode, dict[tuple[str, int], list[str]]] | None = None

@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, Mapping
 
-from repro.bdd import BddManager, BddNode, minimal_elements
+from repro.bdd import BddManager, BddNode, create_manager, minimal_elements
 from repro.bdd.reorder import sift
 from repro.core.leaves import LeafTimes, enumerate_leaf_times
 from repro.core.required_time import INF, RequiredTimeProfile
@@ -59,12 +59,17 @@ class ExactOptions:
     max_nodes: int | None = None
     reorder: bool = False
     max_leaves: int = 50_000
+    #: BDD kernel selection (``object`` / ``array``); ``None`` defers to
+    #: the ``REPRO_BDD_BACKEND`` environment default.  See
+    #: :mod:`repro.bdd.api` and docs/BDD_BACKENDS.md.
+    backend: str | None = None
 
     def kwargs(self) -> dict:
         return {
             "max_nodes": self.max_nodes,
             "reorder": self.reorder,
             "max_leaves": self.max_leaves,
+            "backend": self.backend,
         }
 
 
@@ -82,11 +87,13 @@ class ExactAnalysis:
         max_leaves: int = 50_000,
         output_dc: Mapping[str, object] | None = None,
         options: ExactOptions | None = None,
+        backend: str | None = None,
     ):
         if options is not None:
             max_nodes = options.max_nodes
             reorder = options.reorder
             max_leaves = options.max_leaves
+            backend = options.backend
         self.network = network
         self.delays = delays or unit_delay()
         self.output_required = output_required
@@ -102,7 +109,8 @@ class ExactAnalysis:
         # ``reorder`` mirrors the paper's setup ("the exact algorithm was
         # run with dynamic variable reordering being set"): sifting kicks
         # in automatically while the relation is being built.
-        self.manager = manager or BddManager(
+        self.manager = manager or create_manager(
+            backend,
             max_nodes=max_nodes,
             auto_reorder=reorder,
             reorder_threshold=50_000,

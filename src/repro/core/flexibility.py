@@ -23,7 +23,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
-from repro.bdd import BddManager, BddNode, minimal_elements
+from repro.bdd import BddManager, BddNode, create_manager, minimal_elements
 from repro.core.leaves import enumerate_leaf_times
 from repro.core.required_time import INF, RequiredTimeProfile
 from repro.core.symbolic import SymbolicChi
@@ -190,7 +190,7 @@ def _boundary_relation(
     arrivals = {pi: float((input_arrivals or {}).get(pi, 0.0)) for pi in known_inputs}
 
     leaves = enumerate_leaf_times(nfo, delays, output_required)
-    m = manager or BddManager(max_nodes=max_nodes)
+    m = manager or create_manager(max_nodes=max_nodes)
     for pi in nfo.inputs:
         if not m.has_var(pi):
             m.add_var(pi)

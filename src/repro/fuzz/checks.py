@@ -28,7 +28,12 @@ with the engine under test:
   fresh computation: a cold run through a throwaway cache followed by a
   warm run must hit and return a bit-identical canonical row (the free
   cache-correctness oracle of docs/CACHING.md — every fuzz case
-  exercises keying, serialization, and warm reconstruction).
+  exercises keying, serialization, and warm reconstruction);
+* ``bdd-backend-parity`` — the BDD-bound engines (exact, approx-1)
+  re-run under both BDD kernels (``object`` and ``array``, see
+  docs/BDD_BACKENDS.md): the canonical time-free rows — including
+  budget-abort status — must be bit-identical, so the two kernels can
+  never drift apart semantically.
 
 Any engine exception is itself a verdict (``engine-error``): a crash on
 a generated circuit is a bug the shrinker can minimize like any other.
@@ -372,6 +377,14 @@ def run_differential(
     # ------------------------------------------------------------------
     _check_cache_parity(case, suite, ran, fail, result)
 
+    # ------------------------------------------------------------------
+    # backend parity: object and array BDD kernels must agree bit-exactly
+    # ------------------------------------------------------------------
+    _check_bdd_backend_parity(
+        case, suite, ran, fail, result,
+        with_exact=net.num_inputs <= exact_max_inputs,
+    )
+
     result.elapsed = _time.monotonic() - start
     result.metrics = REGISTRY.snapshot().diff(before)
     return result
@@ -439,6 +452,76 @@ def _check_cache_parity(
                 )
 
 
+def _check_bdd_backend_parity(
+    case: "FuzzCase",
+    suite: EngineSuite,
+    ran,
+    fail,
+    result: CaseResult,
+    with_exact: bool,
+) -> None:
+    """Differential run of the BDD-bound engines under both kernels.
+
+    ``exact`` and ``approx1`` are re-run once per backend (fresh manager
+    each, so neither run can warm the other) and their canonical
+    time-free rows are compared as JSON.  The row includes the
+    non-triviality verdict, per-input required times, and the
+    budget-abort status, so a kernel that diverges in *any*
+    user-observable way — including aborting at a different node
+    count — is a failure the shrinker can minimize.
+    """
+    import json
+
+    from repro.cache.results import CachedRequiredResult
+    from repro.core.required_time import analyze_required_times
+
+    ran("bdd-backend-parity")
+    methods = [("approx1", {"max_nodes": suite.approx1_max_nodes})]
+    if with_exact:
+        methods.append(("exact", {"max_nodes": suite.exact_max_nodes}))
+    try:
+        baseline = topological_input_required_times(
+            case.network, case.delays, case.output_required
+        )
+    except Exception as exc:  # noqa: BLE001 — any crash is a finding
+        fail("engine-error", f"backend-parity baseline: {type(exc).__name__}: {exc}")
+        return
+    for method, options in methods:
+        rows: dict[str, str] = {}
+        for backend in ("object", "array"):
+            try:
+                report = analyze_required_times(
+                    case.network,
+                    method,
+                    delays=case.delays,
+                    output_required=case.output_required,
+                    backend=backend,
+                    **options,
+                )
+                rows[backend] = json.dumps(
+                    CachedRequiredResult.from_report(report, baseline).row(),
+                    sort_keys=True,
+                )
+            except ResourceLimitError:
+                result.skipped.append(f"bdd-backend-parity[{method}]")
+                rows = {}
+                break
+            except Exception as exc:  # noqa: BLE001 — any crash is a finding
+                fail(
+                    "engine-error",
+                    f"backend-parity {method}[{backend}]: "
+                    f"{type(exc).__name__}: {exc}",
+                )
+                rows = {}
+                break
+        if len(rows) == 2 and rows["object"] != rows["array"]:
+            fail(
+                "bdd-backend-parity",
+                f"{method}: object row != array row: "
+                f"{rows['object']} vs {rows['array']}",
+            )
+
+
 #: Every check name the runner can emit.
 ALL_CHECKS = (
     "engine-error",
@@ -457,6 +540,7 @@ ALL_CHECKS = (
     "oracle-a2-safe[bdd]",
     "oracle-exact-minterm",
     "cache-parity",
+    "bdd-backend-parity",
 )
 
 __all__ = [

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
-from repro.bdd import BddManager, BddNode
+from repro.bdd import BddManager, BddNode, create_manager
 from repro.errors import NetworkError
 from repro.network.network import Network
 
@@ -29,7 +29,7 @@ def global_functions(
     in ``manager`` (a fresh manager when none is given).
     """
     if manager is None:
-        manager = BddManager()
+        manager = create_manager()
     functions: dict[str, BddNode] = {}
     for pi in network.inputs:
         if input_map is not None and pi in input_map:
@@ -75,7 +75,7 @@ def equivalent(a: Network, b: Network) -> bool:
         raise NetworkError("networks have different primary inputs")
     if list(a.outputs) != list(b.outputs):
         raise NetworkError("networks have different primary outputs")
-    manager = BddManager()
+    manager = create_manager()
     fa = global_functions(a, manager)
     fb = global_functions(b, manager)
     return all(fa[o] == fb[o] for o in a.outputs)

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
-from repro.bdd import BddManager, BddNode
+from repro.bdd import BddManager, BddNode, create_manager
 from repro.errors import ResourceLimitError, TimingError
 from repro.network.network import Network
 from repro.network.verify import global_functions
@@ -68,7 +68,7 @@ class ChiEngine:
                 if name not in self.arrivals:
                     raise TimingError(f"arrival time for non-input {name!r}")
                 self.arrivals[name] = _arrival_pair(t)
-        self.manager = manager or BddManager()
+        self.manager = manager or create_manager()
         for pi in network.inputs:
             if not self.manager.has_var(pi):
                 self.manager.add_var(pi)

@@ -28,7 +28,7 @@ import heapq
 from dataclasses import dataclass
 from typing import Iterator, Literal, Mapping, Sequence
 
-from repro.bdd import BddManager, BddNode
+from repro.bdd import BddManager, BddNode, create_manager
 from repro.errors import NetworkError, TimingError
 from repro.network.network import Network
 from repro.network.verify import _cover_bdd, global_functions
@@ -118,7 +118,7 @@ def static_sensitization_condition(
     nodes = tuple(path.nodes) if isinstance(path, Path) else tuple(path)
     if len(nodes) < 2:
         raise TimingError("a path needs at least an input and one gate")
-    manager = manager or BddManager()
+    manager = manager or create_manager()
     funcs = global_functions(network, manager)
 
     condition = manager.true

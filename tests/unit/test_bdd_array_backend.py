@@ -1,0 +1,375 @@
+"""Unit tests for the array BDD kernel internals and the backend API.
+
+The cross-kernel *semantic* parity is enforced elsewhere (the golden
+tests run under both kernels in CI, and the fuzzer's
+``bdd-backend-parity`` check diffs canonical rows case by case); this
+file targets the machinery specific to :mod:`repro.bdd.array_backend`:
+open-addressed unique tables (growth, rehash, tombstones), direct-mapped
+computed tables (generation invalidation, conflict eviction, growth),
+and the tombstone-first mark/sweep/compact garbage collector with
+live-handle remapping.
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import (
+    BACKENDS,
+    ArrayBddManager,
+    BddManager,
+    backend_of,
+    create_manager,
+    resolve_backend,
+)
+from repro.bdd.api import BACKEND_ENV
+from repro.bdd.array_backend import _DirectCache, _UniqueTable, _rehash
+from repro.errors import BddError, ResourceLimitError
+
+
+# ----------------------------------------------------------------------
+# the backend API: registry, env default, factory
+# ----------------------------------------------------------------------
+class TestBackendApi:
+    def test_registry(self):
+        assert BACKENDS == ("object", "array")
+
+    def test_default_is_object(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        assert resolve_backend(None) == "object"
+        assert isinstance(create_manager(), BddManager)
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "array")
+        assert resolve_backend(None) == "array"
+        assert isinstance(create_manager(), ArrayBddManager)
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "array")
+        assert resolve_backend("object") == "object"
+
+    def test_unknown_backend_fails_loudly(self, monkeypatch):
+        with pytest.raises(BddError):
+            resolve_backend("cudd")
+        monkeypatch.setenv(BACKEND_ENV, "typo")
+        with pytest.raises(BddError):
+            create_manager()
+
+    def test_backend_of(self):
+        assert backend_of(BddManager()) == "object"
+        assert backend_of(ArrayBddManager()) == "array"
+
+    def test_statistics_shape_matches_object_kernel(self):
+        obj, arr = BddManager(), ArrayBddManager()
+        for m in (obj, arr):
+            a, b = m.add_var("a"), m.add_var("b")
+            _ = (a & b) | ~a
+        assert set(obj.statistics()) == set(arr.statistics())
+        assert set(obj.statistics()["caches"]) == set(arr.statistics()["caches"])
+
+
+# ----------------------------------------------------------------------
+# open-addressed unique tables
+# ----------------------------------------------------------------------
+class TestUniqueTable:
+    def test_insert_and_grow_preserves_entries(self):
+        ut = _UniqueTable(8)
+        pairs = [(2 + i, 3 + 2 * i) for i in range(500)]
+        for nid, (low, high) in enumerate(pairs, start=2):
+            ut.insert(low, high, nid)
+        assert ut.size == len(pairs)
+        assert len(ut.keys) > 8  # grew
+        resident = {}
+        for j, key in enumerate(ut.keys):
+            if key > 0:
+                resident[key] = ut.vals[j]
+        assert resident == {
+            (low << 32) | high: nid for nid, (low, high) in enumerate(pairs, start=2)
+        }
+
+    @pytest.mark.parametrize("slots", [1024, 8192])
+    def test_rehash_python_and_numpy_paths_agree(self, slots):
+        # below 4096 slots _rehash takes the scalar path, above it the
+        # vectorized one; both must carry exactly the resident entries
+        import random
+
+        rng = random.Random(7)
+        keys = [0] * slots
+        vals = [0] * slots
+        resident = {}
+        for j in rng.sample(range(slots), slots // 3):
+            if rng.random() < 0.2:
+                keys[j] = -1  # tombstone: must be dropped
+            else:
+                packed = (rng.randrange(1, 1 << 31) << 32) | rng.randrange(1, 1 << 31)
+                keys[j] = packed
+                resident[packed] = j
+        new_keys, new_vals = _rehash(keys, vals, slots * 2)
+        assert len(new_keys) == slots * 2
+        assert -1 not in new_keys
+        assert {k for k in new_keys if k > 0} == set(resident)
+        # every entry must be reachable by a linear probe from its home
+        mask = slots * 2 - 1
+        for packed in resident:
+            j = (((packed >> 32) * 0x9E3779B1) ^ (packed & 0xFFFFFFFF)) & mask
+            while new_keys[j] != packed:
+                assert new_keys[j] != 0, "probe chain broken"
+                j = (j + 1) & mask
+
+    def test_reset_never_shrinks(self):
+        ut = _UniqueTable(8)
+        for i in range(200):
+            ut.insert(2 + i, 3 + i, 2 + i)
+        slots = len(ut.keys)
+        ut.reset(1)
+        assert len(ut.keys) >= slots
+        assert ut.size == 0 and ut.tombs == 0
+
+
+# ----------------------------------------------------------------------
+# direct-mapped computed tables
+# ----------------------------------------------------------------------
+class TestDirectCache:
+    def test_generation_invalidation_is_a_bump(self):
+        tab = _DirectCache("t", 1 << 16, initial=16)
+        gen = tab.gen
+        tab.clear()
+        assert tab.gen == gen + 1 and tab.count == 0
+
+    def test_manager_invalidate_bumps_generation(self):
+        m = ArrayBddManager()
+        a, b = m.add_var("a"), m.add_var("b")
+        f = a & b
+        g0 = m.statistics()["cache_generation"]
+        m._invalidate_caches()
+        assert m.statistics()["cache_generation"] > g0
+        # the result is still correct after invalidation (recompute path)
+        assert (a & b) == f
+
+    def test_maybe_grow_quadruples_at_quarter_load(self):
+        tab = _DirectCache("t", 1 << 12, initial=16)
+        tab.count = 4  # 25% of 16 slots
+        tab.maybe_grow()
+        assert len(tab.keys) == 64
+        assert tab.count == 0  # entries dropped, generation reset
+
+    def test_maybe_grow_respects_bound(self):
+        tab = _DirectCache("t", 64, initial=64)
+        tab.count = 64
+        tab.maybe_grow()
+        assert len(tab.keys) == 64
+
+    def test_conflict_evictions_counted(self):
+        # drive a workload big enough that the and-table sees conflicts,
+        # then check the counter surfaces in statistics()
+        m = ArrayBddManager()
+        vs = [m.add_var(f"x{i}") for i in range(14)]
+        f = m.false
+        import random
+
+        rng = random.Random(3)
+        for _ in range(300):
+            cube = m.true
+            for v in rng.sample(vs, 9):
+                cube &= v if rng.random() < 0.5 else ~v
+            f |= cube
+        caches = m.statistics()["caches"]
+        assert caches["and"]["misses"] > 0
+        assert all(
+            set(c) == {"hits", "misses", "evictions", "entries"}
+            for c in caches.values()
+        )
+
+
+# ----------------------------------------------------------------------
+# garbage collection: tombstone sweep, compaction, handle remapping
+# ----------------------------------------------------------------------
+def _build_funcs(m, nvars=10, cubes=120, seed=11):
+    import random
+
+    rng = random.Random(seed)
+    vs = [m.add_var(f"x{i}") for i in range(nvars)]
+    funcs = []
+    for _ in range(6):
+        f = m.false
+        for _ in range(cubes):
+            cube = m.true
+            for v in rng.sample(vs, 6):
+                cube &= v if rng.random() < 0.5 else ~v
+            f |= cube
+        funcs.append(f)
+    return funcs
+
+
+class TestGarbageCollect:
+    def test_sweep_without_compaction_keeps_ids_stable(self):
+        m = ArrayBddManager()
+        funcs = _build_funcs(m)
+        m.garbage_collect()  # flush construction temporaries first
+        keep = funcs[:5]  # most remaining nodes stay live -> no compaction
+        sizes = [m.size(f) for f in keep]
+        ids = [f.id for f in keep]
+        del funcs
+        reclaimed = m.garbage_collect()
+        assert reclaimed > 0
+        assert m._dead_rows == reclaimed  # swept in place, not compacted
+        assert [f.id for f in keep] == ids
+        assert [m.size(f) for f in keep] == sizes
+
+    def test_compaction_remaps_live_handles(self):
+        m = ArrayBddManager()
+        funcs = _build_funcs(m)
+        keep = funcs[0]
+        sat = m.sat_count(keep, nvars=10)
+        size = m.size(keep)
+        rows_before = len(m._var)
+        del funcs  # drop everything but ``keep`` -> compaction fires
+        reclaimed = m.garbage_collect()
+        assert reclaimed > 0
+        assert m._dead_rows == 0
+        assert len(m._var) < rows_before  # arrays actually shrank
+        # the handle was remapped and the function survived bit-exactly
+        assert m.size(keep) == size
+        assert m.sat_count(keep, nvars=10) == sat
+        # post-compaction every row is reachable (incl. the 2 terminals)
+        assert m.live_node_count() == len(m._var)
+
+    def test_gc_then_rebuild_reuses_reclaimed_budget(self):
+        # the node budget counts *live* rows: after a sweep the dead rows
+        # must not count against max_nodes (parity with the object
+        # kernel, whose freelist reuse gives the same accounting)
+        for cls in (BddManager, ArrayBddManager):
+            m = cls(max_nodes=4000)
+            funcs = _build_funcs(m, nvars=8, cubes=40)
+            del funcs
+            m.garbage_collect()
+            vs = [m.var(f"x{i}") for i in range(8)]
+            f = m.false  # rebuilding similar structure must fit the budget
+            import random
+
+            rng = random.Random(5)
+            try:
+                for _ in range(40):
+                    cube = m.true
+                    for v in rng.sample(vs, 6):
+                        cube &= v if rng.random() < 0.5 else ~v
+                    f |= cube
+            except ResourceLimitError:
+                pytest.fail(f"{cls.__name__}: reclaimed budget not reusable")
+
+    def test_gc_statistics(self):
+        m = ArrayBddManager()
+        funcs = _build_funcs(m)
+        del funcs[1:]
+        reclaimed = m.garbage_collect()
+        st = m.statistics()
+        assert st["gc_runs"] == 1
+        assert st["gc_reclaimed"] == reclaimed
+        assert st["live_nodes"] == m.live_node_count()
+
+
+# ----------------------------------------------------------------------
+# fused quantification == unfused composition (property)
+# ----------------------------------------------------------------------
+def _random_func(m, vs, rng, cubes=8):
+    f = m.false
+    for _ in range(cubes):
+        cube = m.true
+        for v in rng.sample(vs, rng.randint(2, 4)):
+            cube &= v if rng.random() < 0.5 else ~v
+        f |= cube
+    return f
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10_000), nq=st.integers(1, 4))
+def test_fused_quantify_matches_unfused(seed, nq):
+    import random
+
+    rng = random.Random(seed)
+    m = ArrayBddManager()
+    vs = [m.add_var(f"x{i}") for i in range(6)]
+    names = [f"x{i}" for i in rng.sample(range(6), nq)]
+    f = _random_func(m, vs, rng)
+    g = _random_func(m, vs, rng)
+    assert m.and_exists(names, f, g) == m.exists(names, f & g)
+    assert m.and_forall(names, f, g) == m.forall(names, f & g)
+    assert m.forall_implied(names, f, g) == m.forall(names, ~f | g)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.data())
+def test_fused_quantify_on_network_functions(data):
+    """The same law over global functions of random networks."""
+    from tests.strategies import small_networks
+
+    from repro.network.verify import global_functions
+
+    net = data.draw(small_networks(n_inputs=4, max_gates=6))
+    m = ArrayBddManager()
+    funcs = global_functions(net, m)
+    f = funcs[net.outputs[0]]
+    g = ~funcs[net.inputs[0]]
+    names = list(net.inputs[:2])
+    assert m.and_exists(names, f, g) == m.exists(names, f & g)
+    assert m.and_forall(names, f, g) == m.forall(names, f & g)
+
+
+# ----------------------------------------------------------------------
+# canonical-row parity on the paper's example circuits
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "circuit", ["c17", "carry_skip_block", "figure4", "figure6", "figure6_extended"]
+)
+@pytest.mark.parametrize("method", ["exact", "approx1"])
+def test_example_circuit_rows_bit_identical(circuit, method):
+    """Both kernels must produce byte-identical canonical rows."""
+    import json
+
+    from repro import circuits
+    from repro.cache.results import CachedRequiredResult
+    from repro.core.required_time import (
+        analyze_required_times,
+        topological_input_required_times,
+    )
+
+    net = getattr(circuits, circuit)()
+    baseline = topological_input_required_times(net, None, 0.0)
+    rows = {}
+    for backend in ("object", "array"):
+        report = analyze_required_times(
+            net.copy(), method, output_required=0.0, backend=backend
+        )
+        rows[backend] = json.dumps(
+            CachedRequiredResult.from_report(report, baseline).row(),
+            sort_keys=True,
+        )
+    assert rows["object"] == rows["array"]
+
+
+# ----------------------------------------------------------------------
+# budget-abort parity across kernels
+# ----------------------------------------------------------------------
+def test_budget_abort_parity():
+    """Both kernels must run out of the same budget at the same step."""
+    import random
+
+    steps = {}
+    for cls in (BddManager, ArrayBddManager):
+        m = cls(max_nodes=300)
+        vs = [m.add_var(f"x{i}") for i in range(10)]
+        rng = random.Random(42)
+        f = m.false
+        step = None
+        try:
+            for i in range(200):
+                cube = m.true
+                for v in rng.sample(vs, 5):
+                    cube &= v if rng.random() < 0.5 else ~v
+                f |= cube
+        except ResourceLimitError:
+            step = i
+        steps[cls.__name__] = (step, m.statistics()["nodes_created"])
+    assert steps["BddManager"] == steps["ArrayBddManager"]

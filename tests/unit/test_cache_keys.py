@@ -122,6 +122,39 @@ class TestOptions:
         b = required_key(net, "exact", options={"cache_dir": "/tmp/x"})
         assert a.digest == b.digest
 
+    def test_backend_is_semantic(self, monkeypatch):
+        # the kernels produce bit-identical rows, but the backend still
+        # keys the entry: cached stats/wall differ and a divergence bug
+        # in one kernel must never serve results under the other's key
+        assert "backend" in SEMANTIC_OPTIONS
+        monkeypatch.delenv("REPRO_BDD_BACKEND", raising=False)
+        net = c17()
+        a = required_key(net, "exact", options={})
+        b = required_key(net, "exact", options={"backend": "array"})
+        assert a.digest != b.digest
+
+    def test_default_backend_keys_like_absent(self, monkeypatch):
+        # explicit "object" == unset: pre-backend cache entries stay
+        # reachable without a SCHEMA_VERSION bump
+        monkeypatch.delenv("REPRO_BDD_BACKEND", raising=False)
+        net = c17()
+        a = required_key(net, "exact", options={})
+        b = required_key(net, "exact", options={"backend": "object"})
+        c = required_key(net, "exact", options={"backend": None})
+        assert a.digest == b.digest == c.digest
+
+    def test_env_selected_backend_keys_like_explicit(self, monkeypatch):
+        # a run under REPRO_BDD_BACKEND=array must never alias entries
+        # computed under the default kernel
+        net = c17()
+        monkeypatch.setenv("REPRO_BDD_BACKEND", "array")
+        via_env = required_key(net, "exact", options={})
+        monkeypatch.delenv("REPRO_BDD_BACKEND", raising=False)
+        explicit = required_key(net, "exact", options={"backend": "array"})
+        default = required_key(net, "exact", options={})
+        assert via_env.digest == explicit.digest
+        assert via_env.digest != default.digest
+
     def test_exact_row_counts_is_semantic(self):
         # it widens the exact digest payload, so it must key the entry
         assert "exact_row_counts" in SEMANTIC_OPTIONS

@@ -18,11 +18,14 @@ REQUIRED = 2.0
 
 class TestExactOptions:
     def test_kwargs_round_trip(self):
-        opts = ExactOptions(max_nodes=1000, reorder=True, max_leaves=99)
+        opts = ExactOptions(
+            max_nodes=1000, reorder=True, max_leaves=99, backend="array"
+        )
         assert opts.kwargs() == {
             "max_nodes": 1000,
             "reorder": True,
             "max_leaves": 99,
+            "backend": "array",
         }
 
     def test_defaults_are_off(self):
