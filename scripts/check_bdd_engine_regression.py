@@ -34,6 +34,15 @@ within tolerance of its recorded array baseline.  ``--smoke`` restricts
 the gate to row parity on the fast circuits (CI configuration, no
 timing gates).
 
+``--eco`` switches to the ``BENCH_eco.json`` gate: ``bench_eco.py`` is
+run in script mode (``--smoke`` passes the flag through — the CI
+configuration), which replays a locality-heavy and a scattered edit
+trace through an incremental :class:`repro.eco.NetworkSession` with
+row/merge parity against a full recompute asserted after **every**
+edit; the locality-heavy trace must beat per-edit full recompute by
+``min_speedup_locality``, and (full mode only) the incremental wall must
+stay within ``wall_tolerance`` of the recorded baseline.
+
 ``--parallel`` switches to the ``BENCH_parallel.json`` gate: the
 benchmark script modes are run at ``--jobs 1`` and ``--jobs <cores>``
 and must produce bit-identical canonical rows; the serial wall must stay
@@ -58,6 +67,7 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 BASELINE_FILE = REPO / "BENCH_bdd_engine.json"
 PARALLEL_BASELINE_FILE = REPO / "BENCH_parallel.json"
+ECO_BASELINE_FILE = REPO / "BENCH_eco.json"
 
 BENCHMARKS = [
     "benchmarks/bench_table1.py",
@@ -223,6 +233,92 @@ def check_parallel(update: bool, smoke: bool) -> int:
         PARALLEL_BASELINE_FILE.write_text(json.dumps(data, indent=2) + "\n")
         print(f"baseline updated in {PARALLEL_BASELINE_FILE.name}")
         return 0
+    return 0 if ok else 1
+
+
+# ----------------------------------------------------------------------
+# the incremental-ECO gate (BENCH_eco.json)
+# ----------------------------------------------------------------------
+def run_bench_eco(smoke: bool, out: Path) -> dict:
+    """One ``bench_eco.py`` script-mode run; returns its JSON payload.
+
+    The script itself asserts row/merge parity after every edit and
+    fails (rc 1) below its built-in speedup floor, so a non-zero exit is
+    already a gate failure.
+    """
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    cmd = [sys.executable, "bench_eco.py", "--json", str(out)]
+    if smoke:
+        cmd.append("--smoke")
+    result = subprocess.run(
+        cmd,
+        cwd=REPO / "benchmarks",
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    sys.stdout.write(result.stdout)
+    if result.returncode != 0:
+        raise SystemExit(f"bench_eco failed (rc={result.returncode})")
+    return json.loads(out.read_text())
+
+
+def check_eco(update: bool, smoke: bool) -> int:
+    data = load_baseline(ECO_BASELINE_FILE)
+    gates = data["gates"]
+    out = Path("/tmp") / ("bench_eco_smoke.json" if smoke else "bench_eco.json")
+    print(f"running bench_eco.py{' --smoke' if smoke else ''} ...", flush=True)
+    payload = run_bench_eco(smoke, out)
+    results = {r["scenario"]: r for r in payload["results"]}
+
+    ok = True
+    locality = results["locality"]
+    if not all(r["parity"] for r in results.values()):
+        # bench_eco asserts parity itself; this is a belt-and-braces check
+        print("eco: PARITY FAIL — incremental rows diverged from full recompute")
+        ok = False
+    floor = gates["min_speedup_locality"]
+    verdict = "ok" if locality["speedup"] >= floor else "FAIL"
+    if locality["speedup"] < floor:
+        ok = False
+    print(
+        f"eco locality: speedup {locality['speedup']:.1f}x "
+        f"(floor {floor:.1f}x)  {verdict}"
+    )
+
+    if update:
+        if smoke:
+            raise SystemExit("error: refusing --eco --update --smoke — the "
+                             "baseline records the full-size scenarios")
+        data["baseline"] = dict(
+            {r["scenario"]: {
+                k: r[k] for k in (
+                    "blocks", "cones", "edits",
+                    "incremental_seconds", "full_seconds", "speedup",
+                )
+            } for r in payload["results"]},
+            python=sys.version.split()[0],
+        )
+        ECO_BASELINE_FILE.write_text(json.dumps(data, indent=2) + "\n")
+        print(f"baseline updated in {ECO_BASELINE_FILE.name}")
+        return 0 if ok else 1
+
+    if not smoke:
+        # the wall gate needs the full-size scenario the baseline records;
+        # smoke runs a smaller circuit and would always "pass"
+        tolerance = gates["wall_tolerance"]
+        base = data["baseline"]["locality"]["incremental_seconds"]
+        wall = locality["incremental_seconds"]
+        within = wall <= base * (1.0 + tolerance)
+        verdict = "ok" if within else "FAIL"
+        if not within:
+            ok = False
+        print(
+            f"eco locality: incremental wall {wall:.4f}s "
+            f"(baseline {base:.4f}s +{tolerance:.0%})  {verdict}"
+        )
     return 0 if ok else 1
 
 
@@ -397,12 +493,17 @@ def main() -> int:
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="with --parallel/--array-backend: the fast CI smoke subset",
+        help="with --parallel/--array-backend/--eco: the fast CI smoke subset",
     )
     parser.add_argument(
         "--array-backend",
         action="store_true",
         help="run the object-vs-array kernel gate instead",
+    )
+    parser.add_argument(
+        "--eco",
+        action="store_true",
+        help="run the BENCH_eco.json incremental-vs-full gate instead",
     )
     args = parser.parse_args()
 
@@ -410,6 +511,8 @@ def main() -> int:
         return check_parallel(update=args.update, smoke=args.smoke)
     if args.array_backend:
         return check_array_backend(update=args.update, smoke=args.smoke)
+    if args.eco:
+        return check_eco(update=args.update, smoke=args.smoke)
 
     data = load_baseline(BASELINE_FILE)
     times = measure()

@@ -13,8 +13,9 @@ cannot silently drift from the code:
    options that subcommand defines — no missing flags, no stale ones.
    Every top-level command name must also appear in the README.
 3. **Docstring coverage** — `src/repro/cache/` (the subsystem this gate
-   shipped with) must keep module/class/function docstring coverage at
-   or above 90%.
+   shipped with) and `src/repro/eco/` (the session/edit API documented
+   by docs/ECO.md) must keep module/class/function docstring coverage
+   at or above 90%.
 
 Usage: ``python scripts/check_docs.py [--verbose]`` — exits non-zero
 with one line per violation.
@@ -41,8 +42,13 @@ ROOT_DOCS = [
     "ROADMAP.md",
 ]
 
-#: directory whose API docstring coverage is gated
-COVERAGE_TARGET = os.path.join("src", "repro", "cache")
+#: directories whose API docstring coverage is gated (each must clear
+#: the floor on its own, so a well-documented sibling cannot mask a bare
+#: one)
+COVERAGE_TARGETS = [
+    os.path.join("src", "repro", "cache"),
+    os.path.join("src", "repro", "eco"),
+]
 COVERAGE_FLOOR = 0.90
 
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
@@ -188,28 +194,31 @@ def docstring_stats(path: str) -> tuple[int, int]:
 
 
 def check_docstrings(errors: list[str], verbose: bool) -> None:
-    target = os.path.join(REPO, COVERAGE_TARGET)
-    documented = total = 0
-    for dirpath, _dirnames, filenames in os.walk(target):
-        for name in sorted(filenames):
-            if not name.endswith(".py"):
-                continue
-            d, t = docstring_stats(os.path.join(dirpath, name))
-            documented += d
-            total += t
-            if verbose:
-                print(f"  docstrings {name}: {d}/{t}")
-    if total == 0:
-        errors.append(f"{COVERAGE_TARGET}: no python files found")
-        return
-    coverage = documented / total
-    if coverage < COVERAGE_FLOOR:
-        errors.append(
-            f"{COVERAGE_TARGET}: docstring coverage {coverage:.0%} "
-            f"({documented}/{total}) below the {COVERAGE_FLOOR:.0%} floor"
-        )
-    elif verbose:
-        print(f"docstring coverage: {coverage:.0%} ({documented}/{total})")
+    for target in COVERAGE_TARGETS:
+        documented = total = 0
+        for dirpath, _dirnames, filenames in os.walk(os.path.join(REPO, target)):
+            for name in sorted(filenames):
+                if not name.endswith(".py"):
+                    continue
+                d, t = docstring_stats(os.path.join(dirpath, name))
+                documented += d
+                total += t
+                if verbose:
+                    print(f"  docstrings {name}: {d}/{t}")
+        if total == 0:
+            errors.append(f"{target}: no python files found")
+            continue
+        coverage = documented / total
+        if coverage < COVERAGE_FLOOR:
+            errors.append(
+                f"{target}: docstring coverage {coverage:.0%} "
+                f"({documented}/{total}) below the {COVERAGE_FLOOR:.0%} floor"
+            )
+        elif verbose:
+            print(
+                f"docstring coverage {target}: "
+                f"{coverage:.0%} ({documented}/{total})"
+            )
 
 
 def main(argv: list[str] | None = None) -> int:

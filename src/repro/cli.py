@@ -17,6 +17,10 @@ Commands
 * ``fuzz``     — differential fuzzing: generate random netlists, run all
   four required-time engines against each other and the ternary oracle,
   shrink any failure and save it to a regression corpus.
+* ``eco``      — apply a JSON edit trace to a netlist through an
+  incremental :class:`~repro.eco.NetworkSession`: per edit, only the
+  dirty output cones re-analyze, and ``--verify`` checks the result
+  against a full recompute (docs/ECO.md).
 * ``trace``    — pretty-print / summarize a trace file produced by
   ``required --trace`` (or convert it to Chrome ``about:tracing`` JSON).
 * ``cache``    — inspect and maintain the persistent result cache
@@ -429,6 +433,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         shrink=not args.no_shrink,
         stop_on_failure=args.stop_on_failure,
         jobs=args.jobs,
+        family=args.family,
         log=None if args.json else lambda v: print(v.render()),
     )
     report = runner.run()
@@ -455,6 +460,72 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     else:
         print(f"\n{report.summary()}")
     return 0 if report.ok else 1
+
+
+def cmd_eco(args: argparse.Namespace) -> int:
+    from repro.cache import ResultCache, default_cache_dir
+    from repro.eco import NetworkSession, edits_from_json
+
+    if args.jobs < 0:
+        print(f"error: --jobs must be >= 0 (got {args.jobs})", file=sys.stderr)
+        return 2
+    net = load_network(args.netlist)
+    with open(args.trace) as fh:
+        edits = edits_from_json(json.load(fh))
+    cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
+    options = {}
+    if args.method == "approx2":
+        options["engine"] = args.engine
+    session = NetworkSession(
+        net,
+        method=args.method,
+        output_required=args.required,
+        options=options,
+        cache=ResultCache(cache_dir),
+        jobs=args.jobs,
+    )
+    reports = []
+    divergences = 0
+    for i, edit in enumerate(edits):
+        result = session.apply_edit(edit)
+        report = result.report()
+        report["index"] = i
+        if args.verify:
+            problems = session.verify_against_full_recompute()
+            report["parity"] = "ok" if not problems else "DIVERGED"
+            divergences += len(problems)
+            for problem in problems:
+                print(f"error: edit #{i}: {problem}", file=sys.stderr)
+        reports.append(report)
+        if not args.json:
+            line = (
+                f"[{i:3d}] {edit.kind:<17} dirty={len(report['recomputed'])}"
+                f" cached={len(report['cache_hits'])}"
+                f" clean={len(report['clean'])}"
+            )
+            if report["added"] or report["removed"]:
+                line += (
+                    f" outputs+{len(report['added'])}-{len(report['removed'])}"
+                )
+            if args.verify:
+                line += f"  parity={report['parity']}"
+            print(line)
+    payload = {
+        "circuit": session.network.name,
+        "method": args.method,
+        "edits": reports,
+        "rows": session.rows(),
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(f"\n{len(edits)} edits applied; final rows:")
+        for name, row in sorted(session.rows().items()):
+            print(
+                f"  {name}: nontrivial={row['nontrivial']} "
+                f"status={row['status']}"
+            )
+    return 1 if divergences else 0
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
@@ -607,7 +678,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="stop at the first failing case")
     p.add_argument("--jobs", type=int, default=1, metavar="N",
                    help="run cases on N worker processes (0 = one per "
-                        "core; default 1 = serial)")
+                        "core; default 1 = serial; circuit family only)")
+    p.add_argument("--family", choices=["circuit", "eco"], default="circuit",
+                   help="what each case is: a static netlist run through "
+                        "the differential checks, or an edit trace "
+                        "replayed incrementally against a full-recompute "
+                        "parity oracle (default circuit)")
     p.add_argument("--replay", default=None, metavar="DIR",
                    help="replay a saved corpus instead of fuzzing")
     p.add_argument("--json", action="store_true", help="machine-readable report")
@@ -615,6 +691,34 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write run-level metric deltas (BDD/SAT/engine "
                         "counters) as JSON; '-' prints to stdout")
     p.set_defaults(func=cmd_fuzz)
+
+    p = sub.add_parser("eco", help="apply a JSON edit trace incrementally")
+    p.add_argument("netlist")
+    p.add_argument("trace", help="JSON edit trace ({\"edits\": [...]}, see "
+                                 "docs/ECO.md; eco fuzz traces work as-is)")
+    p.add_argument(
+        "--method",
+        choices=["topological", "exact", "approx1", "approx2"],
+        default="topological",
+    )
+    p.add_argument("--required", type=float, default=0.0,
+                   help="required time at every primary output (default 0)")
+    p.add_argument("--engine", choices=["bdd", "sat"], default="sat",
+                   help="validation engine for --method approx2")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="recompute dirty cones on N worker processes "
+                        "(0 = one per core; default 1 = in-process)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="persistent result cache directory (default: "
+                        "$REPRO_CACHE_DIR if set, else memory-only)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="ignore REPRO_CACHE_DIR and keep results in memory")
+    p.add_argument("--verify", action="store_true",
+                   help="after every edit, check the incremental rows "
+                        "against a full recompute (exit 1 on divergence)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable per-edit reports and final rows")
+    p.set_defaults(func=cmd_eco)
 
     p = sub.add_parser("trace", help="summarize a recorded span trace")
     p.add_argument("tracefile", help="JSONL trace from 'required --trace'")

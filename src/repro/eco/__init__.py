@@ -1,0 +1,42 @@
+"""Engineering-change-order layer: incremental re-analysis under edits.
+
+The paper's Section 5 resynthesis loop — analyze, rewrite a subcircuit,
+re-analyze — is this package's workload.  :class:`NetworkSession` keeps
+one network's per-output cone digests and required-time rows current
+across typed edits (:mod:`repro.eco.edits`), recomputing only the cones
+each edit dirtied while staying bit-identical to a cold full run.  See
+docs/ECO.md for the session lifecycle, edit vocabulary, and trace format.
+"""
+
+from repro.eco.edits import (
+    EDIT_KINDS,
+    AddNode,
+    Edit,
+    EditEffect,
+    RemoveNode,
+    Resubstitute,
+    RetargetFanout,
+    RetargetOutputs,
+    SetDelay,
+    edit_from_dict,
+    edits_from_json,
+)
+from repro.eco.session import EditResult, NetworkSession
+from repro.errors import EcoError
+
+__all__ = [
+    "AddNode",
+    "EDIT_KINDS",
+    "EcoError",
+    "Edit",
+    "EditEffect",
+    "EditResult",
+    "NetworkSession",
+    "RemoveNode",
+    "Resubstitute",
+    "RetargetFanout",
+    "RetargetOutputs",
+    "SetDelay",
+    "edit_from_dict",
+    "edits_from_json",
+]

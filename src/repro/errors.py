@@ -51,6 +51,17 @@ class TimingError(ReproError):
     delay, unstable output under every candidate...)."""
 
 
+class EcoError(ReproError):
+    """An engineering-change-order edit was rejected by a
+    :class:`~repro.eco.NetworkSession` (unknown node, cycle-creating
+    resubstitution, dangling fanin, illegal output retarget...).
+
+    Raised *before* any mutation happens: a session that raises
+    :class:`EcoError` is observably unchanged — same network, same cone
+    digests, same cached rows (the atomicity contract of docs/ECO.md).
+    """
+
+
 class ObsError(ReproError):
     """Observability failure (double trace start, malformed trace file,
     unknown export format...)."""

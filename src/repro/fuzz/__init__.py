@@ -20,11 +20,28 @@ test harness:
   JSON metadata) and the replayer that turns every past failure into a
   permanent regression test;
 * :mod:`repro.fuzz.runner` — the budgeted generate → check → shrink →
-  save loop behind ``repro fuzz`` and the nightly CI job.
+  save loop behind ``repro fuzz`` and the nightly CI job;
+* :mod:`repro.fuzz.eco` — the ``eco`` family: seeded *edit traces*
+  replayed through an incremental :class:`~repro.eco.NetworkSession`
+  against a full-recompute parity oracle after every edit.
 """
 
 from repro.fuzz.checks import CaseResult, CheckFailure, EngineSuite, run_differential
-from repro.fuzz.corpus import CorpusEntry, load_corpus, replay_entry, save_repro
+from repro.fuzz.corpus import (
+    CorpusEntry,
+    load_corpus,
+    replay_entry,
+    save_eco_repro,
+    save_repro,
+)
+from repro.fuzz.eco import (
+    ECO_CHECKS,
+    EcoTrace,
+    eco_failure_predicate,
+    generate_eco_trace,
+    run_eco_differential,
+    shrink_eco_trace,
+)
 from repro.fuzz.gen import PROFILES, FuzzCase, FuzzProfile, generate_case, iter_cases
 from repro.fuzz.runner import FuzzReport, FuzzRunner
 from repro.fuzz.shrink import failure_predicate, shrink_case
@@ -33,18 +50,25 @@ __all__ = [
     "CaseResult",
     "CheckFailure",
     "CorpusEntry",
+    "ECO_CHECKS",
+    "EcoTrace",
     "EngineSuite",
     "FuzzCase",
     "FuzzProfile",
     "FuzzReport",
     "FuzzRunner",
     "PROFILES",
+    "eco_failure_predicate",
     "failure_predicate",
     "generate_case",
+    "generate_eco_trace",
     "iter_cases",
     "load_corpus",
     "replay_entry",
     "run_differential",
+    "run_eco_differential",
+    "save_eco_repro",
     "save_repro",
     "shrink_case",
+    "shrink_eco_trace",
 ]

@@ -13,6 +13,13 @@ corpus directory (``tests/corpus/`` in this repository):
 from those pairs and ``replay_entry`` re-runs the differential checks,
 so every past failure becomes a permanent tier-1 regression test: once
 the underlying bug is fixed, the replay must pass forever after.
+
+Entries of the ``eco`` fuzz family carry an extra ``"eco"`` metadata
+block — the edit trace (docs/ECO.md format) and its generator seed —
+and ``replay_entry`` dispatches them to
+:func:`repro.fuzz.eco.run_eco_differential` instead of the static
+differential runner, so eco findings replay through the exact same
+corpus pipeline.
 """
 
 from __future__ import annotations
@@ -89,6 +96,57 @@ def save_repro(
     return base
 
 
+def save_eco_repro(
+    directory: str,
+    trace,
+    failures: list[CheckFailure],
+    original=None,
+) -> str:
+    """Write an :class:`~repro.fuzz.eco.EcoTrace` as a corpus entry.
+
+    The ``.blif`` holds the *base* netlist; the metadata's ``"eco"``
+    block holds the edit trace (shrunk), its rng seed, and — when the
+    shrinker removed edits — the original trace length for context.
+    Returns the entry's base name (the trace id).
+    """
+    os.makedirs(directory, exist_ok=True)
+    base = trace.trace_id
+    blif_path = os.path.join(directory, f"{base}.blif")
+    json_path = os.path.join(directory, f"{base}.json")
+    metadata = {
+        "format": FORMAT_VERSION,
+        "case_id": trace.trace_id,
+        "profile": trace.profile,
+        "family": "eco",
+        "seed": trace.case.seed,
+        "delays": trace.case.delays.to_spec(),
+        "output_required": trace.case.output_required,
+        "inputs": trace.case.num_inputs,
+        "outputs": trace.case.network.num_outputs,
+        "gates": trace.case.num_gates,
+        "failures": [
+            {"check": f.check, "detail": f.detail} for f in failures
+        ],
+        "eco": {
+            "seed": trace.seed,
+            "edits": trace.edits_json(),
+        },
+    }
+    if original is not None:
+        metadata["original"] = {
+            "case_id": original.trace_id,
+            "edits": original.num_edits,
+            "gates": original.case.num_gates,
+            "seed": original.seed,
+        }
+    with open(blif_path, "w") as handle:
+        write_blif(trace.case.network, handle)
+    with open(json_path, "w") as handle:
+        json.dump(metadata, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return base
+
+
 def load_entry(directory: str, base: str) -> CorpusEntry:
     """Rebuild one corpus entry from its ``.blif``/``.json`` pair."""
     blif_path = os.path.join(directory, f"{base}.blif")
@@ -139,7 +197,17 @@ def replay_entry(
     the entry documents a *fixed* failure, so the replay must come back
     clean.  Passing the suite that originally misbehaved (in mutation
     tests) must reproduce the recorded failure instead.
+
+    Entries carrying an ``"eco"`` metadata block replay through the
+    edit-trace differential (incremental session vs full recompute);
+    the static-runner ``run_kwargs`` do not apply there.
     """
+    if entry.metadata.get("eco"):
+        from repro.fuzz.eco import run_eco_differential, trace_from_entry
+
+        return run_eco_differential(
+            trace_from_entry(entry.case, entry.metadata), suite
+        )
     return run_differential(entry.case, suite, **run_kwargs)
 
 
@@ -149,5 +217,6 @@ __all__ = [
     "load_corpus",
     "load_entry",
     "replay_entry",
+    "save_eco_repro",
     "save_repro",
 ]

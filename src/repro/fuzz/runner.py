@@ -13,7 +13,7 @@ import time as _time
 from dataclasses import dataclass, field
 
 from repro.fuzz.checks import CaseResult, CheckFailure, EngineSuite, run_differential
-from repro.fuzz.corpus import save_repro
+from repro.fuzz.corpus import save_eco_repro, save_repro
 from repro.fuzz.gen import FuzzProfile, generate_case
 from repro.fuzz.shrink import failure_predicate, shrink_case
 from repro.obs.metrics import REGISTRY
@@ -131,6 +131,7 @@ class FuzzRunner:
         exact_max_inputs: int = 7,
         max_shrink_evals: int = 300,
         jobs: int = 1,
+        family: str = "circuit",
         log=None,
     ):
         self.seed = seed
@@ -150,6 +151,11 @@ class FuzzRunner:
         #: (seed, profile, index), so workers regenerate them from the
         #: index alone and the verdict sequence is identical to serial.
         self.jobs = jobs
+        #: what each case is: ``circuit`` (one static analysis problem,
+        #: the classic differential run) or ``eco`` (a base circuit plus
+        #: a seeded edit trace checked for incremental-vs-full-recompute
+        #: parity after every edit — see :mod:`repro.fuzz.eco`)
+        self.family = family
         #: optional per-verdict callback (the CLI's live output)
         self.log = log
 
@@ -166,11 +172,25 @@ class FuzzRunner:
         return self.jobs != 1 and type(self.suite) is EngineSuite
 
     def run(self) -> FuzzReport:
+        if self.family not in ("circuit", "eco"):
+            from repro.errors import ReproError
+
+            raise ReproError(
+                f"unknown fuzz family {self.family!r}; "
+                f"choose from ['circuit', 'eco']"
+            )
         start = _time.monotonic()
         before = REGISTRY.snapshot()
         cases_metric = REGISTRY.counter("fuzz.cases")
         failures_metric = REGISTRY.counter("fuzz.failures")
         report = FuzzReport(seed=str(self.seed), profile=self._profile_name())
+        if self.family == "eco":
+            # eco traces replay serially: each case already fans out into
+            # one session per method plus a full-recompute oracle per edit
+            self._run_eco(report, start, cases_metric, failures_metric)
+            report.elapsed = _time.monotonic() - start
+            report.metrics = REGISTRY.snapshot().diff(before)
+            return report
         if self._parallel_capable():
             self._run_parallel(report, start, cases_metric, failures_metric)
             report.elapsed = _time.monotonic() - start
@@ -204,6 +224,69 @@ class FuzzRunner:
         report.elapsed = _time.monotonic() - start
         report.metrics = REGISTRY.snapshot().diff(before)
         return report
+
+    def _run_eco(self, report, start, cases_metric, failures_metric) -> None:
+        """The serial eco-family loop: generate trace → replay → shrink.
+
+        Structurally the serial circuit loop with the eco generator and
+        differential swapped in; verdicts reuse :class:`CaseVerdict`
+        with ``shrunk_gates`` recording the *shrunk edit count* (the
+        quantity the eco shrinker minimizes).
+        """
+        from repro.fuzz.eco import (
+            eco_failure_predicate,
+            generate_eco_trace,
+            run_eco_differential,
+            shrink_eco_trace,
+        )
+
+        for index in range(self.budget):
+            if (
+                self.time_budget is not None
+                and _time.monotonic() - start > self.time_budget
+            ):
+                report.stopped = "time"
+                break
+            trace = generate_eco_trace(self.seed, self.profile, index)
+            with span("fuzz.eco_case", trace=trace.trace_id, index=index):
+                result = run_eco_differential(trace, self.suite)
+            verdict = CaseVerdict(
+                index=index,
+                case_id=trace.trace_id,
+                family="eco",
+                num_inputs=trace.case.num_inputs,
+                num_gates=trace.case.num_gates,
+                ok=result.ok,
+                failed_checks=result.failed_checks,
+                elapsed=result.elapsed,
+                metrics=result.metrics,
+            )
+            if not verdict.ok:
+                shrunk = trace
+                if self.shrink:
+                    predicate = eco_failure_predicate(
+                        self.suite, checks=set(verdict.failed_checks)
+                    )
+                    shrunk = shrink_eco_trace(
+                        trace, predicate,
+                        max_evals=min(self.max_shrink_evals, 100),
+                    )
+                    verdict.shrunk_gates = shrunk.num_edits
+                if self.corpus_dir is not None:
+                    final = run_eco_differential(shrunk, self.suite)
+                    use = final.failures if final.failures else result.failures
+                    verdict.repro = save_eco_repro(
+                        self.corpus_dir, shrunk, use, original=trace
+                    )
+            cases_metric.inc()
+            if not verdict.ok:
+                failures_metric.inc()
+            report.verdicts.append(verdict)
+            if self.log is not None:
+                self.log(verdict)
+            if not verdict.ok and self.stop_on_failure:
+                report.stopped = "stop-on-failure"
+                break
 
     def _run_parallel(self, report, start, cases_metric, failures_metric) -> None:
         """The pooled case loop (``jobs != 1``).

@@ -1,0 +1,132 @@
+"""Property-based dirty-cone semantics of the ECO session.
+
+The contract under test (docs/ECO.md): after any valid edit, the set of
+re-examined cones is *exactly* the outputs whose transitive fanin
+intersects the edit's touched nodes — no over-dirtying (clean cones keep
+byte-identical digests and rows) and no under-dirtying (the session
+stays bit-identical to a cold full recompute, the same parity oracle the
+``eco`` fuzz family asserts after every edit).
+"""
+
+from __future__ import annotations
+
+import json
+from functools import partial
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eco import NetworkSession, Resubstitute, SetDelay
+from repro.network.transform import transitive_fanin, transitive_fanout
+from tests.strategies import multi_output_networks as _multi_output_networks
+
+multi_output_networks = partial(
+    _multi_output_networks, n_inputs=3, max_gates=6, max_fanin=2
+)
+
+SETTINGS = dict(max_examples=25, deadline=None)
+
+
+def _draw_valid_resubstitute(data, net):
+    """A hypothesis-drawn resubstitution that passes validation: rewrite
+    one gate over fanins outside its transitive fanout."""
+    gates = sorted(n for n in net.nodes if not net.nodes[n].is_input)
+    name = data.draw(st.sampled_from(gates), label="gate")
+    legal = sorted(set(net.nodes) - transitive_fanout(net, [name]))
+    if not legal:
+        return None
+    k = data.draw(st.integers(1, min(2, len(legal))), label="fanin count")
+    fanins = tuple(
+        data.draw(
+            st.lists(
+                st.sampled_from(legal), min_size=k, max_size=k, unique=True
+            ),
+            label="fanins",
+        )
+    )
+    gate = "NOT" if k == 1 else data.draw(
+        st.sampled_from(["AND", "OR", "NAND", "XOR"]), label="kind"
+    )
+    return Resubstitute(name=name, fanins=fanins, gate=gate)
+
+
+def _expected_candidates(net, touched):
+    """The specification: outputs whose transitive fanin meets ``touched``
+    — computed the *opposite* way round from the implementation (per-cone
+    TFI walks instead of one TFO walk), so the test is not a tautology."""
+    return {
+        o for o in net.outputs if transitive_fanin(net, [o]) & set(touched)
+    }
+
+
+class TestDirtiedConeSet:
+    @given(multi_output_networks(), st.data())
+    @settings(**SETTINGS)
+    def test_resubstitute_dirties_exactly_the_dependent_cones(self, net, data):
+        session = NetworkSession(net)
+        edit = _draw_valid_resubstitute(data, session.network)
+        if edit is None:
+            return
+        before = session.digests()
+        result = session.apply_edit(edit)
+        expected = _expected_candidates(session.network, [edit.name])
+        assert set(result.candidates) == expected
+        # no over-dirtying: untouched cones keep byte-identical digests
+        after = session.digests()
+        for name in set(net.outputs) - expected:
+            assert after[name] == before[name], name
+
+    @given(multi_output_networks(), st.data())
+    @settings(**SETTINGS)
+    def test_set_delay_dirties_exactly_the_containing_cones(self, net, data):
+        session = NetworkSession(net)
+        gates = sorted(
+            n for n in session.network.nodes
+            if not session.network.nodes[n].is_input
+        )
+        name = data.draw(st.sampled_from(gates), label="gate")
+        before = session.digests()
+        result = session.apply_edit(SetDelay(name=name, delay=2.0))
+        expected = _expected_candidates(session.network, [name])
+        assert set(result.candidates) == expected
+        # the overridden gate is *in* every candidate cone, so the
+        # restricted delay model changes every candidate digest
+        after = session.digests()
+        for name_ in net.outputs:
+            if name_ in expected:
+                assert after[name_] != before[name_], name_
+            else:
+                assert after[name_] == before[name_], name_
+
+
+class TestCleanConesUntouched:
+    @given(multi_output_networks(), st.data())
+    @settings(**SETTINGS)
+    def test_clean_rows_are_byte_identical(self, net, data):
+        session = NetworkSession(net)
+        edit = _draw_valid_resubstitute(data, session.network)
+        if edit is None:
+            return
+        rows_before = {
+            k: json.dumps(v, sort_keys=True) for k, v in session.rows().items()
+        }
+        result = session.apply_edit(edit)
+        rows_after = session.rows()
+        for name in set(net.outputs) - set(result.candidates):
+            assert (
+                json.dumps(rows_after[name], sort_keys=True)
+                == rows_before[name]
+            ), name
+
+
+class TestFullRecomputeParity:
+    @given(multi_output_networks(), st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_edited_session_matches_cold_run(self, net, data):
+        session = NetworkSession(net)
+        for _ in range(data.draw(st.integers(1, 3), label="edits")):
+            edit = _draw_valid_resubstitute(data, session.network)
+            if edit is None:
+                break
+            session.apply_edit(edit)
+        assert session.verify_against_full_recompute() == []

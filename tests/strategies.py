@@ -44,3 +44,30 @@ def small_networks(draw, n_inputs=4, max_gates=7, max_fanin=3, name="hyp_net"):
         signals.append(gate)
     net.set_outputs([signals[-1]])
     return net
+
+
+@st.composite
+def multi_output_networks(
+    draw, n_inputs=4, max_gates=7, max_fanin=3, max_outputs=3, name="hyp_net"
+):
+    """A :func:`small_networks` draw re-targeted at several outputs.
+
+    The ECO property tests need distinct per-output cones, so instead of
+    the single last gate, a random non-empty subset of the gates (up to
+    ``max_outputs``, always including the last gate so every draw keeps
+    at least one deep cone) becomes the primary-output list.
+    """
+    net = draw(
+        small_networks(
+            n_inputs=n_inputs, max_gates=max_gates, max_fanin=max_fanin, name=name
+        )
+    )
+    gates = [n for n in net.nodes if not net.nodes[n].is_input]
+    extras = draw(
+        st.lists(
+            st.sampled_from(gates), max_size=max_outputs - 1, unique=True
+        )
+    )
+    outputs = sorted(set(extras) | {gates[-1]})
+    net.set_outputs(outputs)
+    return net
