@@ -17,6 +17,8 @@ Usage::
     python scripts/check_bdd_engine_regression.py --parallel --smoke
     python scripts/check_bdd_engine_regression.py --array-backend
     python scripts/check_bdd_engine_regression.py --array-backend --smoke
+    python scripts/check_bdd_engine_regression.py --serve
+    python scripts/check_bdd_engine_regression.py --serve --smoke
 
 ``--update`` re-measures and rewrites the ``baseline`` block (the
 ``pre_pr`` block is historical and never rewritten).
@@ -43,6 +45,18 @@ edit; the locality-heavy trace must beat per-edit full recompute by
 ``min_speedup_locality``, and (full mode only) the incremental wall must
 stay within ``wall_tolerance`` of the recorded baseline.
 
+``--serve`` switches to the ``BENCH_serve.json`` gate: ``bench_serve.py``
+is run in script mode (``--smoke`` passes the flag through — the CI
+configuration), which times cold ``repro required`` CLI invocations
+against a warm ``repro serve`` daemon under a seeded open-loop load,
+asserts served-row parity against the serial in-process analysis, and
+proves single-flight coalescing through the daemon's own ``/metrics``
+counters; every circuit must clear ``min_warm_speedup``, the coalescing
+hit rate must clear ``min_coalesce_hit_rate``, the served throughput
+must reach ``min_throughput_fraction`` of the offered load, and (full
+mode only) the warm p50 must stay within ``warm_p50_tolerance`` of the
+recorded baseline.
+
 ``--parallel`` switches to the ``BENCH_parallel.json`` gate: the
 benchmark script modes are run at ``--jobs 1`` and ``--jobs <cores>``
 and must produce bit-identical canonical rows; the serial wall must stay
@@ -68,6 +82,7 @@ REPO = Path(__file__).resolve().parent.parent
 BASELINE_FILE = REPO / "BENCH_bdd_engine.json"
 PARALLEL_BASELINE_FILE = REPO / "BENCH_parallel.json"
 ECO_BASELINE_FILE = REPO / "BENCH_eco.json"
+SERVE_BASELINE_FILE = REPO / "BENCH_serve.json"
 
 BENCHMARKS = [
     "benchmarks/bench_table1.py",
@@ -323,6 +338,108 @@ def check_eco(update: bool, smoke: bool) -> int:
 
 
 # ----------------------------------------------------------------------
+# the analysis-daemon gate (BENCH_serve.json)
+# ----------------------------------------------------------------------
+def run_bench_serve(smoke: bool, out: Path) -> dict:
+    """One ``bench_serve.py`` script-mode run; returns its JSON payload.
+
+    The script itself hard-fails (rc 1) on parity divergence, a missed
+    per-circuit warm-speedup floor, or a coalescing probe that costs
+    more than one computation, so a non-zero exit is already a gate
+    failure.
+    """
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    cmd = [sys.executable, "bench_serve.py", "--json", str(out)]
+    if smoke:
+        cmd.append("--smoke")
+    result = subprocess.run(
+        cmd,
+        cwd=REPO / "benchmarks",
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    sys.stdout.write(result.stdout)
+    if result.returncode != 0:
+        raise SystemExit(f"bench_serve failed (rc={result.returncode})")
+    return json.loads(out.read_text())
+
+
+def check_serve(update: bool, smoke: bool) -> int:
+    data = load_baseline(SERVE_BASELINE_FILE)
+    gates = data["gates"]
+    out = Path("/tmp") / ("bench_serve_smoke.json" if smoke else "bench_serve.json")
+    print(f"running bench_serve.py{' --smoke' if smoke else ''} ...", flush=True)
+    payload = run_bench_serve(smoke, out)
+
+    ok = True
+    if not all(payload["parity"].values()):
+        # bench_serve asserts parity itself; belt-and-braces re-check
+        print("serve: PARITY FAIL — served rows diverged from the serial run")
+        ok = False
+    floor = gates["min_warm_speedup"]
+    worst = min(payload["speedups"], key=payload["speedups"].get)
+    verdict = "ok" if payload["speedups"][worst] >= floor else "FAIL"
+    if payload["speedups"][worst] < floor:
+        ok = False
+    print(
+        f"serve: worst warm speedup {payload['speedups'][worst]:.1f}x "
+        f"({worst}; floor {floor:.1f}x)  {verdict}"
+    )
+    rate = payload["coalescing"]["hit_rate"]
+    floor = gates["min_coalesce_hit_rate"]
+    verdict = "ok" if rate >= floor else "FAIL"
+    if rate < floor:
+        ok = False
+    print(f"serve: coalescing hit rate {rate:.0%} (floor {floor:.0%})  {verdict}")
+    served = payload["load"]["throughput_rps"]
+    need = gates["min_throughput_fraction"] * payload["load"]["offered_rps"]
+    verdict = "ok" if served >= need else "FAIL"
+    if served < need:
+        ok = False
+    print(
+        f"serve: throughput {served:.1f} rps "
+        f"(floor {need:.1f} of {payload['load']['offered_rps']:.0f} offered)  "
+        f"{verdict}"
+    )
+
+    if update:
+        if smoke:
+            raise SystemExit("error: refusing --serve --update --smoke — the "
+                             "baseline records the full-size load")
+        data["baseline"] = {
+            "python": sys.version.split()[0],
+            "cold_cli_p50_seconds": payload["cold_cli_p50_seconds"],
+            "warm_p50_seconds": payload["load"]["p50_seconds"],
+            "warm_p99_seconds": payload["load"]["p99_seconds"],
+            "throughput_rps": payload["load"]["throughput_rps"],
+            "offered_rps": payload["load"]["offered_rps"],
+            "speedups": payload["speedups"],
+        }
+        SERVE_BASELINE_FILE.write_text(json.dumps(data, indent=2) + "\n")
+        print(f"baseline updated in {SERVE_BASELINE_FILE.name}")
+        return 0 if ok else 1
+
+    if not smoke:
+        # the wall gate needs the full-size load the baseline records;
+        # the smoke subset offers less traffic and would always "pass"
+        tolerance = gates["warm_p50_tolerance"]
+        base = data["baseline"]["warm_p50_seconds"]
+        wall = payload["load"]["p50_seconds"]
+        within = wall <= base * (1.0 + tolerance)
+        verdict = "ok" if within else "FAIL"
+        if not within:
+            ok = False
+        print(
+            f"serve: warm p50 {wall:.6f}s "
+            f"(baseline {base:.6f}s +{tolerance:.0%})  {verdict}"
+        )
+    return 0 if ok else 1
+
+
+# ----------------------------------------------------------------------
 # the object-vs-array kernel gate (BENCH_bdd_engine.json "array_backend")
 # ----------------------------------------------------------------------
 def run_table1_subset(methods: str, backend: str, out: Path,
@@ -493,7 +610,8 @@ def main() -> int:
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="with --parallel/--array-backend/--eco: the fast CI smoke subset",
+        help="with --parallel/--array-backend/--eco/--serve: the fast CI "
+             "smoke subset",
     )
     parser.add_argument(
         "--array-backend",
@@ -505,6 +623,11 @@ def main() -> int:
         action="store_true",
         help="run the BENCH_eco.json incremental-vs-full gate instead",
     )
+    parser.add_argument(
+        "--serve",
+        action="store_true",
+        help="run the BENCH_serve.json warm-daemon gate instead",
+    )
     args = parser.parse_args()
 
     if args.parallel:
@@ -513,6 +636,8 @@ def main() -> int:
         return check_array_backend(update=args.update, smoke=args.smoke)
     if args.eco:
         return check_eco(update=args.update, smoke=args.smoke)
+    if args.serve:
+        return check_serve(update=args.update, smoke=args.smoke)
 
     data = load_baseline(BASELINE_FILE)
     times = measure()

@@ -13,8 +13,9 @@ cannot silently drift from the code:
    options that subcommand defines — no missing flags, no stale ones.
    Every top-level command name must also appear in the README.
 3. **Docstring coverage** — `src/repro/cache/` (the subsystem this gate
-   shipped with) and `src/repro/eco/` (the session/edit API documented
-   by docs/ECO.md) must keep module/class/function docstring coverage
+   shipped with), `src/repro/eco/` (the session/edit API documented by
+   docs/ECO.md), and `src/repro/serve/` (the daemon documented by
+   docs/SERVING.md) must keep module/class/function docstring coverage
    at or above 90%.
 
 Usage: ``python scripts/check_docs.py [--verbose]`` — exits non-zero
@@ -48,6 +49,7 @@ ROOT_DOCS = [
 COVERAGE_TARGETS = [
     os.path.join("src", "repro", "cache"),
     os.path.join("src", "repro", "eco"),
+    os.path.join("src", "repro", "serve"),
 ]
 COVERAGE_FLOOR = 0.90
 

@@ -25,6 +25,9 @@ Commands
   ``required --trace`` (or convert it to Chrome ``about:tracing`` JSON).
 * ``cache``    — inspect and maintain the persistent result cache
   (``stats`` / ``clear`` / ``gc``); see docs/CACHING.md.
+* ``serve``    — run the analysis daemon: warm circuit registry,
+  request coalescing, bounded admission with backpressure, ECO session
+  endpoints, and ``/metrics`` + ``/trace`` surfaces (docs/SERVING.md).
 
 Netlists are read from BLIF (``.blif``) or ISCAS bench (``.bench``)
 files, chosen by extension.  All analyses default to the paper's setup:
@@ -586,6 +589,44 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the analysis daemon in the foreground until SIGINT/SIGTERM.
+
+    Prints ``serving on http://<host>:<port>`` once bound (port 0 picks
+    a free port), so wrappers can scrape the address; see docs/SERVING.md
+    for the endpoint reference.
+    """
+    from repro.cache import default_cache_dir
+    from repro.serve import ReproServer, ServerConfig
+
+    if args.jobs < 0:
+        print(f"error: --jobs must be >= 0 (got {args.jobs})", file=sys.stderr)
+        return 2
+    cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        cache_dir=cache_dir,
+        max_queue=args.max_queue,
+        max_circuits=args.max_circuits,
+        max_sessions=args.max_sessions,
+        session_idle_seconds=args.session_idle,
+        task_timeout=args.task_timeout,
+        debug_handlers=args.debug_handlers,
+    )
+    server = ReproServer(config)
+    for path in args.preload:
+        entry = server.registry.register(load_network(path))
+        print(f"preloaded {path} as {entry.digest}", file=sys.stderr)
+
+    def on_ready(srv) -> None:
+        print(f"serving on http://{srv.host}:{srv.port}", flush=True)
+
+    server.serve_forever(on_ready)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -756,6 +797,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-paths", type=int, default=10_000)
     p.add_argument("--limit", type=int, default=20)
     p.set_defaults(func=cmd_paths)
+
+    p = sub.add_parser("serve", help="run the analysis daemon")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default: loopback only)")
+    p.add_argument("--port", type=int, default=8787,
+                   help="bind port (0 = pick a free port)")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker-pool size; 0 runs analyses in-process "
+                        "without the fault envelope")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="shared disk tier of the result cache "
+                        "(default: $REPRO_CACHE_DIR)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="memory-only result cache (ignore $REPRO_CACHE_DIR)")
+    p.add_argument("--max-queue", type=int, default=32, metavar="N",
+                   help="admission queue bound; overflow is a 429 + Retry-After")
+    p.add_argument("--max-circuits", type=int, default=64, metavar="N",
+                   help="warm circuit registry capacity (LRU)")
+    p.add_argument("--max-sessions", type=int, default=32, metavar="N",
+                   help="live ECO session capacity")
+    p.add_argument("--session-idle", type=float, default=3600.0, metavar="SEC",
+                   help="evict sessions idle longer than this")
+    p.add_argument("--task-timeout", type=float, default=None, metavar="SEC",
+                   help="per-attempt wall budget before kill-and-requeue")
+    p.add_argument("--debug-handlers", action="store_true",
+                   help="expose /debug/task and /debug/shutdown "
+                        "(fault-injection tests and benchmarks)")
+    p.add_argument("--preload", nargs="*", default=[], metavar="NETLIST",
+                   help="netlist files to parse into the warm registry at boot")
+    p.set_defaults(func=cmd_serve)
 
     return parser
 

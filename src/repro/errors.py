@@ -67,6 +67,30 @@ class ObsError(ReproError):
     unknown export format...)."""
 
 
+class ServeError(ReproError):
+    """A structured serving-layer failure with an HTTP mapping.
+
+    Every error the ``repro serve`` daemon returns to a client is one of
+    these: ``status`` is the HTTP status code, ``code`` a stable
+    machine-readable identifier (``"queue-full"``, ``"session-not-found"``,
+    ``"invalid-edit"``, ...), and ``retry_after`` an optional hint in
+    seconds for 429 responses (docs/SERVING.md).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        status: int = 400,
+        code: str = "bad-request",
+        retry_after: float | None = None,
+    ):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.retry_after = retry_after
+
+
 class ResourceLimitError(ReproError):
     """An analysis exceeded a user-imposed resource budget.
 

@@ -38,13 +38,14 @@ from repro.fuzz.eco import (
     ECO_CHECKS,
     EcoTrace,
     eco_failure_predicate,
+    edits_replay_cleanly,
     generate_eco_trace,
     run_eco_differential,
     shrink_eco_trace,
 )
 from repro.fuzz.gen import PROFILES, FuzzCase, FuzzProfile, generate_case, iter_cases
 from repro.fuzz.runner import FuzzReport, FuzzRunner
-from repro.fuzz.shrink import failure_predicate, shrink_case
+from repro.fuzz.shrink import case_candidates, failure_predicate, shrink_case
 
 __all__ = [
     "CaseResult",
@@ -58,7 +59,9 @@ __all__ = [
     "FuzzReport",
     "FuzzRunner",
     "PROFILES",
+    "case_candidates",
     "eco_failure_predicate",
+    "edits_replay_cleanly",
     "failure_predicate",
     "generate_case",
     "generate_eco_trace",

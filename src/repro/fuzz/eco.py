@@ -468,20 +468,66 @@ def eco_failure_predicate(
     return predicate
 
 
+def edits_replay_cleanly(case: FuzzCase, edits: Sequence[Edit]) -> bool:
+    """Whether ``edits`` validate and apply in order against ``case``.
+
+    The same replica/delays/required maintenance as
+    :func:`generate_eco_trace`, reduced to a boolean — the cheap
+    pre-filter that lets base-circuit shrinking discard a surgically
+    altered netlist whose edit preconditions broke without spending a
+    full predicate evaluation on it.
+    """
+    from repro.timing.delay import unit_delay
+
+    replica = case.network.copy()
+    delays = case.delays if case.delays is not None else unit_delay()
+    required = dict(case.required_map())
+    for edit in edits:
+        try:
+            edit.validate(replica, delays, required)
+            effect = edit.apply(replica, delays, required)
+        except EcoError:
+            return False
+        if effect.delays is not None:
+            delays = effect.delays
+        if effect.required is not None:
+            required = dict(effect.required)
+            for name in list(required):
+                if name not in replica.outputs:
+                    required.pop(name)
+    return True
+
+
 def shrink_eco_trace(
     trace: EcoTrace,
     predicate: EcoPredicate,
     max_evals: int = 100,
 ) -> EcoTrace:
-    """Greedy fixpoint minimization of the edit list under ``predicate``.
+    """Greedy fixpoint minimization of the edit list *and* the base
+    circuit under ``predicate``.
 
-    Tries suffix truncation first (a parity divergence found after edit
-    *i* rarely needs the edits after it), then single-edit deletion,
-    newest first.  Deterministic candidate order, so shrinking is
-    reproducible.  The base circuit is left alone — edit preconditions
-    are too entangled with the netlist for blind structural surgery.
+    Edit-list passes run first: suffix truncation (a parity divergence
+    found after edit *i* rarely needs the edits after it), then
+    single-edit deletion, newest first.  When the edit list is locally
+    minimal, a base-surgery pass tries every one-step simplification of
+    the seed netlist from the circuit shrinker
+    (:func:`repro.fuzz.shrink.case_candidates` — drop outputs, bypass
+    gates, cofactor away fanins, merge inputs, simplify the
+    environment), pre-filtered by :func:`edits_replay_cleanly` so a
+    candidate whose edit preconditions broke is discarded for free.
+    Any accepted candidate restarts the pass list.  Deterministic
+    candidate order, so shrinking is reproducible; ``max_evals`` caps
+    predicate evaluations (pre-filter rejections are not charged).
     """
     import dataclasses
+
+    from repro.fuzz.shrink import case_candidates
+
+    def try_candidate(candidate: EcoTrace) -> bool:
+        try:
+            return predicate(candidate)
+        except Exception:  # noqa: BLE001 - a crashier candidate is
+            return False  # a *different* repro; stay on course
 
     current = trace
     evals = 0
@@ -501,11 +547,26 @@ def shrink_eco_trace(
                 continue
             candidate = dataclasses.replace(current, edits=list(edits))
             evals += 1
+            if try_candidate(candidate):
+                current = candidate
+                progress = True
+                break
+        if progress:
+            continue  # re-minimize the edit list before more surgery
+        for case in case_candidates(current.case):
+            if evals >= max_evals:
+                break
+            if not case.network.outputs or not case.network.inputs:
+                continue
             try:
-                keep_it = predicate(candidate)
-            except Exception:  # noqa: BLE001 - a crashier candidate is
-                keep_it = False  # a *different* repro; stay on course
-            if keep_it:
+                case.network.validate()
+            except Exception:  # pragma: no cover - defensive
+                continue
+            if not edits_replay_cleanly(case, current.edits):
+                continue  # free skip: the trace no longer applies
+            candidate = dataclasses.replace(current, case=case)
+            evals += 1
+            if try_candidate(candidate):
                 current = candidate
                 progress = True
                 break
@@ -538,6 +599,7 @@ __all__ = [
     "ECO_CHECKS",
     "EcoTrace",
     "eco_failure_predicate",
+    "edits_replay_cleanly",
     "generate_eco_trace",
     "run_eco_differential",
     "shrink_eco_trace",

@@ -222,6 +222,16 @@ def _candidates(case: FuzzCase) -> Iterator[FuzzCase]:
         yield _with_network(case, _rebuild(net, {}, set(dead)))
 
 
+def case_candidates(case: FuzzCase) -> Iterator[FuzzCase]:
+    """Every one-step simplification of ``case``, deterministic order,
+    most aggressive first — the same candidate stream :func:`shrink_case`
+    consumes.  Public so the ECO shrinker can reuse it for base-circuit
+    surgery (:func:`repro.fuzz.eco.shrink_eco_trace`): there the stream
+    is pre-filtered by replaying the edit trace, not by a differential
+    run."""
+    return _candidates(case)
+
+
 def shrink_case(
     case: FuzzCase,
     predicate: Predicate,
@@ -259,4 +269,4 @@ def shrink_case(
     return current
 
 
-__all__ = ["Predicate", "failure_predicate", "shrink_case"]
+__all__ = ["Predicate", "case_candidates", "failure_predicate", "shrink_case"]

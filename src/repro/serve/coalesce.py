@@ -1,0 +1,70 @@
+"""In-flight request coalescing keyed by the result-cache digest.
+
+Two identical ``required`` requests — same circuit digest, same method,
+same delay spec, same semantic options, i.e. the same
+:func:`repro.cache.required_key` digest — share one computation.  The
+first arrival (the *leader*) creates an :class:`asyncio.Future`, runs the
+work, and publishes the result; concurrent arrivals (*joiners*) await the
+same future.  The cache key already makes "identical" exact, so
+coalescing is safe by construction: a joiner gets byte-identical rows to
+what the leader stored.
+
+All methods run on the event-loop thread; no locking is needed beyond
+the loop's own serialization.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable
+
+from ..obs import REGISTRY
+
+
+class Coalescer:
+    """Single-flight map: digest -> in-flight :class:`asyncio.Future`."""
+
+    def __init__(self):
+        self._inflight: dict[str, asyncio.Future] = {}
+        #: lifetime counts, mirrored into the ``serve.coalesced`` counter
+        self.joined = 0
+        self.led = 0
+
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+    async def run(self, digest: str, compute: Callable[[], Awaitable[dict]]) -> tuple[dict, bool]:
+        """Run ``compute`` once per concurrent digest; returns
+        ``(result, joined)`` where ``joined`` is True when this caller
+        piggybacked on a leader's in-flight computation.
+
+        The leader's exception (if any) propagates to every joiner — a
+        failed computation fails the whole coalesced group rather than
+        retrying N times.
+        """
+        existing = self._inflight.get(digest)
+        if existing is not None:
+            self.joined += 1
+            REGISTRY.counter("serve.coalesced").inc()
+            return await asyncio.shield(existing), True
+
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        # Joiners may all be cancelled before the leader resolves the
+        # future; retrieve the exception so the loop never logs an
+        # "exception was never retrieved" warning.
+        future.add_done_callback(lambda f: f.cancelled() or f.exception())
+        self._inflight[digest] = future
+        self.led += 1
+        try:
+            result = await compute()
+        except BaseException as exc:
+            if not future.done():
+                future.set_exception(exc)
+            raise
+        else:
+            if not future.done():
+                future.set_result(result)
+            return result, False
+        finally:
+            self._inflight.pop(digest, None)

@@ -1,0 +1,182 @@
+"""Minimal HTTP/1.1 framing for the analysis daemon.
+
+The server speaks just enough HTTP for JSON request/response traffic:
+request-line + headers + ``Content-Length`` bodies in, fixed-length JSON
+responses out (no chunked encoding, no multipart, no TLS).  Everything is
+stdlib — ``asyncio`` streams on the read side, plain byte assembly on the
+write side — so the daemon adds no dependencies (docs/SERVING.md).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+
+from ..errors import ServeError
+
+#: Upper bound on a request body; larger uploads are rejected with 413.
+DEFAULT_MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Upper bound on a single header line (request line included).
+MAX_LINE_BYTES = 16 * 1024
+
+#: Reason phrases for the status codes the daemon actually emits.
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request: method, split path, headers, raw body."""
+
+    method: str
+    path: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def parts(self) -> list[str]:
+        """Path segments with the query string stripped, e.g.
+        ``/sessions/s-1/edits`` -> ``["sessions", "s-1", "edits"]``."""
+        path = self.path.split("?", 1)[0]
+        return [p for p in path.split("/") if p]
+
+    @property
+    def query(self) -> dict[str, str]:
+        """Query parameters as a flat ``str -> str`` map (last wins)."""
+        if "?" not in self.path:
+            return {}
+        out: dict[str, str] = {}
+        for chunk in self.path.split("?", 1)[1].split("&"):
+            if not chunk:
+                continue
+            key, _, value = chunk.partition("=")
+            out[key] = value
+        return out
+
+    def json(self) -> dict:
+        """Decode the body as a JSON object (empty body -> ``{}``).
+
+        Raises :class:`ServeError` (400, ``invalid-json``) on malformed
+        payloads so route handlers never see a ``json.JSONDecodeError``.
+        """
+        if not self.body:
+            return {}
+        try:
+            payload = json.loads(self.body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ServeError(
+                f"request body is not valid JSON: {exc}",
+                status=400,
+                code="invalid-json",
+            ) from exc
+        if not isinstance(payload, dict):
+            raise ServeError(
+                "request body must be a JSON object",
+                status=400,
+                code="invalid-json",
+            )
+        return payload
+
+
+async def read_request(
+    reader: asyncio.StreamReader, max_body: int = DEFAULT_MAX_BODY_BYTES
+) -> Request | None:
+    """Read one request off ``reader``; ``None`` on clean EOF.
+
+    Raises :class:`ServeError` on malformed framing (bad request line,
+    oversized body, truncated stream mid-request).
+    """
+    try:
+        line = await reader.readline()
+    except (ConnectionError, asyncio.LimitOverrunError):
+        return None
+    if not line or not line.strip():
+        return None
+    if len(line) > MAX_LINE_BYTES:
+        raise ServeError("request line too long", status=400, code="bad-request-line")
+    try:
+        method, path, _version = line.decode("latin-1").strip().split(" ", 2)
+    except ValueError as exc:
+        raise ServeError(
+            "malformed request line", status=400, code="bad-request-line"
+        ) from exc
+
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if not line:
+            raise ServeError(
+                "connection closed mid-headers", status=400, code="truncated-request"
+            )
+        if line in (b"\r\n", b"\n"):
+            break
+        if len(line) > MAX_LINE_BYTES:
+            raise ServeError("header line too long", status=400, code="bad-request-line")
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError as exc:
+        raise ServeError(
+            f"bad Content-Length: {length_text!r}", status=400, code="bad-request-line"
+        ) from exc
+    if length > max_body:
+        raise ServeError(
+            f"request body of {length} bytes exceeds limit {max_body}",
+            status=413,
+            code="body-too-large",
+        )
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise ServeError(
+                "connection closed mid-body", status=400, code="truncated-request"
+            ) from exc
+    return Request(method=method.upper(), path=path, headers=headers, body=body)
+
+
+def response_bytes(
+    status: int,
+    payload: dict,
+    *,
+    headers: dict[str, str] | None = None,
+    keep_alive: bool = True,
+) -> bytes:
+    """Assemble a complete JSON response (status line, headers, body)."""
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    reason = REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def error_payload(exc: ServeError) -> tuple[int, dict, dict[str, str]]:
+    """Map a :class:`ServeError` to ``(status, json_payload, extra_headers)``."""
+    headers: dict[str, str] = {}
+    if exc.retry_after is not None:
+        headers["Retry-After"] = str(max(1, int(round(exc.retry_after))))
+    payload = {"error": exc.code, "message": str(exc)}
+    if exc.retry_after is not None:
+        payload["retry_after"] = max(1, int(round(exc.retry_after)))
+    return exc.status, payload, headers

@@ -1,0 +1,131 @@
+"""Warm circuit registry keyed by the content digest.
+
+The daemon parses each netlist once and keeps the resulting
+:class:`~repro.network.Network` warm, keyed by the PR-5
+structure-only digest (:func:`repro.cache.network_digest`).  Clients then
+address circuits by digest — the same identity the result cache uses — so
+"same circuit" is exact, not name-based.  A bounded LRU keeps memory
+predictable under many distinct uploads.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..cache import network_digest
+from ..errors import ParseError, ServeError
+from ..network import Network, parse_bench, parse_blif
+from ..parallel.tasks import _builtin_factory
+
+
+@dataclass
+class RegisteredCircuit:
+    """One warm entry: the parsed network plus its identity digest."""
+
+    digest: str
+    network: Network
+
+    def describe(self) -> dict:
+        """JSON summary used by ``GET /circuits``."""
+        return {
+            "digest": self.digest,
+            "name": self.network.name,
+            "inputs": self.network.num_inputs,
+            "outputs": self.network.num_outputs,
+            "gates": self.network.num_gates,
+        }
+
+
+class CircuitRegistry:
+    """Bounded LRU of parsed networks keyed by content digest."""
+
+    def __init__(self, max_circuits: int = 64):
+        if max_circuits < 1:
+            raise ValueError(f"max_circuits must be >= 1, got {max_circuits}")
+        self.max_circuits = max_circuits
+        self._entries: OrderedDict[str, RegisteredCircuit] = OrderedDict()
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def register(self, network: Network) -> RegisteredCircuit:
+        """Insert (or refresh) a parsed network; returns its entry.
+
+        Registering the same structure twice is idempotent — the digest
+        collides and the existing entry is reused.
+        """
+        digest = network_digest(network)
+        entry = self._entries.get(digest)
+        if entry is None:
+            entry = RegisteredCircuit(digest=digest, network=network)
+            self._entries[digest] = entry
+        self._entries.move_to_end(digest)
+        while len(self._entries) > self.max_circuits:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return entry
+
+    def register_source(self, spec: dict) -> RegisteredCircuit:
+        """Parse and register a circuit from a client-supplied spec.
+
+        Accepted shapes: ``{"netlist": <text>, "format": "blif"|"bench"}``
+        or ``{"factory": "mcnc:c432"}`` (the built-in circuit factories).
+        Raises :class:`ServeError` on anything else.
+        """
+        if "netlist" in spec:
+            fmt = spec.get("format", "blif")
+            text = spec["netlist"]
+            if not isinstance(text, str):
+                raise ServeError(
+                    "'netlist' must be a string", status=400, code="bad-circuit"
+                )
+            try:
+                if fmt == "blif":
+                    network = parse_blif(text)
+                elif fmt == "bench":
+                    network = parse_bench(text)
+                else:
+                    raise ServeError(
+                        f"unknown netlist format {fmt!r}",
+                        status=400,
+                        code="bad-circuit",
+                    )
+            except ParseError as exc:
+                raise ServeError(
+                    f"netlist parse failed: {exc}", status=400, code="bad-circuit"
+                ) from exc
+            return self.register(network)
+        if "factory" in spec:
+            name = spec["factory"]
+            try:
+                network = _builtin_factory(name)()
+            except Exception as exc:
+                raise ServeError(
+                    f"unknown circuit factory {name!r}: {exc}",
+                    status=400,
+                    code="bad-circuit",
+                ) from exc
+            return self.register(network)
+        raise ServeError(
+            "circuit spec needs 'netlist' or 'factory'",
+            status=400,
+            code="bad-circuit",
+        )
+
+    def get(self, digest: str) -> RegisteredCircuit:
+        """Look up a warm circuit; 404 :class:`ServeError` when absent."""
+        entry = self._entries.get(digest)
+        if entry is None:
+            raise ServeError(
+                f"no registered circuit with digest {digest!r}",
+                status=404,
+                code="circuit-not-found",
+            )
+        self._entries.move_to_end(digest)
+        return entry
+
+    def describe_all(self) -> list[dict]:
+        """JSON summaries for every warm circuit (most recent last)."""
+        return [entry.describe() for entry in self._entries.values()]

@@ -1,0 +1,138 @@
+"""Server-side :class:`~repro.eco.NetworkSession` lifecycle management.
+
+Each HTTP session wraps one ``NetworkSession`` (PR 7's incremental ECO
+engine): create it from a registered circuit, stream edits at it, and
+re-query rows at keystroke latency because only dirty cones recompute.
+The store enforces a capacity bound and idle eviction so abandoned
+sessions cannot pin memory forever; an evicted or unknown id is a
+structured 404 (``session-not-found``), never a silent recreate.
+
+All mutating calls are routed through the server's single dispatcher
+thread (see :mod:`repro.serve.app`), which gives the ECO atomicity
+contract — an invalid edit leaves the session observably unchanged —
+for free over HTTP: there is no interleaving to defend against.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..eco import NetworkSession
+from ..errors import ServeError
+
+
+@dataclass
+class SessionEntry:
+    """One live session plus its bookkeeping."""
+
+    session_id: str
+    session: NetworkSession
+    circuit_digest: str
+    created: float
+    last_used: float
+    edits_accepted: int = 0
+    edits_rejected: int = 0
+    meta: dict = field(default_factory=dict)
+
+    def describe(self) -> dict:
+        """JSON summary used by ``GET /sessions`` and ``GET /sessions/<id>``."""
+        return {
+            "id": self.session_id,
+            "circuit": self.circuit_digest,
+            "method": self.session.method,
+            "edits_applied": self.session.edits_applied,
+            "edits_rejected": self.edits_rejected,
+            "failed": self.session.failed,
+            "idle_seconds": round(time.monotonic() - self.last_used, 3),
+        }
+
+
+class SessionStore:
+    """Bounded map of live sessions with idle eviction.
+
+    Eviction is sweep-on-access: every public operation first drops
+    entries idle longer than ``idle_seconds``.  That keeps the store
+    timer-free (no background thread to leak) while guaranteeing a
+    stale id can never be observed past its deadline.
+    """
+
+    def __init__(self, max_sessions: int = 32, idle_seconds: float = 3600.0):
+        if max_sessions < 1:
+            raise ValueError(f"max_sessions must be >= 1, got {max_sessions}")
+        self.max_sessions = max_sessions
+        self.idle_seconds = idle_seconds
+        self._entries: dict[str, SessionEntry] = {}
+        self._next_id = 0
+        self.evicted = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def sweep(self, now: float | None = None) -> int:
+        """Evict idle sessions; returns how many were dropped."""
+        now = time.monotonic() if now is None else now
+        stale = [
+            sid
+            for sid, entry in self._entries.items()
+            if now - entry.last_used > self.idle_seconds
+        ]
+        for sid in stale:
+            del self._entries[sid]
+            self.evicted += 1
+        return len(stale)
+
+    def create(
+        self, session: NetworkSession, circuit_digest: str, meta: dict | None = None
+    ) -> SessionEntry:
+        """Admit a new session; 429 :class:`ServeError` at capacity."""
+        self.sweep()
+        if len(self._entries) >= self.max_sessions:
+            raise ServeError(
+                f"session capacity {self.max_sessions} reached",
+                status=429,
+                code="too-many-sessions",
+                retry_after=self.idle_seconds,
+            )
+        self._next_id += 1
+        sid = f"s-{self._next_id}"
+        now = time.monotonic()
+        entry = SessionEntry(
+            session_id=sid,
+            session=session,
+            circuit_digest=circuit_digest,
+            created=now,
+            last_used=now,
+            meta=dict(meta or {}),
+        )
+        self._entries[sid] = entry
+        return entry
+
+    def get(self, session_id: str) -> SessionEntry:
+        """Look up a live session, refreshing its idle clock.
+
+        Unknown *and* idle-evicted ids both raise the same structured
+        404 — a client cannot distinguish "never existed" from "expired",
+        and must not try to (docs/SERVING.md).
+        """
+        self.sweep()
+        entry = self._entries.get(session_id)
+        if entry is None:
+            raise ServeError(
+                f"no live session {session_id!r} (unknown or idle-evicted)",
+                status=404,
+                code="session-not-found",
+            )
+        entry.last_used = time.monotonic()
+        return entry
+
+    def delete(self, session_id: str) -> SessionEntry:
+        """Remove a session explicitly; 404 when absent."""
+        entry = self.get(session_id)
+        del self._entries[session_id]
+        return entry
+
+    def describe_all(self) -> list[dict]:
+        """JSON summaries of every live session (after a sweep)."""
+        self.sweep()
+        return [entry.describe() for entry in self._entries.values()]

@@ -1,0 +1,42 @@
+"""Tiny stdlib HTTP client shared by the serve integration tests.
+
+Every helper returns ``(status, payload, headers)`` and never raises on
+HTTP error statuses — 4xx/5xx bodies are structured JSON the tests
+assert on, not exceptions.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+
+class ServeClient:
+    """JSON-over-HTTP calls against one running ``ReproServer``."""
+
+    def __init__(self, port: int, host: str = "127.0.0.1", timeout: float = 60.0):
+        self.base = f"http://{host}:{port}"
+        self.timeout = timeout
+
+    def _call(self, method: str, path: str, payload: dict | None):
+        data = None if payload is None else json.dumps(payload).encode("utf-8")
+        request = urllib.request.Request(
+            self.base + path, data=data, method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return resp.status, json.loads(resp.read()), dict(resp.headers)
+        except urllib.error.HTTPError as exc:
+            body = exc.read()
+            return exc.code, json.loads(body) if body else {}, dict(exc.headers)
+
+    def get(self, path: str):
+        return self._call("GET", path, None)
+
+    def post(self, path: str, payload: dict | None = None):
+        return self._call("POST", path, payload or {})
+
+    def delete(self, path: str):
+        return self._call("DELETE", path, None)

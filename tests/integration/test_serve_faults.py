@@ -1,0 +1,138 @@
+"""Fault injection through the serving path.
+
+The daemon inherits the worker pool's fault envelope: a worker killed
+mid-request is replaced and the task requeued (the client sees a normal
+200, attempts > 1); an exhausted or deterministic failure is a
+structured 500 — never a hang.  On the cache side, a corrupt disk entry
+is quarantined as a miss and the response recomputed correctly.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cache import DiskStore, required_key
+from repro.circuits import figure4
+from repro.network import write_blif
+from repro.obs import REGISTRY
+from repro.serve import ReproServer, ServerConfig
+
+from tests.integration.serve_client import ServeClient
+
+FIG4_BLIF = write_blif(figure4())
+
+
+def counter_value(name: str) -> float:
+    return REGISTRY.snapshot().as_dict().get(name, 0.0)
+
+
+@pytest.fixture
+def pooled_server():
+    """A daemon backed by a real two-worker pool, debug handlers on."""
+    config = ServerConfig(port=0, jobs=2, debug_handlers=True)
+    with ReproServer(config) as server:
+        yield server
+
+
+class TestWorkerFaults:
+    def test_killed_worker_request_completes_via_requeue(self, pooled_server):
+        client = ServeClient(pooled_server.port)
+        deaths_before = counter_value("parallel.worker_deaths")
+        retries_before = counter_value("parallel.retries")
+        status, payload, _ = client.post(
+            "/debug/task", {"kind": "_test_kill", "payload": {"until_attempt": 2}}
+        )
+        assert status == 200
+        assert payload["ok"] is True
+        assert payload["value"]["survived"] is True
+        assert payload["attempts"] >= 2
+        assert counter_value("parallel.worker_deaths") - deaths_before >= 1
+        assert counter_value("parallel.retries") - retries_before >= 1
+
+    def test_exhausted_retries_is_structured_500_not_a_hang(self, pooled_server):
+        client = ServeClient(pooled_server.port)
+        # a worker that dies on every attempt exhausts max_retries
+        status, payload, _ = client.post(
+            "/debug/task",
+            {
+                "kind": "_test_kill",
+                "payload": {"until_attempt": 99},
+                "max_retries": 1,
+            },
+        )
+        assert status == 200  # the debug endpoint reports the outcome
+        assert payload["ok"] is False
+        assert payload["error_type"] == "PoolFault"
+
+    def test_clean_task_failure_is_structured(self, pooled_server):
+        client = ServeClient(pooled_server.port)
+        status, payload, _ = client.post(
+            "/debug/task", {"kind": "_test_fail", "payload": {"message": "boom"}}
+        )
+        assert status == 200
+        assert payload["ok"] is False
+        assert payload["error_type"] == "RuntimeError"
+        assert "boom" in payload["error"]
+
+    def test_kill_rejected_without_a_pool(self):
+        config = ServerConfig(port=0, jobs=0, debug_handlers=True)
+        with ReproServer(config) as server:
+            client = ServeClient(server.port)
+            status, payload, _ = client.post(
+                "/debug/task", {"kind": "_test_kill", "payload": {}}
+            )
+            assert status == 400
+            assert payload["error"] == "kill-needs-pool"
+
+    def test_debug_endpoints_require_opt_in(self):
+        with ReproServer(ServerConfig(port=0, jobs=0)) as server:
+            client = ServeClient(server.port)
+            status, payload, _ = client.post(
+                "/debug/task", {"kind": "_test_probe"}
+            )
+            assert status == 403
+            assert payload["error"] == "debug-disabled"
+
+
+class TestCorruptCacheEntry:
+    def test_quarantine_as_miss_still_serves_correct_response(self, tmp_path):
+        """Evict an entry from the memory tier, corrupt it on disk, and
+        re-request: the server unlinks the bad entry, recomputes, and the
+        row matches the original byte for byte."""
+        cache_dir = str(tmp_path / "cache")
+        config = ServerConfig(
+            port=0,
+            jobs=1,
+            cache_dir=cache_dir,
+            memory_entries=1,  # one slot: the second key evicts the first
+            debug_handlers=True,
+        )
+        with ReproServer(config) as server:
+            client = ServeClient(server.port)
+            req_a = {"circuit": {"netlist": FIG4_BLIF}, "method": "topological"}
+            req_b = {"circuit": {"netlist": FIG4_BLIF}, "method": "approx2"}
+            status, first, _ = client.post("/required", req_a)
+            assert status == 200 and first["cache"] == "miss"
+            status, other, _ = client.post("/required", req_b)
+            assert status == 200 and other["cache"] == "miss"
+
+            from pathlib import Path
+
+            key = required_key(figure4(), "topological")
+            path = Path(DiskStore(cache_dir).path_for(key.digest))
+            assert path.exists()
+            path.write_text("{ this is not json")
+
+            corrupt_before = counter_value("cache.corrupt_entries")
+            status, recomputed, _ = client.post("/required", req_a)
+            assert status == 200
+            assert recomputed["cache"] == "miss"  # quarantined, not served
+            assert counter_value("cache.corrupt_entries") - corrupt_before == 1
+            assert json.dumps(recomputed["row"], sort_keys=True) == json.dumps(
+                first["row"], sort_keys=True
+            )
+            # the quarantined file was replaced by the fresh entry
+            assert path.exists()
+            json.loads(path.read_text())

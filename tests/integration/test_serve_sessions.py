@@ -1,0 +1,168 @@
+"""ECO session lifecycle over HTTP.
+
+Sessions wrap :class:`repro.eco.NetworkSession` behind stateful
+endpoints.  The contracts under test: create → edit → re-query returns
+rows bit-identical to a local session (and passes the full-recompute
+verifier); an idle-evicted session id is a structured 404; an invalid
+edit is atomic — the server-side session state is observably unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.circuits import figure4
+from repro.eco import NetworkSession
+from repro.network import write_blif
+from repro.serve import ReproServer, ServerConfig
+
+from tests.integration.serve_client import ServeClient
+
+FIG4_BLIF = write_blif(figure4())
+
+#: an edit trace over figure4 (inputs x1/x2, gates w/z, output z)
+EDITS = [
+    {"kind": "set_delay", "name": "w", "delay": 3.0},
+    {"kind": "set_delay", "name": "z", "delay": 2.0},
+]
+
+
+@pytest.fixture
+def server():
+    with ReproServer(ServerConfig(port=0, jobs=1)) as srv:
+        yield srv
+
+
+def create_session(client, method="topological"):
+    status, payload, _ = client.post(
+        "/sessions", {"circuit": {"netlist": FIG4_BLIF}, "method": method}
+    )
+    assert status == 200
+    return payload
+
+
+class TestLifecycleParity:
+    def test_create_edit_requery_matches_local_session(self, server):
+        client = ServeClient(server.port)
+        created = create_session(client)
+        sid = created["session"]["id"]
+
+        local = NetworkSession(figure4(), method="topological")
+        assert json.dumps(created["rows"], sort_keys=True) == json.dumps(
+            json.loads(json.dumps(local.rows(), sort_keys=True)), sort_keys=True
+        )
+
+        status, edited, _ = client.post(f"/sessions/{sid}/edits", {"edits": EDITS})
+        assert status == 200
+        assert len(edited["edits"]) == len(EDITS)
+        for edit in EDITS:
+            local.apply_edit(edit)
+        assert json.dumps(edited["rows"], sort_keys=True) == json.dumps(
+            json.loads(json.dumps(local.rows(), sort_keys=True)), sort_keys=True
+        )
+        assert json.dumps(edited["merged"], sort_keys=True) == json.dumps(
+            json.loads(json.dumps(local.merged(), default=str, sort_keys=True)),
+            sort_keys=True,
+        )
+
+        # the server-side full-recompute verifier agrees
+        status, verdict, _ = client.post(f"/sessions/{sid}/verify")
+        assert status == 200
+        assert verdict["ok"] is True
+        assert verdict["problems"] == []
+        assert verdict["session"]["edits_applied"] == len(EDITS)
+
+    def test_get_and_list_and_delete(self, server):
+        client = ServeClient(server.port)
+        sid = create_session(client)["session"]["id"]
+        status, view, _ = client.get(f"/sessions/{sid}")
+        assert status == 200
+        assert view["session"]["id"] == sid
+        assert view["rows"]
+        status, listing, _ = client.get("/sessions")
+        assert sid in [s["id"] for s in listing["sessions"]]
+        status, deleted, _ = client.delete(f"/sessions/{sid}")
+        assert status == 200 and deleted["deleted"]["id"] == sid
+        status, payload, _ = client.get(f"/sessions/{sid}")
+        assert status == 404 and payload["error"] == "session-not-found"
+
+
+class TestIdleEviction:
+    def test_idle_session_is_structured_404(self):
+        config = ServerConfig(port=0, jobs=1, session_idle_seconds=0.2)
+        with ReproServer(config) as server:
+            client = ServeClient(server.port)
+            sid = create_session(client)["session"]["id"]
+            status, _, _ = client.get(f"/sessions/{sid}")
+            assert status == 200
+            time.sleep(0.4)
+            status, payload, _ = client.get(f"/sessions/{sid}")
+            assert status == 404
+            assert payload["error"] == "session-not-found"
+            assert "idle-evicted" in payload["message"]
+
+    def test_capacity_bound_is_429(self):
+        config = ServerConfig(port=0, jobs=1, max_sessions=1)
+        with ReproServer(config) as server:
+            client = ServeClient(server.port)
+            create_session(client)
+            status, payload, headers = client.post(
+                "/sessions", {"circuit": {"netlist": FIG4_BLIF}}
+            )
+            assert status == 429
+            assert payload["error"] == "too-many-sessions"
+            assert "Retry-After" in headers
+
+
+class TestEditAtomicity:
+    def test_invalid_edit_leaves_session_untouched(self, server):
+        client = ServeClient(server.port)
+        sid = create_session(client)["session"]["id"]
+        status, before, _ = client.get(f"/sessions/{sid}")
+        assert status == 200
+
+        status, rejected, _ = client.post(
+            f"/sessions/{sid}/edits",
+            {"edit": {"kind": "set_delay", "name": "no-such-node", "delay": 5.0}},
+        )
+        assert status == 400
+        assert rejected["error"] == "invalid-edit"
+
+        status, after, _ = client.get(f"/sessions/{sid}")
+        assert status == 200
+        assert json.dumps(after["rows"], sort_keys=True) == json.dumps(
+            before["rows"], sort_keys=True
+        )
+        assert after["session"]["edits_applied"] == 0
+        assert after["session"]["edits_rejected"] == 1
+        # and the session still verifies against a cold recompute
+        status, verdict, _ = client.post(f"/sessions/{sid}/verify")
+        assert verdict["ok"] is True
+
+    def test_multi_edit_payload_stops_at_first_invalid(self, server):
+        client = ServeClient(server.port)
+        sid = create_session(client)["session"]["id"]
+        status, payload, _ = client.post(
+            f"/sessions/{sid}/edits",
+            {
+                "edits": [
+                    {"kind": "set_delay", "name": "w", "delay": 4.0},
+                    {"kind": "set_delay", "name": "ghost", "delay": 1.0},
+                ]
+            },
+        )
+        assert status == 400 and payload["error"] == "invalid-edit"
+        # the valid prefix stays applied (each edit individually atomic)
+        status, view, _ = client.get(f"/sessions/{sid}")
+        assert view["session"]["edits_applied"] == 1
+        status, verdict, _ = client.post(f"/sessions/{sid}/verify")
+        assert verdict["ok"] is True
+
+    def test_malformed_edit_payload_is_400(self, server):
+        client = ServeClient(server.port)
+        sid = create_session(client)["session"]["id"]
+        status, payload, _ = client.post(f"/sessions/{sid}/edits", {})
+        assert status == 400 and payload["error"] == "bad-edit-payload"

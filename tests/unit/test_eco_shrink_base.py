@@ -1,0 +1,145 @@
+"""Base-circuit surgery in the ECO shrinker.
+
+``shrink_eco_trace`` historically minimized only the edit list; these
+tests pin the new base-surgery phase: the seed netlist itself shrinks
+through the circuit shrinker's one-step simplifications, with the edit
+trace replayed against every candidate as a precondition filter
+(``edits_replay_cleanly``), so a shrunk trace always still applies.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.eco import NetworkSession
+from repro.errors import EcoError
+from repro.fuzz import (
+    case_candidates,
+    edits_replay_cleanly,
+    generate_eco_trace,
+    load_corpus,
+    shrink_eco_trace,
+)
+from repro.fuzz.eco import trace_from_entry
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "..", "corpus")
+
+
+def load_eco_corpus_trace(stem: str):
+    """The rebuilt :class:`EcoTrace` of one committed corpus entry."""
+    for entry in load_corpus(CORPUS_DIR):
+        if stem in entry.json_path:
+            return trace_from_entry(entry.case, entry.metadata)
+    raise AssertionError(f"corpus entry {stem!r} not found")
+
+
+def replays_with_session(trace) -> bool:
+    """Ground-truth replay through a real session (the expensive check
+    ``edits_replay_cleanly`` approximates)."""
+    try:
+        session = NetworkSession(
+            trace.case.network,
+            method="topological",
+            delays=trace.case.delays,
+            output_required=trace.case.output_required,
+        )
+        session.apply_trace(trace.edits)
+    except EcoError:
+        return False
+    return True
+
+
+class TestEditsReplayCleanly:
+    def test_corpus_trace_replays(self):
+        trace = load_eco_corpus_trace("manual-0001-eco-stale_output")
+        assert trace.edits  # the entry carries a real edit trace
+        assert edits_replay_cleanly(trace.case, trace.edits)
+
+    def test_broken_preconditions_are_detected(self):
+        from repro.eco import SetDelay
+
+        trace = load_eco_corpus_trace("manual-0001-eco-stale_output")
+        bogus = [SetDelay(name="no-such-node", delay=1.0)]
+        assert not edits_replay_cleanly(trace.case, bogus)
+        assert not edits_replay_cleanly(trace.case, list(trace.edits) + bogus)
+
+    def test_agrees_with_session_replay(self):
+        trace = generate_eco_trace("shrink-base-agree", "tiny", 0)
+        assert edits_replay_cleanly(trace.case, trace.edits) == replays_with_session(
+            trace
+        )
+
+
+class TestBaseSurgeryOnCorpusEntry:
+    def test_seed_netlist_shrinks_not_just_the_edit_list(self):
+        """manual-0001 retargets the outputs to g2 alone, leaving the g3
+        cone dead weight in the seed netlist — exactly what base surgery
+        exists to remove.  The edit list itself is already minimal under
+        this predicate, so any size reduction is the new phase's work."""
+        trace = load_eco_corpus_trace("manual-0001-eco-stale_output")
+        assert "g3" in trace.case.network.outputs  # dead cone present
+
+        def predicate(candidate) -> bool:
+            # the finding of interest: the retarget + resubstitute pair
+            # still replays and still narrows the outputs to g2
+            if not edits_replay_cleanly(candidate.case, candidate.edits):
+                return False
+            kinds = [e.kind for e in candidate.edits]
+            return "retarget_outputs" in kinds and "resubstitute" in kinds
+
+        shrunk = shrink_eco_trace(trace, predicate, max_evals=200)
+        assert predicate(shrunk)
+        # base surgery removed structure from the seed netlist
+        assert shrunk.case.network.num_gates < trace.case.network.num_gates
+        assert "g3" not in shrunk.case.network.outputs
+        # and the surviving trace still replays against the smaller base
+        assert replays_with_session(shrunk)
+
+    def test_shrunk_trace_always_replays(self):
+        """Even under a predicate that accepts everything (maximal
+        shrinking pressure), the replay pre-filter guarantees the final
+        base still accepts the final edit list."""
+        trace = load_eco_corpus_trace("manual-0001-eco-stale_output")
+        shrunk = shrink_eco_trace(trace, lambda t: True, max_evals=150)
+        assert shrunk.edits
+        assert edits_replay_cleanly(shrunk.case, shrunk.edits)
+        assert replays_with_session(shrunk)
+        assert shrunk.case.network.num_gates <= trace.case.network.num_gates
+        assert len(shrunk.edits) <= len(trace.edits)
+
+
+class TestBaseSurgeryGenerated:
+    def test_generated_trace_shrinks_base_and_edits(self):
+        trace = generate_eco_trace("shrink-base-gen", "default", 1)
+        original_gates = trace.case.network.num_gates
+
+        shrunk = shrink_eco_trace(trace, lambda t: True, max_evals=250)
+        assert len(shrunk.edits) == 1  # edit phase reached its floor
+        assert shrunk.case.network.num_gates <= original_gates
+        assert edits_replay_cleanly(shrunk.case, shrunk.edits)
+
+    def test_budget_is_respected(self):
+        trace = generate_eco_trace("shrink-base-budget", "tiny", 2)
+        evals = []
+
+        def counting_predicate(candidate) -> bool:
+            evals.append(1)
+            return True
+
+        shrink_eco_trace(trace, counting_predicate, max_evals=5)
+        assert len(evals) <= 5
+
+
+class TestCaseCandidatesAlias:
+    def test_public_alias_streams_candidates(self):
+        trace = generate_eco_trace("shrink-base-alias", "tiny", 3)
+        candidates = list(case_candidates(trace.case))
+        assert candidates
+        # same deterministic stream the circuit shrinker consumes
+        again = list(case_candidates(trace.case))
+        assert [c.network.name for c in candidates] == [
+            c.network.name for c in again
+        ]
+        assert len(candidates) == len(again)

@@ -1,0 +1,286 @@
+"""Unit tests for the serve package internals (no sockets).
+
+The integration suites (tests/integration/test_serve*.py) cover the
+daemon end to end; these tests pin down the parts in isolation: HTTP
+framing, the circuit registry LRU, session-store eviction, and the
+single-flight coalescer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.circuits import carry_skip_block, figure4
+from repro.errors import ServeError
+from repro.network import write_blif
+from repro.serve import (
+    CircuitRegistry,
+    Coalescer,
+    Request,
+    SessionStore,
+    read_request,
+    response_bytes,
+)
+from repro.serve.protocol import error_payload
+
+
+class TestRequestParsing:
+    def test_parts_and_query(self):
+        req = Request("GET", "/sessions/s-1/edits?limit=5&x=y")
+        assert req.parts == ["sessions", "s-1", "edits"]
+        assert req.query == {"limit": "5", "x": "y"}
+        assert Request("GET", "/").parts == []
+        assert Request("GET", "/healthz").query == {}
+
+    def test_json_body(self):
+        req = Request("POST", "/x", body=b'{"a": 1}')
+        assert req.json() == {"a": 1}
+        assert Request("POST", "/x").json() == {}
+        with pytest.raises(ServeError) as err:
+            Request("POST", "/x", body=b"not json").json()
+        assert err.value.code == "invalid-json"
+        with pytest.raises(ServeError):
+            Request("POST", "/x", body=b"[1, 2]").json()
+
+    def test_read_request_roundtrip(self):
+        async def run():
+            reader = asyncio.StreamReader()
+            body = b'{"k": "v"}'
+            reader.feed_data(
+                b"POST /required HTTP/1.1\r\n"
+                b"Content-Type: application/json\r\n"
+                + f"Content-Length: {len(body)}\r\n\r\n".encode()
+                + body
+            )
+            reader.feed_eof()
+            return await read_request(reader)
+
+        req = asyncio.run(run())
+        assert req.method == "POST"
+        assert req.path == "/required"
+        assert req.json() == {"k": "v"}
+
+    def test_read_request_eof_and_errors(self):
+        async def read_bytes(raw: bytes):
+            reader = asyncio.StreamReader()
+            reader.feed_data(raw)
+            reader.feed_eof()
+            return await read_request(reader)
+
+        assert asyncio.run(read_bytes(b"")) is None
+        with pytest.raises(ServeError) as err:
+            asyncio.run(read_bytes(b"NONSENSE\r\n\r\n"))
+        assert err.value.code == "bad-request-line"
+        with pytest.raises(ServeError) as err:
+            asyncio.run(
+                read_bytes(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc")
+            )
+        assert err.value.code == "truncated-request"
+
+    def test_body_size_limit(self):
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(b"POST /x HTTP/1.1\r\nContent-Length: 999\r\n\r\n")
+            reader.feed_eof()
+            return await read_request(reader, max_body=100)
+
+        with pytest.raises(ServeError) as err:
+            asyncio.run(run())
+        assert err.value.status == 413
+
+    def test_response_bytes_framing(self):
+        raw = response_bytes(200, {"b": 2, "a": 1}, keep_alive=False)
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK")
+        assert b"Connection: close" in head
+        assert json.loads(body) == {"a": 1, "b": 2}
+        assert f"Content-Length: {len(body)}".encode() in head
+
+    def test_error_payload_retry_after(self):
+        exc = ServeError("busy", status=429, code="queue-full", retry_after=2.4)
+        status, payload, headers = error_payload(exc)
+        assert status == 429
+        assert payload == {"error": "queue-full", "message": "busy", "retry_after": 2}
+        assert headers["Retry-After"] == "2"
+        status, payload, headers = error_payload(
+            ServeError("gone", status=404, code="session-not-found")
+        )
+        assert "Retry-After" not in headers
+        assert "retry_after" not in payload
+
+
+class TestCircuitRegistry:
+    def test_register_is_idempotent_by_digest(self):
+        registry = CircuitRegistry(max_circuits=4)
+        a = registry.register(figure4())
+        b = registry.register(figure4())
+        assert a.digest == b.digest
+        assert len(registry) == 1
+        assert registry.get(a.digest) is a
+
+    def test_lru_eviction(self):
+        registry = CircuitRegistry(max_circuits=1)
+        first = registry.register(figure4())
+        registry.register(carry_skip_block())
+        assert len(registry) == 1
+        assert registry.evictions == 1
+        with pytest.raises(ServeError) as err:
+            registry.get(first.digest)
+        assert err.value.status == 404
+        assert err.value.code == "circuit-not-found"
+
+    def test_register_source_shapes(self):
+        registry = CircuitRegistry()
+        by_text = registry.register_source({"netlist": write_blif(figure4())})
+        assert by_text.network.name == "figure4"
+        by_factory = registry.register_source({"factory": "example:figure4"})
+        assert by_factory.digest == by_text.digest
+        for bad in (
+            {},
+            {"netlist": 42},
+            {"netlist": "garbage"},
+            {"netlist": "x", "format": "vhdl"},
+            {"factory": "example:nope"},
+        ):
+            with pytest.raises(ServeError) as err:
+                registry.register_source(bad)
+            assert err.value.code == "bad-circuit"
+
+    def test_describe(self):
+        registry = CircuitRegistry()
+        entry = registry.register(figure4())
+        described = entry.describe()
+        assert described["name"] == "figure4"
+        assert described["inputs"] == 2
+        assert described["outputs"] == 1
+        assert registry.describe_all() == [described]
+
+
+class _FakeSession:
+    """Just enough surface for SessionStore bookkeeping tests."""
+
+    method = "topological"
+    edits_applied = 0
+    failed: list = []
+
+
+class TestSessionStore:
+    def test_create_get_delete(self):
+        store = SessionStore(max_sessions=2, idle_seconds=60)
+        entry = store.create(_FakeSession(), "digest-1")
+        assert entry.session_id == "s-1"
+        assert store.get("s-1") is entry
+        assert [e["id"] for e in store.describe_all()] == ["s-1"]
+        store.delete("s-1")
+        assert len(store) == 0
+        with pytest.raises(ServeError) as err:
+            store.get("s-1")
+        assert err.value.code == "session-not-found"
+
+    def test_idle_eviction_sweep(self):
+        store = SessionStore(max_sessions=4, idle_seconds=60)
+        store.create(_FakeSession(), "d1")
+        store.create(_FakeSession(), "d2")
+        # fake the idle clock rather than sleeping
+        store.get("s-1").last_used -= 120
+        assert store.sweep() == 1
+        assert store.evicted == 1
+        assert len(store) == 1
+        with pytest.raises(ServeError):
+            store.get("s-1")
+        assert store.get("s-2") is not None
+
+    def test_capacity_is_429(self):
+        store = SessionStore(max_sessions=1, idle_seconds=60)
+        store.create(_FakeSession(), "d1")
+        with pytest.raises(ServeError) as err:
+            store.create(_FakeSession(), "d2")
+        assert err.value.status == 429
+        assert err.value.code == "too-many-sessions"
+        assert err.value.retry_after == 60
+
+    def test_ids_never_reused(self):
+        store = SessionStore(max_sessions=2, idle_seconds=60)
+        store.create(_FakeSession(), "d1")
+        store.delete("s-1")
+        assert store.create(_FakeSession(), "d2").session_id == "s-2"
+
+
+class TestCoalescer:
+    def test_concurrent_identical_keys_run_once(self):
+        async def run():
+            coalescer = Coalescer()
+            calls = []
+
+            async def compute():
+                calls.append(1)
+                await asyncio.sleep(0.05)
+                return {"answer": 42}
+
+            results = await asyncio.gather(
+                *(coalescer.run("k", compute) for _ in range(5))
+            )
+            return coalescer, calls, results
+
+        coalescer, calls, results = asyncio.run(run())
+        assert len(calls) == 1
+        assert coalescer.led == 1
+        assert coalescer.joined == 4
+        assert sorted(joined for _, joined in results) == [False] + [True] * 4
+        assert all(payload == {"answer": 42} for payload, _ in results)
+        assert len(coalescer) == 0  # in-flight map drained
+
+    def test_different_keys_do_not_coalesce(self):
+        async def run():
+            coalescer = Coalescer()
+
+            async def compute_a():
+                await asyncio.sleep(0.02)
+                return {"k": "a"}
+
+            async def compute_b():
+                return {"k": "b"}
+
+            return await asyncio.gather(
+                coalescer.run("a", compute_a), coalescer.run("b", compute_b)
+            )
+
+        (res_a, joined_a), (res_b, joined_b) = asyncio.run(run())
+        assert (res_a, res_b) == ({"k": "a"}, {"k": "b"})
+        assert not joined_a and not joined_b
+
+    def test_leader_failure_fails_all_joiners(self):
+        async def run():
+            coalescer = Coalescer()
+
+            async def compute():
+                await asyncio.sleep(0.02)
+                raise ServeError("engine exploded", status=500, code="task-error")
+
+            outcomes = await asyncio.gather(
+                *(coalescer.run("k", compute) for _ in range(3)),
+                return_exceptions=True,
+            )
+            return coalescer, outcomes
+
+        coalescer, outcomes = asyncio.run(run())
+        assert all(isinstance(o, ServeError) for o in outcomes)
+        assert len(coalescer) == 0
+
+    def test_sequential_same_key_runs_twice(self):
+        async def run():
+            coalescer = Coalescer()
+            calls = []
+
+            async def compute():
+                calls.append(1)
+                return {}
+
+            await coalescer.run("k", compute)
+            await coalescer.run("k", compute)
+            return calls
+
+        assert len(asyncio.run(run())) == 2
