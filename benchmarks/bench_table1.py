@@ -253,10 +253,10 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--backend",
-        choices=["object", "array"],
+        choices=["object", "array", "native"],
         default=None,
         help="BDD kernel for the exact/approx1 rows "
-             "(default: $REPRO_BDD_BACKEND, then 'object')",
+             "(default: $REPRO_BDD_BACKEND, then the repro default)",
     )
     args = parser.parse_args(argv)
 
@@ -280,6 +280,12 @@ def main(argv=None) -> int:
             row = value.row()
             row["jobs"] = batch.jobs
             row["elapsed"] = round(value.elapsed, 3)
+            if value.method in ("exact", "approx1"):
+                # per-row kernel provenance + statistics: volatile (they
+                # differ across kernels and cache policies), so the gate's
+                # canonical_rows() strips them alongside elapsed/jobs
+                row["bdd_backend"] = value.stats.get("bdd_backend")
+                row["bdd_stats"] = value.stats.get("bdd")
             table.add(
                 value.circuit,
                 value.method,

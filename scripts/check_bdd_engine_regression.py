@@ -17,6 +17,8 @@ Usage::
     python scripts/check_bdd_engine_regression.py --parallel --smoke
     python scripts/check_bdd_engine_regression.py --array-backend
     python scripts/check_bdd_engine_regression.py --array-backend --smoke
+    python scripts/check_bdd_engine_regression.py --native-backend
+    python scripts/check_bdd_engine_regression.py --native-backend --smoke
     python scripts/check_bdd_engine_regression.py --serve
     python scripts/check_bdd_engine_regression.py --serve --smoke
 
@@ -35,6 +37,17 @@ object kernel's C-dict recursion is intrinsically competitive), and
 within tolerance of its recorded array baseline.  ``--smoke`` restricts
 the gate to row parity on the fast circuits (CI configuration, no
 timing gates).
+
+``--native-backend`` switches to the ``native_backend`` section: the
+same bench_table1 BDD-bound rows are run once per kernel (``object`` /
+``array`` / ``native``) with three-way bit-identical canonical rows
+enforced every run, and the native C kernel must beat the object kernel
+by ``min_speedup_exact_vs_object`` on the exact rows and by
+``min_ratio_approx1_vs_object`` on the approx1 rows.  The full gate
+requires a working C toolchain (a silent array fallback would measure
+the wrong kernel and is treated as a failure); ``--smoke`` restricts the
+gate to three-way row parity on the fast circuits and tolerates the
+fallback (parity is then exercising the selection plumbing).
 
 ``--eco`` switches to the ``BENCH_eco.json`` gate: ``bench_eco.py`` is
 run in script mode (``--smoke`` passes the flag through — the CI
@@ -165,10 +178,16 @@ def run_script_mode(script: str, jobs: int, out: Path) -> float:
     return elapsed
 
 
+#: per-row fields that legitimately differ across runs, job counts, and
+#: kernels (timings, cache/telemetry counters, backend provenance) —
+#: everything else must be bit-identical
+VOLATILE_ROW_FIELDS = ("elapsed", "jobs", "bdd_stats", "bdd_backend")
+
+
 def canonical_rows(payload: dict) -> list[dict]:
-    """Strip the volatile (timing / job-count) fields for parity checks."""
+    """Strip the volatile (timing / statistics) fields for parity checks."""
     return [
-        {k: v for k, v in row.items() if k not in ("elapsed", "jobs")}
+        {k: v for k, v in row.items() if k not in VOLATILE_ROW_FIELDS}
         for row in payload["rows"]
     ]
 
@@ -501,18 +520,25 @@ def run_ablation_array() -> float:
     return elapsed
 
 
-def _backend_pair(methods: str, circuits: str | None = None):
-    """Run one table1 subset under both kernels; returns walls + parity."""
+def _backend_grid(methods: str, backends: tuple[str, ...],
+                  circuits: str | None = None):
+    """Run one table1 subset under each kernel; returns walls + rows."""
     tmp = Path("/tmp")
     walls: dict[str, float] = {}
     rows: dict[str, list] = {}
-    for backend in ("object", "array"):
+    for backend in backends:
         out = tmp / f"bench_table1_{methods.replace(',', '_')}_{backend}.json"
         print(f"running bench_table1 --methods {methods} --backend {backend} ...",
               flush=True)
         walls[backend] = run_table1_subset(methods, backend, out, circuits)
         print(f"  {walls[backend]:.2f}s")
         rows[backend] = canonical_rows(json.loads(out.read_text()))
+    return walls, rows
+
+
+def _backend_pair(methods: str, circuits: str | None = None):
+    """Run one table1 subset under both kernels; returns walls + parity."""
+    walls, rows = _backend_grid(methods, ("object", "array"), circuits)
     parity = rows["object"] == rows["array"]
     return walls, parity, len(rows["object"])
 
@@ -595,6 +621,108 @@ def check_array_backend(update: bool, smoke: bool) -> int:
     return 0 if ok else 1
 
 
+# ----------------------------------------------------------------------
+# the three-kernel native gate (BENCH_bdd_engine.json "native_backend")
+# ----------------------------------------------------------------------
+def _native_availability() -> tuple[bool, str | None]:
+    """Build/load the native kernel (lazily) in-process."""
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.bdd.native_backend import native_status
+
+    return native_status()
+
+
+def check_native_backend(update: bool, smoke: bool) -> int:
+    data = load_baseline(BASELINE_FILE)
+    section = data.get("native_backend")
+    if section is None:
+        raise SystemExit(
+            "error: BENCH_bdd_engine.json has no 'native_backend' section — "
+            "regenerate with --native-backend --update and commit it."
+        )
+    gates = section["gates"]
+
+    available, reason = _native_availability()
+    kernels = ("object", "array", "native")
+
+    if smoke:
+        # CI smoke: three-way row parity on the fast circuits (m1
+        # completes, m2 exercises the budget-abort row); no timing gates.
+        # Without a compiler the 'native' runs degrade to the array
+        # kernel — parity then still exercises the selection plumbing.
+        if not available:
+            print(f"note: native kernel unavailable ({reason}); "
+                  f"'native' rows come from the array fallback")
+        walls, rows = _backend_grid("exact,approx1", kernels, circuits="m1,m2")
+        parity = all(rows[b] == rows["object"] for b in kernels[1:])
+        n = len(rows["object"])
+        print(f"smoke parity: {n} rows x {len(kernels)} kernels "
+              f"{'bit-identical  ok' if parity else 'DIFFER  FAIL'}")
+        return 0 if parity else 1
+
+    if not available:
+        # full mode must time the real C kernel: a silent array fallback
+        # would "pass" the floors with the wrong kernel under test
+        print(f"native kernel unavailable ({reason}) — the full "
+              f"--native-backend gate needs a C toolchain  FAIL")
+        return 1
+
+    ok = True
+    measured: dict[str, object] = {}
+    ratios: dict[str, float] = {}
+    for label in ("exact", "approx1"):
+        walls, rows = _backend_grid(label, kernels)
+        measured[f"table1_{label}"] = {b: round(walls[b], 2) for b in kernels}
+        ratios[label] = walls["object"] / walls["native"]
+        bad = [b for b in kernels[1:] if rows[b] != rows["object"]]
+        if bad:
+            print(f"table1[{label}]: PARITY FAIL — {', '.join(bad)} rows "
+                  f"differ from object")
+            ok = False
+        else:
+            print(f"table1[{label}]: parity ok ({len(rows['object'])} rows "
+                  f"bit-identical across {len(kernels)} kernels)")
+        print(f"table1[{label}]: object/native speedup {ratios[label]:.2f}x "
+              f"(object/array {walls['object'] / walls['array']:.2f}x)")
+
+    floor = gates["min_speedup_exact_vs_object"]
+    verdict = "ok" if ratios["exact"] >= floor else "FAIL"
+    if ratios["exact"] < floor:
+        ok = False
+    print(f"exact rows: native speedup {ratios['exact']:.2f}x vs object "
+          f"(floor {floor:.2f}x)  {verdict}")
+
+    floor = gates["min_ratio_approx1_vs_object"]
+    verdict = "ok" if ratios["approx1"] >= floor else "FAIL"
+    if ratios["approx1"] < floor:
+        ok = False
+    print(f"approx1 rows: native ratio {ratios['approx1']:.2f}x vs object "
+          f"(floor {floor:.2f}x)  {verdict}")
+
+    if update:
+        section["baseline"] = dict(measured, python=sys.version.split()[0])
+        BASELINE_FILE.write_text(json.dumps(data, indent=2) + "\n")
+        print(f"native_backend baseline updated in {BASELINE_FILE.name}")
+        return 0 if ok else 1
+
+    tolerance = gates["regression_tolerance"]
+    for label in ("exact", "approx1"):
+        base = section["baseline"].get(f"table1_{label}", {}).get("native")
+        wall = measured[f"table1_{label}"]["native"]
+        if base is None:
+            print(f"table1[{label}]: no native baseline — run "
+                  f"--native-backend --update")
+            ok = False
+            continue
+        within = wall <= base * (1.0 + tolerance)
+        verdict = "ok" if within else "FAIL"
+        if not within:
+            ok = False
+        print(f"table1[{label}]: native wall {wall:.2f}s "
+              f"(baseline {base:.2f}s +{tolerance:.0%})  {verdict}")
+    return 0 if ok else 1
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -610,13 +738,18 @@ def main() -> int:
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="with --parallel/--array-backend/--eco/--serve: the fast CI "
-             "smoke subset",
+        help="with --parallel/--array-backend/--native-backend/--eco/"
+             "--serve: the fast CI smoke subset",
     )
     parser.add_argument(
         "--array-backend",
         action="store_true",
         help="run the object-vs-array kernel gate instead",
+    )
+    parser.add_argument(
+        "--native-backend",
+        action="store_true",
+        help="run the three-kernel (object/array/native) gate instead",
     )
     parser.add_argument(
         "--eco",
@@ -634,6 +767,8 @@ def main() -> int:
         return check_parallel(update=args.update, smoke=args.smoke)
     if args.array_backend:
         return check_array_backend(update=args.update, smoke=args.smoke)
+    if args.native_backend:
+        return check_native_backend(update=args.update, smoke=args.smoke)
     if args.eco:
         return check_eco(update=args.update, smoke=args.smoke)
     if args.serve:

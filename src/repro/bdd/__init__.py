@@ -12,6 +12,9 @@ this environment, so this package implements one from scratch:
 * :class:`~repro.bdd.array_backend.ArrayBddManager` — the array kernel:
   same surface over flat node arrays, open-addressed tables, iterative
   apply loops, and compacting GC (see docs/BDD_BACKENDS.md).
+* :class:`~repro.bdd.native_backend.NativeBddManager` — the native
+  kernel: the array kernel's hot loops compiled to C at first use,
+  bit-identical node sequences, graceful fallback without a compiler.
 * :mod:`~repro.bdd.api` — the backend :class:`~repro.bdd.api.Manager`
   protocol and the :func:`~repro.bdd.api.create_manager` factory that
   selects between the kernels (``REPRO_BDD_BACKEND`` env default).
@@ -27,6 +30,7 @@ from repro.bdd.api import (
     BACKENDS,
     Manager,
     backend_of,
+    backend_resolution,
     create_manager,
     resolve_backend,
 )
@@ -45,7 +49,9 @@ __all__ = [
     "BddManager",
     "BddNode",
     "Manager",
+    "NativeBddManager",
     "backend_of",
+    "backend_resolution",
     "create_manager",
     "resolve_backend",
     "minimal_elements",
@@ -57,15 +63,18 @@ __all__ = [
 
 
 def __getattr__(name: str):
-    """Lazily expose the array kernel (PEP 562).
+    """Lazily expose the array and native kernels (PEP 562).
 
-    The array backend imports numpy; loading it eagerly would tax every
-    process that only ever touches the default object kernel with the
-    numpy import cost.  ``create_manager`` performs the same lazy import
-    internally.
+    Both import numpy; loading them eagerly would tax every process that
+    only ever touches the default object kernel with the numpy import
+    cost.  ``create_manager`` performs the same lazy imports internally.
     """
     if name == "ArrayBddManager":
         from repro.bdd.array_backend import ArrayBddManager
 
         return ArrayBddManager
+    if name == "NativeBddManager":
+        from repro.bdd.native_backend import NativeBddManager
+
+        return NativeBddManager
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,19 @@
+"""Build machinery and ctypes loader for the native BDD kernel."""
+
+from repro.bdd._native.build import (
+    KERNEL_SOURCE,
+    artifact_path,
+    build_kernel,
+    find_compiler,
+    load_kernel,
+    source_digest,
+)
+
+__all__ = [
+    "KERNEL_SOURCE",
+    "artifact_path",
+    "build_kernel",
+    "find_compiler",
+    "load_kernel",
+    "source_digest",
+]

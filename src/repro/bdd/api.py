@@ -1,6 +1,6 @@
 """The multi-backend manager surface: protocol, registry, and factory.
 
-Two interchangeable BDD kernels implement the same :class:`Manager`
+Three interchangeable BDD kernels implement the same :class:`Manager`
 surface:
 
 * ``object`` — :class:`repro.bdd.manager.BddManager`, the reference
@@ -11,13 +11,19 @@ surface:
   unique tables, direct-mapped generation-tagged computed tables, an
   iterative (explicit-stack) apply loop, and mark-and-compact garbage
   collection.  See docs/BDD_BACKENDS.md.
+* ``native`` — :class:`repro.bdd.native_backend.NativeBddManager`, the
+  array kernel's apply/quantify loops compiled to C
+  (``_native/kernel.c``, built lazily with the system compiler).  When
+  no compiler is available the factory degrades to the array kernel,
+  bumping the ``bdd.native.fallback`` counter — no environment breaks.
 
-Both backends are drop-in for every consumer (χ engines, exact,
+All backends are drop-in for every consumer (χ engines, exact,
 approx-1, verification): they produce identical BDD semantics, publish
 the same ``bdd.*`` telemetry counters, and report the same
 ``statistics()`` shape.  Backend choice is therefore an *observational*
 property of a run except for wall time — which is why it still keys the
-persistent result cache (`repro.cache.keys`) defensively.
+persistent result cache (`repro.cache.keys`) defensively (``native`` is
+bit-identical to ``array`` and shares its cache-key value).
 
 Selection precedence: an explicit ``backend=`` argument, then the
 ``REPRO_BDD_BACKEND`` environment variable, then ``object``.
@@ -34,13 +40,14 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.bdd.manager import BddManager, BddNode
 
 #: the recognized backend names, in documentation order
-BACKENDS = ("object", "array")
+BACKENDS = ("object", "array", "native")
 
 #: environment variable consulted when no explicit backend is given
 BACKEND_ENV = "REPRO_BDD_BACKEND"
 
 #: the default kernel when neither an argument nor the env var selects one
-DEFAULT_BACKEND = "object"
+#: (the native C kernel; it degrades to ``array`` without a C toolchain)
+DEFAULT_BACKEND = "native"
 
 
 @runtime_checkable
@@ -104,7 +111,7 @@ class Manager(Protocol):
 def resolve_backend(name: str | None = None) -> str:
     """The effective backend name for ``name``.
 
-    ``None`` falls back to ``$REPRO_BDD_BACKEND``, then to ``object``.
+    ``None`` falls back to ``$REPRO_BDD_BACKEND``, then to ``native``.
     Unknown names raise :class:`~repro.errors.BddError` so a typo'd env
     var fails loudly instead of silently running the wrong kernel.
     """
@@ -126,6 +133,10 @@ def create_manager(backend: str | None = None, **kwargs) -> "BddManager":
     importing :mod:`repro.bdd` never pays for the kernel it does not use.
     """
     name = resolve_backend(backend)
+    if name == "native":
+        from repro.bdd.native_backend import create_native_manager
+
+        return create_native_manager(**kwargs)
     if name == "array":
         from repro.bdd.array_backend import ArrayBddManager
 
@@ -138,8 +149,38 @@ def create_manager(backend: str | None = None, **kwargs) -> "BddManager":
 def backend_of(manager) -> str:
     """The backend name of a live manager instance."""
     from repro.bdd.array_backend import ArrayBddManager
+    from repro.bdd.native_backend import NativeBddManager
 
+    if isinstance(manager, NativeBddManager):
+        return "native"
     return "array" if isinstance(manager, ArrayBddManager) else "object"
+
+
+def backend_resolution(requested: str | None = None) -> dict:
+    """How a backend request resolves, for run metadata and daemons.
+
+    Returns ``{"requested", "resolved", "effective", "fallback_reason"}``:
+    ``resolved`` applies the flag > ``$REPRO_BDD_BACKEND`` > default
+    precedence; ``effective`` is the kernel that would actually run —
+    it differs from ``resolved`` only when ``native`` cannot build/load
+    and degrades to ``array`` (``fallback_reason`` says why).
+    """
+    resolved = resolve_backend(requested)
+    effective = resolved
+    fallback_reason = None
+    if resolved == "native":
+        from repro.bdd.native_backend import native_status
+
+        available, reason = native_status()
+        if not available:
+            effective = "array"
+            fallback_reason = reason
+    return {
+        "requested": requested,
+        "resolved": resolved,
+        "effective": effective,
+        "fallback_reason": fallback_reason,
+    }
 
 
 __all__ = [
@@ -148,6 +189,7 @@ __all__ = [
     "DEFAULT_BACKEND",
     "Manager",
     "backend_of",
+    "backend_resolution",
     "create_manager",
     "resolve_backend",
 ]

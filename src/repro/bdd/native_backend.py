@@ -1,0 +1,579 @@
+"""The native-kernel BDD manager (backend name ``"native"``).
+
+:class:`NativeBddManager` subclasses the array backend and delegates the
+hot apply/quantify operations to the C kernel in ``_native/kernel.c``
+(built lazily by :mod:`repro.bdd._native.build`).  The C kernel owns the
+same packed-int layout the array backend defines and produces
+bit-identical node-creation sequences and budget-abort points, so every
+consumer — the χ engines, enumeration helpers, :mod:`repro.bdd.minimal`,
+the reorderer — keeps working unchanged.
+
+Two authority modes keep the Python and C views coherent:
+
+* **native mode** (``_c_valid``): the C kernel owns node creation.  After
+  every native call the newly created rows are mirrored into the Python
+  ``_var``/``_low``/``_high`` lists (readers — enumeration, GC marking,
+  ``minimal.py`` — never notice a difference), while the Python
+  per-variable unique tables go stale (``_py_tables_valid`` False).
+* **python mode**: garbage collection, level swaps, and reordering run
+  the inherited array-kernel code, which mutates rows in place and
+  remaps ids — so they first rebuild the Python unique tables from the
+  rows and invalidate the C kernel.  The next native operation bulk
+  re-uploads the store (``nat_load``), which also drops the C computed
+  caches whose node-id keys may have been remapped.
+
+Statistics stay truthful in both modes: the eight hot computed tables
+(seven direct-mapped :class:`_NativeCacheView` objects plus the
+dict-style restrict view) transparently add the C kernel's totals, so
+``statistics()``, the ``bdd.*`` telemetry collector, and
+``reset_statistics()`` need no special cases.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import logging
+import threading
+import weakref
+
+import numpy as np
+
+from repro.bdd._native.build import load_kernel
+from repro.bdd.array_backend import ArrayBddManager, _DirectCache, _H1
+from repro.bdd.manager import (
+    DEFAULT_CACHE_BOUND,
+    FALSE,
+    TRUE,
+    _ComputedTable,
+    _TERMINAL_VAR,
+)
+from repro.errors import BddError, ResourceLimitError
+from repro.obs.metrics import REGISTRY
+
+log = logging.getLogger("repro.bdd.native")
+
+_I32P = ctypes.POINTER(ctypes.c_int32)
+
+#: fallback reasons already warned about (one line per reason per process)
+_WARNED: set[str] = set()
+
+
+def native_status() -> tuple[bool, str | None]:
+    """``(available, fallback_reason)`` of the native kernel."""
+    lib, reason = load_kernel()
+    return lib is not None, reason
+
+
+def _note_fallback(reason: str) -> None:
+    REGISTRY.counter("bdd.native.fallback").inc()
+    if reason not in _WARNED:
+        _WARNED.add(reason)
+        log.warning("native BDD kernel unavailable (%s); using array kernel", reason)
+
+
+def create_native_manager(**kwargs):
+    """A :class:`NativeBddManager`, or the array fallback when the
+    kernel cannot be built/loaded (missing compiler, failed compile)."""
+    lib, reason = load_kernel()
+    if lib is None:
+        _note_fallback(reason or "unknown")
+        return ArrayBddManager(**kwargs)
+    return NativeBddManager(_lib=lib, **kwargs)
+
+
+class _KernelHandle:
+    """Shared ownership of one C manager: pointer, liveness, stats cache.
+
+    The telemetry collector may read counters from another thread while
+    (or after) the owning manager is garbage-collected, so every C access
+    goes through this handle: reads return the last snapshot once
+    ``close()`` has run, and ``close()`` folds the final counter values
+    into that snapshot before freeing the C manager.
+    """
+
+    __slots__ = ("lib", "mgr", "alive", "dirty", "_snap", "_buf", "_lock")
+
+    def __init__(self, lib, mgr):
+        self.lib = lib
+        self.mgr = mgr
+        self.alive = True
+        self.dirty = True
+        self._buf = (ctypes.c_int64 * 32)()
+        self._snap = [0] * 32
+        self._lock = threading.Lock()
+
+    def read(self) -> list[int]:
+        if self.dirty:
+            with self._lock:
+                if self.alive:
+                    self.lib.nat_read_stats(self.mgr, self._buf)
+                    self._snap = list(self._buf)
+                self.dirty = False
+        return self._snap
+
+    def invalidate_caches(self) -> None:
+        with self._lock:
+            if self.alive:
+                self.lib.nat_invalidate_caches(self.mgr)
+        self.dirty = True
+
+    def reset_stats(self) -> None:
+        with self._lock:
+            if self.alive:
+                self.lib.nat_reset_stats(self.mgr)
+        self.dirty = True
+
+    def close(self) -> None:
+        with self._lock:
+            if not self.alive:
+                return
+            self.lib.nat_read_stats(self.mgr, self._buf)
+            self._snap = list(self._buf)
+            self.alive = False
+            self.lib.nat_free(self.mgr)
+        self.dirty = False
+
+
+class _NativeCacheView(_DirectCache):
+    """A :class:`_DirectCache` whose counters include the C kernel's.
+
+    The Python slot lists stay functional (the inherited array-kernel
+    apply loops use them during python-authority episodes), while the
+    ``hits``/``misses``/``evictions``/``entries`` surface adds the C
+    table's totals — so ``statistics()`` and the ``bdd.*`` telemetry
+    extractor read truthful numbers without knowing about the kernel.
+    """
+
+    __slots__ = ("_handle", "_base")
+
+    def __init__(self, name: str, bound: int, handle: _KernelHandle, index: int):
+        self._handle = handle
+        self._base = index * 4
+        super().__init__(name, bound)
+
+    # the base-class __slots__ descriptors are shadowed by these
+    # properties; the Python-side share lives in the inherited slots via
+    # object.__setattr__-free plain attribute names suffixed below.
+
+    @property
+    def hits(self) -> int:  # type: ignore[override]
+        return _DirectCache.hits.__get__(self) + self._handle.read()[self._base]
+
+    @hits.setter
+    def hits(self, value: int) -> None:
+        _DirectCache.hits.__set__(self, value - self._handle.read()[self._base])
+
+    @property
+    def misses(self) -> int:  # type: ignore[override]
+        return _DirectCache.misses.__get__(self) + self._handle.read()[self._base + 1]
+
+    @misses.setter
+    def misses(self, value: int) -> None:
+        _DirectCache.misses.__set__(
+            self, value - self._handle.read()[self._base + 1]
+        )
+
+    @property
+    def evictions(self) -> int:  # type: ignore[override]
+        return _DirectCache.evictions.__get__(self) + self._handle.read()[
+            self._base + 2
+        ]
+
+    @evictions.setter
+    def evictions(self, value: int) -> None:
+        _DirectCache.evictions.__set__(
+            self, value - self._handle.read()[self._base + 2]
+        )
+
+    @property
+    def count(self) -> int:  # type: ignore[override]
+        return _DirectCache.count.__get__(self) + self._handle.read()[self._base + 3]
+
+    @count.setter
+    def count(self, value: int) -> None:
+        _DirectCache.count.__set__(self, value - self._handle.read()[self._base + 3])
+
+
+class _NativeDictCacheView(_ComputedTable):
+    """A :class:`_ComputedTable` whose counters include the C kernel's.
+
+    The bounded dict stays functional (the inherited recursive code uses
+    it during python-authority episodes), while ``hits``/``misses``/
+    ``evictions`` and the ``entries`` reported by :meth:`stats` add the C
+    table's totals — the dict-cache analogue of :class:`_NativeCacheView`.
+    """
+
+    __slots__ = ("_handle", "_base")
+
+    def __init__(self, name: str, bound: int, handle: _KernelHandle, index: int):
+        self._handle = handle
+        self._base = index * 4
+        super().__init__(name, bound)
+
+    @property
+    def hits(self) -> int:  # type: ignore[override]
+        return _ComputedTable.hits.__get__(self) + self._handle.read()[self._base]
+
+    @hits.setter
+    def hits(self, value: int) -> None:
+        _ComputedTable.hits.__set__(self, value - self._handle.read()[self._base])
+
+    @property
+    def misses(self) -> int:  # type: ignore[override]
+        return (
+            _ComputedTable.misses.__get__(self)
+            + self._handle.read()[self._base + 1]
+        )
+
+    @misses.setter
+    def misses(self, value: int) -> None:
+        _ComputedTable.misses.__set__(
+            self, value - self._handle.read()[self._base + 1]
+        )
+
+    @property
+    def evictions(self) -> int:  # type: ignore[override]
+        return (
+            _ComputedTable.evictions.__get__(self)
+            + self._handle.read()[self._base + 2]
+        )
+
+    @evictions.setter
+    def evictions(self, value: int) -> None:
+        _ComputedTable.evictions.__set__(
+            self, value - self._handle.read()[self._base + 2]
+        )
+
+    def stats(self) -> dict[str, int]:
+        out = _ComputedTable.stats(self)
+        out["entries"] = len(self.table) + self._handle.read()[self._base + 3]
+        return out
+
+
+class NativeBddManager(ArrayBddManager):
+    """The C-kernel BDD manager; see the module docstring."""
+
+    def __init__(
+        self,
+        auto_reorder: bool = False,
+        reorder_threshold: int = 50_000,
+        max_nodes: int | None = None,
+        cache_bound: int = DEFAULT_CACHE_BOUND,
+        _lib=None,
+    ):
+        if _lib is None:
+            _lib, reason = load_kernel()
+            if _lib is None:
+                raise BddError(f"native BDD kernel unavailable: {reason}")
+        super().__init__(auto_reorder, reorder_threshold, max_nodes, cache_bound)
+        mgr = _lib.nat_new(-1 if max_nodes is None else max_nodes, cache_bound)
+        if not mgr:
+            raise BddError("native BDD kernel allocation failed")
+        handle = _KernelHandle(_lib, mgr)
+        self._kernel = handle
+        self._finalizer = weakref.finalize(self, handle.close)
+        # hot entry points bound once (the per-op fast path is one
+        # attribute load + one FFI call)
+        self._c_mgr = mgr
+        self._c_mk_ = _lib.nat_mk
+        self._c_not = _lib.nat_not
+        self._c_and = _lib.nat_and
+        self._c_or = _lib.nat_or
+        self._c_xor = _lib.nat_xor
+        self._c_exists = _lib.nat_exists
+        self._c_andex = _lib.nat_and_exists
+        self._c_andall = _lib.nat_and_forall
+        self._c_restrict = _lib.nat_restrict
+        self._c_num_nodes = _lib.nat_num_nodes
+        # authority flags: both sides start empty and coherent
+        self._c_valid = True
+        self._py_tables_valid = True
+        # per-levels-tuple ctypes arrays, interned alongside _levels_id
+        self._levels_c_arrays: dict[tuple[int, ...], tuple] = {}
+        # per-assignment ctypes arrays for restrict, interned by pairs
+        # tuple; the nonzero intern id stands for the whole assignment in
+        # the C cache key (mirroring the Python key's ``pairs`` component)
+        self._pairs_c_arrays: dict[tuple[tuple[int, int], ...], tuple] = {}
+        # persistent row-readback buffers (grown on demand): a ctypes
+        # slice-to-list is far cheaper than per-call numpy allocation for
+        # the common few-new-rows case
+        self._pull_cap = 256
+        self._pull_bufs = tuple(
+            (ctypes.c_int32 * self._pull_cap)() for _ in range(3)
+        )
+        # swap the hot computed tables for kernel-aware stat views
+        self._not_tab = _NativeCacheView("not", cache_bound, handle, 0)
+        self._and_tab = _NativeCacheView("and", cache_bound, handle, 1)
+        self._or_tab = _NativeCacheView("or", cache_bound, handle, 2)
+        self._xor_tab = _NativeCacheView("xor", cache_bound, handle, 3)
+        self._exists_tab = _NativeCacheView("exists", cache_bound, handle, 4)
+        self._andex_tab = _NativeCacheView("and_exists", cache_bound, handle, 5)
+        self._andall_tab = _NativeCacheView("and_forall", cache_bound, handle, 6)
+        self._restrict_tab = _NativeDictCacheView("restrict", cache_bound, handle, 7)
+        self._tables = (
+            self._not_tab,
+            self._and_tab,
+            self._or_tab,
+            self._xor_tab,
+            self._ite_tab,
+            self._exists_tab,
+            self._andex_tab,
+            self._andall_tab,
+            self._restrict_tab,
+            self._compose_tab,
+        )
+
+    # ------------------------------------------------------------------
+    # authority transitions
+    # ------------------------------------------------------------------
+    def _upload(self) -> None:
+        """Re-establish C authority: bulk-load rows, order, and budget."""
+        handle = self._kernel
+        n = len(self._var)
+        var_np = np.array(self._var, dtype=np.int32)
+        low_np = np.array(self._low, dtype=np.int32)
+        high_np = np.array(self._high, dtype=np.int32)
+        v2l_np = np.array(self._var2level or [0], dtype=np.int32)
+        handle.lib.nat_load(
+            self._c_mgr,
+            n,
+            var_np.ctypes.data_as(_I32P),
+            low_np.ctypes.data_as(_I32P),
+            high_np.ctypes.data_as(_I32P),
+            len(self._var2level),
+            v2l_np.ctypes.data_as(_I32P),
+            -1 if self._node_cap is None else self._node_cap,
+        )
+        handle.dirty = True
+        self._c_valid = True
+
+    def _ensure_py_tables(self) -> None:
+        """Rebuild the Python unique tables from the (mirrored) rows."""
+        if self._py_tables_valid:
+            return
+        var_np = np.array(self._var, dtype=np.int64)
+        live = np.nonzero(var_np[2:] >= 0)[0] + 2
+        var_live = var_np[live]
+        low_np = np.array(self._low, dtype=np.int64)[live]
+        high_np = np.array(self._high, dtype=np.int64)[live]
+        nvars = len(self._unique)
+        counts = np.bincount(var_live, minlength=nvars) if live.size else None
+        hash_np = (low_np.astype(np.uint64) * np.uint64(_H1)) ^ high_np.astype(
+            np.uint64
+        )
+        packed_np = (low_np << 32) | high_np
+        order = np.argsort(var_live, kind="stable")
+        start = 0
+        for var, ut in enumerate(self._unique):
+            count = int(counts[var]) if counts is not None else 0
+            ut.reset(count)
+            if not count:
+                continue
+            grp = order[start : start + count]
+            start += count
+            mask = ut.mask
+            keys = ut.keys
+            vals = ut.vals
+            homes = (hash_np[grp] & np.uint64(mask)).tolist()
+            for p, j, nid in zip(
+                packed_np[grp].tolist(), homes, live[grp].tolist()
+            ):
+                while keys[j]:
+                    j = (j + 1) & mask
+                keys[j] = p
+                vals[j] = nid
+            ut.size = count
+        self._py_tables_valid = True
+
+    def _pull_rows(self, n: int) -> None:
+        """Mirror rows ``[len(self._var), n)`` from the C kernel."""
+        start = len(self._var)
+        count = n - start
+        if count > self._pull_cap:
+            self._pull_cap = max(count, self._pull_cap * 2)
+            self._pull_bufs = tuple(
+                (ctypes.c_int32 * self._pull_cap)() for _ in range(3)
+            )
+        vb, lb, hb = self._pull_bufs
+        self._kernel.lib.nat_read_rows(self._c_mgr, start, count, vb, lb, hb)
+        self._var.extend(vb[:count])
+        self._low.extend(lb[:count])
+        self._high.extend(hb[:count])
+        self._nodes_created += count
+        live = self._nodes_live + count
+        self._nodes_live = live
+        if live > self._peak_live:
+            self._peak_live = live
+        self._py_tables_valid = False
+
+    def _finish(self, ret: int) -> int:
+        """Decode a packed op result; mirror new rows; raise on abort."""
+        kernel = self._kernel
+        kernel.dirty = True
+        if ret < 0:
+            n = self._c_num_nodes(self._c_mgr)
+            if n > len(self._var):
+                self._pull_rows(n)
+            raise ResourceLimitError(
+                f"BDD node budget exceeded ({self.max_nodes} nodes)"
+            )
+        n = ret >> 32
+        if n > len(self._var):
+            self._pull_rows(n)
+        return ret & 0xFFFFFFFF
+
+    # ------------------------------------------------------------------
+    # variables
+    # ------------------------------------------------------------------
+    def add_var(self, name: str):
+        if self._c_valid:
+            self._kernel.lib.nat_add_var(self._c_mgr)
+        return super().add_var(name)
+
+    # ------------------------------------------------------------------
+    # node construction / apply operations
+    # ------------------------------------------------------------------
+    def _mk(self, var: int, low: int, high: int) -> int:
+        if not self._c_valid:
+            return ArrayBddManager._mk(self, var, low, high)
+        # unlike the apply loops, a _mk can create at most one row and
+        # its contents are exactly the arguments — mirror it directly
+        # instead of reading it back across the FFI (the structured-key
+        # operations inherited from the object kernel call _mk per
+        # recursion step, so this path is hot)
+        ret = self._c_mk_(self._c_mgr, var, low, high)
+        kernel = self._kernel
+        kernel.dirty = True
+        if ret < 0:
+            n = self._c_num_nodes(self._c_mgr)
+            if n > len(self._var):
+                self._pull_rows(n)
+            raise ResourceLimitError(
+                f"BDD node budget exceeded ({self.max_nodes} nodes)"
+            )
+        if (ret >> 32) > len(self._var):
+            self._var.append(var)
+            self._low.append(low)
+            self._high.append(high)
+            self._nodes_created += 1
+            live = self._nodes_live + 1
+            self._nodes_live = live
+            if live > self._peak_live:
+                self._peak_live = live
+            self._py_tables_valid = False
+        return ret & 0xFFFFFFFF
+
+    def _not(self, f: int) -> int:
+        if not self._c_valid:
+            self._upload()
+        return self._finish(self._c_not(self._c_mgr, f))
+
+    def _and(self, f: int, g: int) -> int:
+        if not self._c_valid:
+            self._upload()
+        return self._finish(self._c_and(self._c_mgr, f, g))
+
+    def _or(self, f: int, g: int) -> int:
+        if not self._c_valid:
+            self._upload()
+        return self._finish(self._c_or(self._c_mgr, f, g))
+
+    def _xor(self, f: int, g: int) -> int:
+        if not self._c_valid:
+            self._upload()
+        return self._finish(self._c_xor(self._c_mgr, f, g))
+
+    def _levels_c(self, levels: tuple[int, ...]):
+        entry = self._levels_c_arrays.get(levels)
+        if entry is None:
+            arr = (ctypes.c_int32 * len(levels))(*levels)
+            entry = (arr, self._levels_id(levels))
+            self._levels_c_arrays[levels] = entry
+        return entry
+
+    def _exists(self, f: int, levels: tuple[int, ...]) -> int:
+        if f <= TRUE or not levels:
+            return f
+        if not self._c_valid:
+            self._upload()
+        arr, lid = self._levels_c(levels)
+        return self._finish(
+            self._c_exists(self._c_mgr, f, arr, len(levels), lid)
+        )
+
+    def _and_exists(self, f: int, g: int, levels: tuple[int, ...]) -> int:
+        if not levels:
+            return self._and(f, g)
+        if not self._c_valid:
+            self._upload()
+        arr, lid = self._levels_c(levels)
+        return self._finish(
+            self._c_andex(self._c_mgr, f, g, arr, len(levels), lid)
+        )
+
+    def _and_forall(self, f: int, g: int, levels: tuple[int, ...]) -> int:
+        if not levels:
+            return self._and(f, g)
+        if not self._c_valid:
+            self._upload()
+        arr, lid = self._levels_c(levels)
+        return self._finish(
+            self._c_andall(self._c_mgr, f, g, arr, len(levels), lid)
+        )
+
+    def _pairs_c(self, pairs: tuple[tuple[int, int], ...]):
+        entry = self._pairs_c_arrays.get(pairs)
+        if entry is None:
+            flat = [x for pair in pairs for x in pair]
+            arr = (ctypes.c_int32 * len(flat))(*flat)
+            entry = (arr, len(self._pairs_c_arrays) + 1)
+            self._pairs_c_arrays[pairs] = entry
+        return entry
+
+    def _restrict(
+        self, f: int, pairs: tuple[tuple[int, int], ...], start: int
+    ) -> int:
+        if f <= TRUE or start >= len(pairs):
+            return f
+        if not self._c_valid:
+            self._upload()
+        arr, pid = self._pairs_c(pairs)
+        return self._finish(
+            self._c_restrict(self._c_mgr, f, arr, len(pairs), start, pid)
+        )
+
+    # ------------------------------------------------------------------
+    # maintenance: these run the inherited array-kernel machinery under
+    # python authority, then leave the C kernel to re-upload lazily
+    # ------------------------------------------------------------------
+    def garbage_collect(self) -> int:
+        self._ensure_py_tables()
+        self._c_valid = False
+        reclaimed = super().garbage_collect()
+        self._py_tables_valid = True
+        return reclaimed
+
+    def swap_levels(self, level: int) -> None:
+        self._ensure_py_tables()
+        self._c_valid = False
+        super().swap_levels(level)
+        self._py_tables_valid = True
+
+    def level_sizes(self) -> list[int]:
+        self._ensure_py_tables()
+        return super().level_sizes()
+
+    def _invalidate_caches(self) -> None:
+        self._kernel.invalidate_caches()
+        super()._invalidate_caches()
+
+    def reset_statistics(self) -> None:
+        self._kernel.reset_stats()
+        super().reset_statistics()
+
+
+__all__ = [
+    "NativeBddManager",
+    "create_native_manager",
+    "native_status",
+]

@@ -84,6 +84,14 @@ def _canonical_required(
     return {o: float(output_required) for o in network.outputs}
 
 
+#: The backend whose digests carry no ``backend`` entry at all.  This is
+#: the *historical* baseline (the kernel all pre-backend digests were
+#: produced under), deliberately a literal rather than
+#: ``repro.bdd.api.DEFAULT_BACKEND``: flipping the runtime default must
+#: not silently re-key — and thereby orphan — every existing cache entry.
+_CACHE_BASELINE_BACKEND = "object"
+
+
 def _canonical_options(options: Mapping[str, object] | None) -> dict:
     """The :data:`SEMANTIC_OPTIONS` subset, with unset/False values
     dropped so explicit defaults key identically to absent options.
@@ -91,9 +99,15 @@ def _canonical_options(options: Mapping[str, object] | None) -> dict:
     ``backend`` is keyed by its *effective* value: an unset option falls
     back to ``$REPRO_BDD_BACKEND``, so entries produced under an
     env-selected array kernel can never alias object-kernel entries.
-    The resolved default (``object``) is dropped like every other unset
-    option, which keeps all pre-backend digests reachable without a
-    :data:`SCHEMA_VERSION` bump.
+    Two collapses keep equal results keyed equally:
+
+    * ``native`` keys as ``array`` — the native kernel is bit-identical
+      to the array kernel by construction (same node-creation sequence,
+      same budget-abort points), so the two must share cache entries;
+    * the historical baseline (:data:`_CACHE_BASELINE_BACKEND`) is
+      dropped like every other unset option, which keeps all
+      pre-backend digests reachable without a :data:`SCHEMA_VERSION`
+      bump.
     """
     options = options or {}
     out = {
@@ -101,10 +115,12 @@ def _canonical_options(options: Mapping[str, object] | None) -> dict:
         for name in SEMANTIC_OPTIONS
         if options.get(name) not in (None, False)
     }
-    from repro.bdd.api import DEFAULT_BACKEND, resolve_backend
+    from repro.bdd.api import resolve_backend
 
     effective = resolve_backend(options.get("backend"))
-    if effective == DEFAULT_BACKEND:
+    if effective == "native":
+        effective = "array"
+    if effective == _CACHE_BASELINE_BACKEND:
         out.pop("backend", None)
     else:
         out["backend"] = effective

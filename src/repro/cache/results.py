@@ -261,7 +261,7 @@ class CachedRequiredResult:
 
     def table_row(self) -> dict:
         """The machine-readable row (matches ``RequiredTimeReport``)."""
-        return {
+        row = {
             "circuit": self.circuit,
             "method": self.method,
             "nontrivial": self.nontrivial,
@@ -273,6 +273,9 @@ class CachedRequiredResult:
             ),
             "aborted": self.aborted,
         }
+        if "bdd_backend" in self.stats:
+            row["bdd_backend"] = self.stats["bdd_backend"]
+        return row
 
     def to_outcome(self):
         """As a :class:`RequiredTimeOutcome` (the min-merge currency)."""

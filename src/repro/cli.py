@@ -92,6 +92,23 @@ def cmd_delay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _validate_backend(backend: str | None) -> int:
+    """Resolve a ``--backend`` value, printing the canonical unknown-name
+    error (the same :class:`~repro.errors.BddError` message every entry
+    point raises).  Returns 2 on failure, 0 when valid/absent."""
+    if backend is None:
+        return 0
+    from repro.bdd.api import resolve_backend
+    from repro.errors import BddError
+
+    try:
+        resolve_backend(backend)
+    except BddError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def cmd_required(args: argparse.Namespace) -> int:
     if args.budget is not None and args.method != "approx2":
         print(
@@ -120,6 +137,8 @@ def cmd_required(args: argparse.Namespace) -> int:
             f"(got --method {args.method})",
             file=sys.stderr,
         )
+        return 2
+    if _validate_backend(args.backend):
         return 2
     if args.jobs < 0:
         print(f"error: --jobs must be >= 0 (got {args.jobs})", file=sys.stderr)
@@ -472,6 +491,15 @@ def cmd_eco(args: argparse.Namespace) -> int:
     if args.jobs < 0:
         print(f"error: --jobs must be >= 0 (got {args.jobs})", file=sys.stderr)
         return 2
+    if args.backend is not None and args.method not in ("exact", "approx1"):
+        print(
+            f"error: --backend only applies to --method exact/approx1 "
+            f"(got --method {args.method})",
+            file=sys.stderr,
+        )
+        return 2
+    if _validate_backend(args.backend):
+        return 2
     net = load_network(args.netlist)
     with open(args.trace) as fh:
         edits = edits_from_json(json.load(fh))
@@ -479,6 +507,8 @@ def cmd_eco(args: argparse.Namespace) -> int:
     options = {}
     if args.method == "approx2":
         options["engine"] = args.engine
+    if args.backend is not None:
+        options["backend"] = args.backend
     session = NetworkSession(
         net,
         method=args.method,
@@ -602,6 +632,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if args.jobs < 0:
         print(f"error: --jobs must be >= 0 (got {args.jobs})", file=sys.stderr)
         return 2
+    if _validate_backend(args.backend):
+        return 2
     cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
     config = ServerConfig(
         host=args.host,
@@ -614,6 +646,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         session_idle_seconds=args.session_idle,
         task_timeout=args.task_timeout,
         debug_handlers=args.debug_handlers,
+        backend=args.backend,
     )
     server = ReproServer(config)
     for path in args.preload:
@@ -667,9 +700,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="dynamic variable reordering by sifting "
                         "(exact/approx1, the paper's §6 setup)")
     p.add_argument(
-        "--backend", choices=["object", "array"], default=None,
-        help="BDD kernel for --method exact/approx1 "
-             "(default: $REPRO_BDD_BACKEND, then 'object')")
+        "--backend", default=None, metavar="NAME",
+        help="BDD kernel for --method exact/approx1: object, array, or "
+             "native (default: $REPRO_BDD_BACKEND, then 'native'; "
+             "'native' falls back to 'array' when no C compiler exists)")
     p.add_argument("--jobs", type=int, default=1, metavar="N",
                    help="shard the analysis per output cone onto N worker "
                         "processes (0 = one per core; default 1 = serial "
@@ -746,6 +780,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="required time at every primary output (default 0)")
     p.add_argument("--engine", choices=["bdd", "sat"], default="sat",
                    help="validation engine for --method approx2")
+    p.add_argument("--backend", default=None, metavar="NAME",
+                   help="BDD kernel for --method exact/approx1: object, "
+                        "array, or native (default: $REPRO_BDD_BACKEND, "
+                        "then 'native')")
     p.add_argument("--jobs", type=int, default=1, metavar="N",
                    help="recompute dirty cones on N worker processes "
                         "(0 = one per core; default 1 = in-process)")
@@ -821,6 +859,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="evict sessions idle longer than this")
     p.add_argument("--task-timeout", type=float, default=None, metavar="SEC",
                    help="per-attempt wall budget before kill-and-requeue")
+    p.add_argument("--backend", default=None, metavar="NAME",
+                   help="default BDD kernel for analyses (object, array, "
+                        "or native); a request's own 'backend' option "
+                        "still wins")
     p.add_argument("--debug-handlers", action="store_true",
                    help="expose /debug/task and /debug/shutdown "
                         "(fault-injection tests and benchmarks)")

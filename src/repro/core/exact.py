@@ -59,10 +59,19 @@ class ExactOptions:
     max_nodes: int | None = None
     reorder: bool = False
     max_leaves: int = 50_000
-    #: BDD kernel selection (``object`` / ``array``); ``None`` defers to
-    #: the ``REPRO_BDD_BACKEND`` environment default.  See
-    #: :mod:`repro.bdd.api` and docs/BDD_BACKENDS.md.
+    #: BDD kernel selection (``object`` / ``array`` / ``native``);
+    #: ``None`` defers to the ``REPRO_BDD_BACKEND`` environment default.
+    #: See :mod:`repro.bdd.api` and docs/BDD_BACKENDS.md.
     backend: str | None = None
+
+    def __post_init__(self) -> None:
+        # unknown names fail at option-construction time with the same
+        # BddError message every other entry point (CLI, eco, serve)
+        # raises — not later, deep inside manager creation
+        if self.backend is not None:
+            from repro.bdd.api import resolve_backend
+
+            resolve_backend(self.backend)
 
     def kwargs(self) -> dict:
         return {

@@ -118,7 +118,7 @@ class RequiredTimeReport:
 
     def table_row(self) -> dict[str, object]:
         """The row the Table-1/2 harnesses print."""
-        return {
+        row = {
             "circuit": self.circuit,
             "method": self.method,
             "nontrivial": self.nontrivial,
@@ -130,6 +130,12 @@ class RequiredTimeReport:
             ),
             "aborted": self.aborted,
         }
+        # which BDD kernel actually ran (exact/approx1 only): requested,
+        # resolved, effective, fallback_reason — so a fleet reading
+        # ``required --json`` can tell a degraded native run from a real one
+        if "bdd_backend" in self.stats:
+            row["bdd_backend"] = self.stats["bdd_backend"]
+        return row
 
 
 def analyze_required_times(
@@ -189,6 +195,7 @@ def _analyze(
                 stats={
                     "leaf_variables": relation.num_leaf_variables,
                     "bdd": analysis.manager.statistics(),
+                    "bdd_backend": _backend_stamp(options, analysis.manager),
                 },
             )
         if method == "approx1":
@@ -205,6 +212,7 @@ def _analyze(
                 stats={
                     "num_parameters": result.num_parameters,
                     "bdd": analysis.manager.statistics(),
+                    "bdd_backend": _backend_stamp(options, analysis.manager),
                 },
             )
         if method == "approx2":
@@ -224,6 +232,9 @@ def _analyze(
                 stats={"checks": result.checks},
             )
     except ResourceLimitError as exc:
+        stats: dict[str, object] = {}
+        if method in ("exact", "approx1"):
+            stats["bdd_backend"] = _backend_stamp(options, None)
         return RequiredTimeReport(
             method=method,
             circuit=network.name,
@@ -232,5 +243,18 @@ def _analyze(
             aborted=True,
             abort_reason=str(exc),
             detail=exc.partial_result,
+            stats=stats,
         )
     raise TimingError(f"unknown method {method!r}")
+
+
+def _backend_stamp(options: dict, manager) -> dict:
+    """The BDD-kernel provenance of one run: how the request resolved,
+    plus the kernel the live manager actually is (ground truth when the
+    native backend degraded to array mid-factory)."""
+    from repro.bdd.api import backend_of, backend_resolution
+
+    stamp = backend_resolution(options.get("backend"))
+    if manager is not None:
+        stamp["effective"] = backend_of(manager)
+    return stamp

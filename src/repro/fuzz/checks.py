@@ -30,10 +30,10 @@ with the engine under test:
   cache-correctness oracle of docs/CACHING.md — every fuzz case
   exercises keying, serialization, and warm reconstruction);
 * ``bdd-backend-parity`` — the BDD-bound engines (exact, approx-1)
-  re-run under both BDD kernels (``object`` and ``array``, see
-  docs/BDD_BACKENDS.md): the canonical time-free rows — including
-  budget-abort status — must be bit-identical, so the two kernels can
-  never drift apart semantically.
+  re-run under every BDD kernel (``object``, ``array``, and — when it
+  built — ``native``, see docs/BDD_BACKENDS.md): the canonical
+  time-free rows — including budget-abort status — must be
+  bit-identical, so the kernels can never drift apart semantically.
 
 Any engine exception is itself a verdict (``engine-error``): a crash on
 a generated circuit is a bug the shrinker can minimize like any other.
@@ -460,7 +460,7 @@ def _check_bdd_backend_parity(
     result: CaseResult,
     with_exact: bool,
 ) -> None:
-    """Differential run of the BDD-bound engines under both kernels.
+    """Differential run of the BDD-bound engines under every kernel.
 
     ``exact`` and ``approx1`` are re-run once per backend (fresh manager
     each, so neither run can warm the other) and their canonical
@@ -469,13 +469,21 @@ def _check_bdd_backend_parity(
     budget-abort status, so a kernel that diverges in *any*
     user-observable way — including aborting at a different node
     count — is a failure the shrinker can minimize.
+
+    The ``native`` kernel joins the comparison only when it actually
+    built/loaded — under its no-compiler fallback it *is* the array
+    kernel, and a trivially-true three-way diff would overstate coverage.
     """
     import json
 
+    from repro.bdd.native_backend import native_status
     from repro.cache.results import CachedRequiredResult
     from repro.core.required_time import analyze_required_times
 
     ran("bdd-backend-parity")
+    backends = ["object", "array"]
+    if native_status()[0]:
+        backends.append("native")
     methods = [("approx1", {"max_nodes": suite.approx1_max_nodes})]
     if with_exact:
         methods.append(("exact", {"max_nodes": suite.exact_max_nodes}))
@@ -488,7 +496,7 @@ def _check_bdd_backend_parity(
         return
     for method, options in methods:
         rows: dict[str, str] = {}
-        for backend in ("object", "array"):
+        for backend in backends:
             try:
                 report = analyze_required_times(
                     case.network,
@@ -514,12 +522,14 @@ def _check_bdd_backend_parity(
                 )
                 rows = {}
                 break
-        if len(rows) == 2 and rows["object"] != rows["array"]:
-            fail(
-                "bdd-backend-parity",
-                f"{method}: object row != array row: "
-                f"{rows['object']} vs {rows['array']}",
-            )
+        if len(rows) == len(backends):
+            for backend in backends[1:]:
+                if rows[backend] != rows["object"]:
+                    fail(
+                        "bdd-backend-parity",
+                        f"{method}: object row != {backend} row: "
+                        f"{rows['object']} vs {rows[backend]}",
+                    )
 
 
 #: Every check name the runner can emit.

@@ -101,6 +101,10 @@ class ServerConfig:
     debug_handlers: bool = False
     max_body_bytes: int = DEFAULT_MAX_BODY_BYTES
     drain_timeout: float = 10.0
+    #: default BDD kernel for requests that do not name one themselves
+    #: (request option > this flag > ``$REPRO_BDD_BACKEND`` > default);
+    #: unknown names raise :class:`~repro.errors.BddError` at startup.
+    backend: str | None = None
 
 
 class _Job:
@@ -141,6 +145,10 @@ class ReproServer:
 
     def __init__(self, config: ServerConfig | None = None):
         self.config = config or ServerConfig()
+        if self.config.backend is not None:
+            from ..bdd.api import resolve_backend
+
+            resolve_backend(self.config.backend)  # typos fail at startup
         self.registry = CircuitRegistry(self.config.max_circuits)
         self.sessions = SessionStore(
             self.config.max_sessions, self.config.session_idle_seconds
@@ -442,7 +450,11 @@ class ReproServer:
             raise ServeError("no such endpoint: /", status=404, code="unknown-endpoint")
         head = parts[0]
         if head == "healthz" and req.method == "GET":
-            return 200, {"ok": True, "uptime": round(time.monotonic() - self._t0, 3)}, {}
+            return 200, {
+                "ok": True,
+                "uptime": round(time.monotonic() - self._t0, 3),
+                "bdd_backend": self._backend_resolution(),
+            }, {}
         if head == "metrics" and req.method == "GET":
             return 200, self._metrics_payload(), {}
         if head == "trace" and req.method == "GET":
@@ -493,8 +505,7 @@ class ReproServer:
             code="bad-circuit",
         )
 
-    @staticmethod
-    def _parse_required_params(body: dict):
+    def _parse_required_params(self, body: dict):
         """Validate method / delays / required / options from a request."""
         method = body.get("method", "topological")
         if method not in METHODS:
@@ -535,6 +546,16 @@ class ReproServer:
                 status=400,
                 code="bad-options",
             )
+        if options.get("backend") is None and self.config.backend is not None:
+            options["backend"] = self.config.backend
+        if options.get("backend") is not None:
+            from ..bdd.api import resolve_backend
+            from ..errors import BddError
+
+            try:
+                resolve_backend(options["backend"])
+            except BddError as exc:
+                raise ServeError(str(exc), status=400, code="bad-options") from exc
         return method, delays, output_required, options
 
     async def _handle_required(self, req: Request) -> tuple[int, dict, dict]:
@@ -816,12 +837,20 @@ class ReproServer:
     # ------------------------------------------------------------------
     # /metrics
     # ------------------------------------------------------------------
+    def _backend_resolution(self) -> dict:
+        """Which BDD kernel this daemon's analyses default to (a request
+        option still overrides per call)."""
+        from ..bdd.api import backend_resolution
+
+        return backend_resolution(self.config.backend)
+
     def _metrics_payload(self) -> dict:
         """The registry snapshot plus live server gauges."""
         return {
             "metrics": REGISTRY.snapshot().as_dict(),
             "server": {
                 "uptime": round(time.monotonic() - self._t0, 3),
+                "bdd_backend": self._backend_resolution(),
                 "queue_depth": self._queue.qsize(),
                 "active_requests": self._active,
                 "draining": self._draining,

@@ -34,12 +34,14 @@ from repro.errors import BddError, ResourceLimitError
 # ----------------------------------------------------------------------
 class TestBackendApi:
     def test_registry(self):
-        assert BACKENDS == ("object", "array")
+        assert BACKENDS == ("object", "array", "native")
 
-    def test_default_is_object(self, monkeypatch):
+    def test_default_is_native(self, monkeypatch):
         monkeypatch.delenv(BACKEND_ENV, raising=False)
-        assert resolve_backend(None) == "object"
-        assert isinstance(create_manager(), BddManager)
+        assert resolve_backend(None) == "native"
+        # native degrades to the array kernel without a C toolchain, so
+        # the factory yields an ArrayBddManager (or subclass) either way
+        assert isinstance(create_manager(), ArrayBddManager)
 
     def test_env_default(self, monkeypatch):
         monkeypatch.setenv(BACKEND_ENV, "array")

@@ -127,30 +127,32 @@ class TestOptions:
         # keys the entry: cached stats/wall differ and a divergence bug
         # in one kernel must never serve results under the other's key
         assert "backend" in SEMANTIC_OPTIONS
+        net = c17()
+        a = required_key(net, "exact", options={"backend": "object"})
+        b = required_key(net, "exact", options={"backend": "array"})
+        assert a.digest != b.digest
+
+    def test_default_backend_keys_like_array(self, monkeypatch):
+        # the default kernel is native, which keys as "array" (the two
+        # are bit-identical by construction); explicit "object" keys as
+        # the dropped historical baseline and stays distinct
         monkeypatch.delenv("REPRO_BDD_BACKEND", raising=False)
         net = c17()
         a = required_key(net, "exact", options={})
         b = required_key(net, "exact", options={"backend": "array"})
-        assert a.digest != b.digest
-
-    def test_default_backend_keys_like_absent(self, monkeypatch):
-        # explicit "object" == unset: pre-backend cache entries stay
-        # reachable without a SCHEMA_VERSION bump
-        monkeypatch.delenv("REPRO_BDD_BACKEND", raising=False)
-        net = c17()
-        a = required_key(net, "exact", options={})
-        b = required_key(net, "exact", options={"backend": "object"})
         c = required_key(net, "exact", options={"backend": None})
+        obj = required_key(net, "exact", options={"backend": "object"})
         assert a.digest == b.digest == c.digest
+        assert a.digest != obj.digest
 
     def test_env_selected_backend_keys_like_explicit(self, monkeypatch):
-        # a run under REPRO_BDD_BACKEND=array must never alias entries
-        # computed under the default kernel
+        # a run under REPRO_BDD_BACKEND=object must never alias entries
+        # computed under the default (native) kernel
         net = c17()
-        monkeypatch.setenv("REPRO_BDD_BACKEND", "array")
+        monkeypatch.setenv("REPRO_BDD_BACKEND", "object")
         via_env = required_key(net, "exact", options={})
         monkeypatch.delenv("REPRO_BDD_BACKEND", raising=False)
-        explicit = required_key(net, "exact", options={"backend": "array"})
+        explicit = required_key(net, "exact", options={"backend": "object"})
         default = required_key(net, "exact", options={})
         assert via_env.digest == explicit.digest
         assert via_env.digest != default.digest

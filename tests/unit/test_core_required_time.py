@@ -102,7 +102,19 @@ class TestFacade:
             "cpu_time",
             "first_nontrivial",
             "aborted",
+            "bdd_backend",
         }
+        # the kernel-provenance stamp rides only on the BDD-bound methods
+        assert set(row["bdd_backend"]) == {
+            "requested",
+            "resolved",
+            "effective",
+            "fallback_reason",
+        }
+        topo = analyze_required_times(
+            parity_tree(4), "topological", output_required=0.0
+        )
+        assert "bdd_backend" not in topo.table_row()
 
 
 class TestCrossMethodConsistency:
