@@ -1,0 +1,270 @@
+"""Interval delay model benchmark: parity, bounds cost, widened runs.
+
+Timed claims (the acceptance bars of docs/DELAY_MODELS.md):
+
+* **point parity** — on every scenario circuit, each of the four engines
+  run under a point-interval model produces a canonical result row
+  *byte-identical* to the scalar run (asserted, not sampled);
+* **bounds overhead** — the two-corner Figure-3 propagation
+  (:func:`~repro.timing.topological.required_time_bounds`) costs at most
+  ``BOUNDS_OVERHEAD_CEILING``× one scalar :func:`required_times` pass
+  (it does exactly twice the min-merge work in a single traversal);
+* **widened runs** — a genuinely widened model analyzes cleanly end to
+  end with the ``interval`` digest stamped on the row (reported for
+  context; its cost is the scalar run plus the bounds pass).
+
+Run:  pytest benchmarks/bench_interval.py --benchmark-only -q
+
+Script mode — ``python benchmarks/bench_interval.py [--smoke] [--json
+OUT]`` — replays every scenario with hard assertions and writes the
+BENCH_interval.json record; CI gates on it via
+``scripts/check_bdd_engine_regression.py --interval --smoke``.
+"""
+
+import json
+import sys
+import time
+
+from _harness import TableCollector
+
+from repro.cache.results import CachedRequiredResult
+from repro.circuits import carry_skip_adder, cascaded_mux_chain, parity_tree
+from repro.core.required_time import (
+    analyze_required_times,
+    topological_input_required_times,
+)
+from repro.timing import (
+    IntervalDelayModel,
+    required_time_bounds,
+    required_times,
+    unit_delay,
+)
+
+TABLE = TableCollector(
+    "Interval delays: point-interval parity and bounds overhead",
+    ["circuit", "method", "scalar (s)", "interval (s)", "parity"],
+)
+
+#: two-corner bounds propagation may cost at most this many single
+#: scalar Figure-3 passes (generous: the work is exactly 2x, the
+#: ceiling absorbs timer noise on sub-millisecond circuits)
+BOUNDS_OVERHEAD_CEILING = 3.0
+
+#: (method, options) pairs every scenario runs at both delay corners
+METHODS = (
+    ("topological", {}),
+    ("exact", {}),
+    ("approx1", {}),
+    ("approx2", {"engine": "sat"}),
+)
+
+
+def scenario_circuits(smoke: bool):
+    """The benchmark's circuit suite (smaller instances under --smoke)."""
+    if smoke:
+        return [
+            carry_skip_adder(2, 2),
+            cascaded_mux_chain(4),
+            parity_tree(4),
+        ]
+    # the carry-skip adder stays at 2x2 even in full mode: the exact
+    # relation's leaf lattice explodes combinatorially on larger skips
+    # (2x3 already exceeds 100 s), and this benchmark gates the interval
+    # plumbing, not engine capacity
+    return [
+        carry_skip_adder(2, 2),
+        cascaded_mux_chain(8),
+        parity_tree(8),
+    ]
+
+
+def _row(net, method, delays, options) -> dict:
+    """One engine run reduced to its canonical time-free row."""
+    baseline = topological_input_required_times(net, delays, 0.0)
+    report = analyze_required_times(
+        net, method, delays=delays, output_required=0.0, **options
+    )
+    return CachedRequiredResult.from_report(report, baseline).row()
+
+
+def run_parity_scenario(net) -> list[dict]:
+    """Scalar vs point-interval rows per method on one circuit."""
+    scalar = unit_delay()
+    point = IntervalDelayModel.from_scalar(scalar)
+    records = []
+    for method, options in METHODS:
+        t0 = time.perf_counter()
+        scalar_row = _row(net, method, scalar, options)
+        scalar_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        point_row = _row(
+            net, method, point, {**options, "delay_model": "interval"}
+        )
+        interval_s = time.perf_counter() - t0
+        parity = json.dumps(scalar_row, sort_keys=True) == json.dumps(
+            point_row, sort_keys=True
+        )
+        assert parity, (
+            f"{net.name}/{method}: point-interval row diverged from scalar"
+        )
+        records.append(
+            {
+                "circuit": net.name,
+                "method": method,
+                "scalar_seconds": round(scalar_s, 6),
+                "interval_seconds": round(interval_s, 6),
+                "parity": parity,
+            }
+        )
+    return records
+
+
+def run_bounds_scenario(net, repeats: int = 20) -> dict:
+    """Time scalar required_times vs two-corner required_time_bounds."""
+    scalar = unit_delay()
+    widened = IntervalDelayModel.from_scalar(scalar, widen=0.5)
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        req = required_times(net, scalar, 0.0)
+    scalar_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        bounds = required_time_bounds(net, widened, 0.0)
+    bounds_s = time.perf_counter() - t0
+    # soundness: the scalar requirement sits inside every bound
+    for name in net.nodes:
+        lo, hi = bounds[name]
+        assert lo <= req[name] <= hi, (
+            f"{net.name}/{name}: scalar {req[name]} outside [{lo}, {hi}]"
+        )
+    overhead = bounds_s / max(scalar_s, 1e-9)
+    return {
+        "circuit": net.name,
+        "repeats": repeats,
+        "scalar_seconds": round(scalar_s, 6),
+        "bounds_seconds": round(bounds_s, 6),
+        "overhead": round(overhead, 2),
+    }
+
+
+def run_widened_scenario(net) -> dict:
+    """A genuinely widened end-to-end approx2 run (stamp asserted)."""
+    widened = IntervalDelayModel.from_scalar(unit_delay(), widen=0.5)
+    t0 = time.perf_counter()
+    report = analyze_required_times(
+        net, "approx2", delays=widened, output_required=0.0,
+        delay_model="interval", engine="sat",
+    )
+    elapsed = time.perf_counter() - t0
+    stamp = report.stats.get("interval")
+    assert stamp is not None and stamp.get("point") is False, (
+        f"{net.name}: widened run missing the interval stamp"
+    )
+    assert "bounds" in stamp and "best_upper" in stamp
+    return {
+        "circuit": net.name,
+        "method": "approx2",
+        "seconds": round(elapsed, 6),
+        "nontrivial": report.nontrivial,
+        "best_upper_nontrivial": stamp["best_upper"]["nontrivial"],
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entries (the interval hot paths)
+# ----------------------------------------------------------------------
+def test_required_time_bounds(benchmark):
+    """Two-corner Figure-3 propagation on the carry-skip adder."""
+    net = carry_skip_adder(3, 3)  # topological only — large is fine here
+    model = IntervalDelayModel.from_scalar(unit_delay(), widen=0.5)
+    bounds = benchmark(lambda: required_time_bounds(net, model, 0.0))
+    assert all(lo <= hi for lo, hi in bounds.values())
+
+
+def test_point_interval_topological(benchmark):
+    """Point-interval topological analysis (the degenerate fast path)."""
+    net = carry_skip_adder(3, 3)
+    point = IntervalDelayModel.from_scalar(unit_delay())
+    report = benchmark(
+        lambda: analyze_required_times(
+            net, "topological", delays=point, delay_model="interval"
+        )
+    )
+    assert "interval" not in report.stats  # point models carry no stamp
+
+
+def test_zzz_print(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    TABLE.print_once()
+
+
+# ----------------------------------------------------------------------
+# script mode: the BENCH_interval.json record with hard gates
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Interval delay model parity/overhead benchmark."
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="smaller circuits (the CI gate)")
+    parser.add_argument("--json", default=None, metavar="OUT",
+                        help="write the BENCH record to this path")
+    args = parser.parse_args(argv)
+
+    circuits = scenario_circuits(args.smoke)
+    parity_records, bounds_records, widened_records = [], [], []
+    for net in circuits:
+        for record in run_parity_scenario(net):
+            parity_records.append(record)
+            TABLE.add(
+                record["circuit"], record["method"],
+                record["scalar_seconds"], record["interval_seconds"],
+                record["parity"],
+            )
+        bounds_records.append(run_bounds_scenario(net))
+        widened_records.append(run_widened_scenario(net))
+
+    for record in bounds_records:
+        print(
+            f"{record['circuit']:<16} bounds x{record['repeats']}: "
+            f"scalar {record['scalar_seconds']:.4f}s  "
+            f"bounds {record['bounds_seconds']:.4f}s  "
+            f"({record['overhead']}x)"
+        )
+    worst = max(bounds_records, key=lambda r: r["overhead"])
+    if worst["overhead"] > BOUNDS_OVERHEAD_CEILING:
+        print(
+            f"FAIL: required_time_bounds costs {worst['overhead']}x a scalar "
+            f"pass on {worst['circuit']} "
+            f"(ceiling {BOUNDS_OVERHEAD_CEILING}x)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"parity: {len(parity_records)} engine runs byte-identical; "
+        f"worst bounds overhead {worst['overhead']}x "
+        f"(ceiling {BOUNDS_OVERHEAD_CEILING}x)"
+    )
+
+    if args.json:
+        payload = {
+            "benchmark": "interval",
+            "smoke": args.smoke,
+            "bounds_overhead_ceiling": BOUNDS_OVERHEAD_CEILING,
+            "results": {
+                "parity": parity_records,
+                "bounds": bounds_records,
+                "widened": widened_records,
+            },
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"record written to {args.json}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,8 @@ Usage::
     python scripts/check_bdd_engine_regression.py --native-backend --smoke
     python scripts/check_bdd_engine_regression.py --serve
     python scripts/check_bdd_engine_regression.py --serve --smoke
+    python scripts/check_bdd_engine_regression.py --interval
+    python scripts/check_bdd_engine_regression.py --interval --smoke
 
 ``--update`` re-measures and rewrites the ``baseline`` block (the
 ``pre_pr`` block is historical and never rewritten).
@@ -57,6 +59,18 @@ row/merge parity against a full recompute asserted after **every**
 edit; the locality-heavy trace must beat per-edit full recompute by
 ``min_speedup_locality``, and (full mode only) the incremental wall must
 stay within ``wall_tolerance`` of the recorded baseline.
+
+``--interval`` switches to the ``BENCH_interval.json`` gate:
+``bench_interval.py`` is run in script mode (``--smoke`` passes the flag
+through — the CI configuration), which asserts byte-identical canonical
+rows between the scalar delay model and a point-interval model across
+all four engines (the degeneracy oracle of docs/DELAY_MODELS.md), checks
+that the scalar required time lies inside every widened ``[lo, hi]``
+bound, and times the two-corner ``required_time_bounds`` pass against a
+single scalar ``required_times`` pass; the overhead must stay under
+``max_bounds_overhead`` and (full mode only) the widened end-to-end
+approx2 wall must stay within ``wall_tolerance`` of the recorded
+baseline.
 
 ``--serve`` switches to the ``BENCH_serve.json`` gate: ``bench_serve.py``
 is run in script mode (``--smoke`` passes the flag through — the CI
@@ -96,6 +110,7 @@ BASELINE_FILE = REPO / "BENCH_bdd_engine.json"
 PARALLEL_BASELINE_FILE = REPO / "BENCH_parallel.json"
 ECO_BASELINE_FILE = REPO / "BENCH_eco.json"
 SERVE_BASELINE_FILE = REPO / "BENCH_serve.json"
+INTERVAL_BASELINE_FILE = REPO / "BENCH_interval.json"
 
 BENCHMARKS = [
     "benchmarks/bench_table1.py",
@@ -353,6 +368,115 @@ def check_eco(update: bool, smoke: bool) -> int:
             f"eco locality: incremental wall {wall:.4f}s "
             f"(baseline {base:.4f}s +{tolerance:.0%})  {verdict}"
         )
+    return 0 if ok else 1
+
+
+# ----------------------------------------------------------------------
+# the interval-delay gate (BENCH_interval.json)
+# ----------------------------------------------------------------------
+def run_bench_interval(smoke: bool, out: Path) -> dict:
+    """One ``bench_interval.py`` script-mode run; returns its payload.
+
+    The script itself asserts scalar/point-interval row parity per
+    engine, bound soundness, and the presence of the ``interval`` digest
+    stamp on widened runs, and fails (rc 1) above its built-in bounds
+    overhead ceiling, so a non-zero exit is already a gate failure.
+    """
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    cmd = [sys.executable, "bench_interval.py", "--json", str(out)]
+    if smoke:
+        cmd.append("--smoke")
+    result = subprocess.run(
+        cmd,
+        cwd=REPO / "benchmarks",
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    sys.stdout.write(result.stdout)
+    if result.returncode != 0:
+        raise SystemExit(f"bench_interval failed (rc={result.returncode})")
+    return json.loads(out.read_text())
+
+
+def check_interval(update: bool, smoke: bool) -> int:
+    data = load_baseline(INTERVAL_BASELINE_FILE)
+    gates = data["gates"]
+    out = Path("/tmp") / (
+        "bench_interval_smoke.json" if smoke else "bench_interval.json"
+    )
+    print(f"running bench_interval.py{' --smoke' if smoke else ''} ...",
+          flush=True)
+    payload = run_bench_interval(smoke, out)
+    results = payload["results"]
+
+    ok = True
+    parity = results["parity"]
+    if not all(r["parity"] for r in parity):
+        # bench_interval asserts parity itself; belt-and-braces re-check
+        print("interval: PARITY FAIL — point-interval rows diverged from scalar")
+        ok = False
+    else:
+        print(f"interval: parity ok ({len(parity)} engine runs byte-identical)")
+
+    ceiling = gates["max_bounds_overhead"]
+    worst = max(results["bounds"], key=lambda r: r["overhead"])
+    verdict = "ok" if worst["overhead"] <= ceiling else "FAIL"
+    if worst["overhead"] > ceiling:
+        ok = False
+    print(
+        f"interval: worst bounds overhead {worst['overhead']:.2f}x "
+        f"({worst['circuit']}; ceiling {ceiling:.1f}x)  {verdict}"
+    )
+
+    if update:
+        if smoke:
+            raise SystemExit("error: refusing --interval --update --smoke — "
+                             "the baseline records the full-size circuits")
+        data["baseline"] = {
+            "python": sys.version.split()[0],
+            "bounds": {
+                r["circuit"]: {
+                    k: r[k] for k in (
+                        "repeats", "scalar_seconds", "bounds_seconds",
+                        "overhead",
+                    )
+                }
+                for r in results["bounds"]
+            },
+            "widened_seconds": {
+                r["circuit"]: r["seconds"] for r in results["widened"]
+            },
+        }
+        INTERVAL_BASELINE_FILE.write_text(json.dumps(data, indent=2) + "\n")
+        print(f"baseline updated in {INTERVAL_BASELINE_FILE.name}")
+        return 0 if ok else 1
+
+    if not smoke:
+        # the wall gate needs the full-size circuits the baseline records;
+        # the smoke subset is smaller and would always "pass".  The widened
+        # approx2 walls are the only multi-millisecond numbers in the
+        # record, so they carry the regression gate (generous tolerance —
+        # these runs are short enough to be scheduler-sensitive).
+        tolerance = gates["wall_tolerance"]
+        for record in results["widened"]:
+            base = data["baseline"]["widened_seconds"].get(record["circuit"])
+            if base is None:
+                print(f"interval[{record['circuit']}]: no baseline — run "
+                      f"--interval --update")
+                ok = False
+                continue
+            within = record["seconds"] <= base * (1.0 + tolerance)
+            verdict = "ok" if within else "FAIL"
+            if not within:
+                ok = False
+            print(
+                f"interval[{record['circuit']}]: widened approx2 wall "
+                f"{record['seconds']:.4f}s (baseline {base:.4f}s "
+                f"+{tolerance:.0%})  {verdict}"
+            )
     return 0 if ok else 1
 
 
@@ -739,7 +863,7 @@ def main() -> int:
         "--smoke",
         action="store_true",
         help="with --parallel/--array-backend/--native-backend/--eco/"
-             "--serve: the fast CI smoke subset",
+             "--serve/--interval: the fast CI smoke subset",
     )
     parser.add_argument(
         "--array-backend",
@@ -761,6 +885,11 @@ def main() -> int:
         action="store_true",
         help="run the BENCH_serve.json warm-daemon gate instead",
     )
+    parser.add_argument(
+        "--interval",
+        action="store_true",
+        help="run the BENCH_interval.json interval-delay gate instead",
+    )
     args = parser.parse_args()
 
     if args.parallel:
@@ -773,6 +902,8 @@ def main() -> int:
         return check_eco(update=args.update, smoke=args.smoke)
     if args.serve:
         return check_serve(update=args.update, smoke=args.smoke)
+    if args.interval:
+        return check_interval(update=args.update, smoke=args.smoke)
 
     data = load_baseline(BASELINE_FILE)
     times = measure()

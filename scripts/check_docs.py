@@ -50,6 +50,7 @@ COVERAGE_TARGETS = [
     os.path.join("src", "repro", "cache"),
     os.path.join("src", "repro", "eco"),
     os.path.join("src", "repro", "serve"),
+    os.path.join("src", "repro", "timing"),
 ]
 COVERAGE_FLOOR = 0.90
 

@@ -45,6 +45,7 @@ SCHEMA_VERSION = 1
 #: Transport/layer options such as ``cache_dir`` are excluded on purpose.
 SEMANTIC_OPTIONS = (
     "backend",
+    "delay_model",
     "engine",
     "exact_row_counts",
     "max_nodes",
@@ -124,6 +125,14 @@ def _canonical_options(options: Mapping[str, object] | None) -> dict:
         out.pop("backend", None)
     else:
         out["backend"] = effective
+    # like the baseline backend: an explicit "scalar" is the historical
+    # default, so it keys identically to an absent option and existing
+    # digests stay reachable.  A genuine "interval" run additionally
+    # carries the interval spec in the ``delays`` payload (its
+    # ``"model": "interval"`` marker), so it can never alias a scalar
+    # entry even for point intervals.
+    if out.get("delay_model") == "scalar":
+        out.pop("delay_model", None)
     return out
 
 

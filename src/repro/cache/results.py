@@ -129,6 +129,11 @@ def summarize_report(
         input_times = dict(baseline)
     if report.aborted:
         input_times = dict(baseline)
+    # widened interval-delay runs carry their [lo, hi] bounds into the
+    # canonical row; point-interval runs have no stamp, so their digests
+    # stay byte-identical to scalar ones (docs/DELAY_MODELS.md)
+    if "interval" in report.stats:
+        digest["interval"] = report.stats["interval"]
     return digest, input_times
 
 
@@ -275,6 +280,8 @@ class CachedRequiredResult:
         }
         if "bdd_backend" in self.stats:
             row["bdd_backend"] = self.stats["bdd_backend"]
+        if "interval" in self.stats:
+            row["interval"] = self.stats["interval"]
         return row
 
     def to_outcome(self):

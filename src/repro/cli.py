@@ -143,6 +143,19 @@ def cmd_required(args: argparse.Namespace) -> int:
     if args.jobs < 0:
         print(f"error: --jobs must be >= 0 (got {args.jobs})", file=sys.stderr)
         return 2
+    delays = None
+    if args.delay_spec is not None:
+        from repro.timing import IntervalDelayModel, delay_model_from_spec
+
+        with open(args.delay_spec) as fh:
+            delays = delay_model_from_spec(json.load(fh))
+        if args.delay_model == "scalar" and isinstance(delays, IntervalDelayModel):
+            print(
+                f"error: --delay-spec {args.delay_spec} is an interval spec "
+                "but --delay-model scalar was requested",
+                file=sys.stderr,
+            )
+            return 2
     from repro.cache import default_cache_dir
 
     cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
@@ -157,10 +170,12 @@ def cmd_required(args: argparse.Namespace) -> int:
         options["reorder"] = True
     if args.backend is not None:
         options["backend"] = args.backend
+    if args.delay_model is not None:
+        options["delay_model"] = args.delay_model
     if args.jobs not in (1,):
-        return _cmd_required_sharded(args, options, cache_dir)
+        return _cmd_required_sharded(args, options, cache_dir, delays)
     if cache_dir is not None:
-        return _cmd_required_cached(args, options, cache_dir)
+        return _cmd_required_cached(args, options, cache_dir, delays)
 
     trace = None
     if args.trace is not None:
@@ -173,7 +188,8 @@ def cmd_required(args: argparse.Namespace) -> int:
         with span("cli.required", netlist=args.netlist, method=args.method):
             net = load_network(args.netlist)
             report = analyze_required_times(
-                net, args.method, output_required=args.required, **options
+                net, args.method, delays=delays,
+                output_required=args.required, **options
             )
     finally:
         if args.trace is not None:
@@ -217,7 +233,7 @@ def cmd_required(args: argparse.Namespace) -> int:
 
 
 def _cmd_required_cached(
-    args: argparse.Namespace, options: dict, cache_dir: str
+    args: argparse.Namespace, options: dict, cache_dir: str, delays=None
 ) -> int:
     """``required`` through the persistent result cache (serial path).
 
@@ -241,8 +257,8 @@ def _cmd_required_cached(
             net = load_network(args.netlist)
             cache = ResultCache(cache_dir)
             result, hit = cached_analyze_required_times(
-                net, args.method, cache, output_required=args.required,
-                options=options,
+                net, args.method, cache, delays=delays,
+                output_required=args.required, options=options,
             )
     finally:
         if args.trace is not None:
@@ -276,7 +292,8 @@ def _cmd_required_cached(
 
 
 def _cmd_required_sharded(
-    args: argparse.Namespace, options: dict, cache_dir: str | None = None
+    args: argparse.Namespace, options: dict, cache_dir: str | None = None,
+    delays=None,
 ) -> int:
     """``required --jobs N``: one task per output cone, min-merged.
 
@@ -316,7 +333,7 @@ def _cmd_required_sharded(
                 task_options["cache_dir"] = cache_dir
             tasks = shard_required_time(
                 net, args.method, output_required=args.required,
-                options=task_options,
+                delays=delays, options=task_options,
             )
             batch = run_batch(tasks, jobs=args.jobs)
             outcomes = [o.value for o in batch.outcomes if o.ok]
@@ -509,6 +526,8 @@ def cmd_eco(args: argparse.Namespace) -> int:
         options["engine"] = args.engine
     if args.backend is not None:
         options["backend"] = args.backend
+    if args.delay_model is not None:
+        options["delay_model"] = args.delay_model
     session = NetworkSession(
         net,
         method=args.method,
@@ -647,6 +666,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         task_timeout=args.task_timeout,
         debug_handlers=args.debug_handlers,
         backend=args.backend,
+        delay_model=args.delay_model,
     )
     server = ReproServer(config)
     for path in args.preload:
@@ -688,6 +708,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--required", type=float, default=0.0,
                    help="required time at every primary output (default 0)")
     p.add_argument("--engine", choices=["bdd", "sat"], default="sat")
+    p.add_argument("--delay-model", choices=["scalar", "interval"],
+                   default=None,
+                   help="delay semantics: scalar max delays (the paper's "
+                        "model, default) or min/max rise/fall intervals; "
+                        "interval runs report [lo, hi] requirement bounds "
+                        "(docs/DELAY_MODELS.md)")
+    p.add_argument("--delay-spec", default=None, metavar="FILE",
+                   help="JSON delay specification (DelayModel.to_spec "
+                        "format; a \"model\": \"interval\" spec selects "
+                        "the interval model; default: unit delays)")
     p.add_argument("--budget", type=float, default=None,
                    help="time budget in seconds (approx2)")
     p.add_argument("--max-nodes", type=int, default=None,
@@ -754,11 +784,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=1, metavar="N",
                    help="run cases on N worker processes (0 = one per "
                         "core; default 1 = serial; circuit family only)")
-    p.add_argument("--family", choices=["circuit", "eco"], default="circuit",
+    p.add_argument("--family", choices=["circuit", "eco", "interval"],
+                   default="circuit",
                    help="what each case is: a static netlist run through "
-                        "the differential checks, or an edit trace "
-                        "replayed incrementally against a full-recompute "
-                        "parity oracle (default circuit)")
+                        "the differential checks, an edit trace replayed "
+                        "incrementally against a full-recompute parity "
+                        "oracle, or an interval-delay case checked for "
+                        "point-interval/scalar parity and widening "
+                        "monotonicity (default circuit)")
     p.add_argument("--replay", default=None, metavar="DIR",
                    help="replay a saved corpus instead of fuzzing")
     p.add_argument("--json", action="store_true", help="machine-readable report")
@@ -780,6 +813,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="required time at every primary output (default 0)")
     p.add_argument("--engine", choices=["bdd", "sat"], default="sat",
                    help="validation engine for --method approx2")
+    p.add_argument("--delay-model", choices=["scalar", "interval"],
+                   default=None,
+                   help="delay semantics for the per-edit re-analysis "
+                        "(docs/DELAY_MODELS.md)")
     p.add_argument("--backend", default=None, metavar="NAME",
                    help="BDD kernel for --method exact/approx1: object, "
                         "array, or native (default: $REPRO_BDD_BACKEND, "
@@ -863,6 +900,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="default BDD kernel for analyses (object, array, "
                         "or native); a request's own 'backend' option "
                         "still wins")
+    p.add_argument("--delay-model", choices=["scalar", "interval"],
+                   default=None,
+                   help="default delay semantics for analyses; a "
+                        "request's own 'delay_model' option still wins "
+                        "(docs/DELAY_MODELS.md)")
     p.add_argument("--debug-handlers", action="store_true",
                    help="expose /debug/task and /debug/shutdown "
                         "(fault-injection tests and benchmarks)")

@@ -24,7 +24,13 @@ from typing import Literal, Mapping
 from repro.errors import TimingError
 from repro.network.network import Network
 from repro.obs.trace import span
-from repro.timing.delay import DelayModel, unit_delay
+from repro.timing.delay import (
+    DelayModel,
+    IntervalDelayModel,
+    unit_delay,
+    unit_interval_delay,
+)
+from repro.timing.topological import required_time_bounds
 from repro.timing.topological import required_times as topo_required
 
 INF = math.inf
@@ -135,6 +141,11 @@ class RequiredTimeReport:
         # ``required --json`` can tell a degraded native run from a real one
         if "bdd_backend" in self.stats:
             row["bdd_backend"] = self.stats["bdd_backend"]
+        # interval-delay extras: present only for genuinely widened models,
+        # so point-interval rows stay byte-identical to scalar ones (the
+        # degeneracy contract in docs/DELAY_MODELS.md)
+        if "interval" in self.stats:
+            row["interval"] = self.stats["interval"]
         return row
 
 
@@ -143,6 +154,7 @@ def analyze_required_times(
     method: Method,
     delays: DelayModel | None = None,
     output_required: Mapping[str, float] | float = 0.0,
+    delay_model: str | None = None,
     **options,
 ) -> RequiredTimeReport:
     """Unified entry point: run one of the paper's algorithms end to end.
@@ -151,12 +163,82 @@ def analyze_required_times(
     ``reorder`` for exact/approx1, ``engine`` / budgets for approx2).
     Resource exhaustion is reported in the result instead of raised,
     mirroring the paper's table annotations.
-    """
-    from repro.errors import ResourceLimitError
 
-    delays = delays or unit_delay()
+    ``delay_model`` selects the delay semantics: ``"scalar"`` (or unset)
+    is the paper's model; ``"interval"`` promotes a scalar ``delays`` to
+    point intervals (or accepts an :class:`IntervalDelayModel` as-is)
+    and runs the χ machinery on the conservative hi corner, attaching
+    ``[lo, hi]`` input-requirement bounds to ``stats["interval"]`` when
+    the model is genuinely widened (docs/DELAY_MODELS.md).
+    """
+    delays = _resolve_delays(delays, delay_model)
     with span("required.analyze", circuit=network.name, method=method):
-        return _analyze(network, method, delays, output_required, options)
+        report = _analyze(network, method, delays, output_required, options)
+        if isinstance(delays, IntervalDelayModel) and not delays.is_point():
+            report.stats["interval"] = _interval_stamp(
+                network, method, delays, output_required, options
+            )
+        return report
+
+
+def _resolve_delays(
+    delays: DelayModel | IntervalDelayModel | None, delay_model: str | None
+):
+    """Apply the ``delay_model`` selector to whatever ``delays`` was given."""
+    if delay_model in (None, "scalar"):
+        return delays or unit_delay()
+    if delay_model == "interval":
+        if delays is None:
+            return unit_interval_delay()
+        if isinstance(delays, IntervalDelayModel):
+            return delays
+        return IntervalDelayModel.from_scalar(delays)
+    raise TimingError(
+        f"unknown delay model {delay_model!r} "
+        "(choose from ['scalar', 'interval'])"
+    )
+
+
+def _interval_stamp(
+    network: Network,
+    method: Method,
+    delays: IntervalDelayModel,
+    output_required: Mapping[str, float] | float,
+    options: dict,
+) -> dict:
+    """The interval-delay digest attached to non-point runs.
+
+    ``bounds`` is the topological ``[lo, hi]`` requirement box per primary
+    input (Figure 3 at both delay corners).  For approx2 a second lattice
+    climb at the optimistic lo corner reports ``best_upper`` — the loosest
+    false-path-aware requirement achievable anywhere in the delay box.
+    Times render through :func:`format_time` so ``inf`` stays JSON-safe.
+    """
+    bounds = required_time_bounds(network, delays, output_required)
+    stamp: dict[str, object] = {
+        "point": False,
+        "bounds": {
+            pi: [format_time(bounds[pi][0]), format_time(bounds[pi][1])]
+            for pi in network.inputs
+        },
+    }
+    if method == "approx2":
+        from repro.core.approx2 import Approx2Analysis
+
+        result = Approx2Analysis(
+            network, delays.lo_model(), output_required, **options
+        ).run()
+        stamp["best_upper"] = {
+            "nontrivial": result.nontrivial,
+            # lattice coordinates are pi names, or (pi, value) pairs under
+            # separate_values — flatten the latter to "pi@value" JSON keys
+            "r": {
+                (coord if isinstance(coord, str) else f"{coord[0]}@{coord[1]}"):
+                    format_time(t)
+                for coord, t in sorted(result.best.items(), key=str)
+            },
+        }
+    return stamp
 
 
 def _analyze(

@@ -23,7 +23,11 @@ test harness:
   save loop behind ``repro fuzz`` and the nightly CI job;
 * :mod:`repro.fuzz.eco` — the ``eco`` family: seeded *edit traces*
   replayed through an incremental :class:`~repro.eco.NetworkSession`
-  against a full-recompute parity oracle after every edit.
+  against a full-recompute parity oracle after every edit;
+* :mod:`repro.fuzz.interval` — the ``interval`` family: interval-delay
+  cases checked for point-interval/scalar canonical-row parity per
+  engine and for widening monotonicity of the ``[lo, hi]``
+  required-time bounds (docs/DELAY_MODELS.md).
 """
 
 from repro.fuzz.checks import CaseResult, CheckFailure, EngineSuite, run_differential
@@ -44,6 +48,12 @@ from repro.fuzz.eco import (
     shrink_eco_trace,
 )
 from repro.fuzz.gen import PROFILES, FuzzCase, FuzzProfile, generate_case, iter_cases
+from repro.fuzz.interval import (
+    INTERVAL_CHECKS,
+    IntervalCase,
+    generate_interval_case,
+    run_interval_differential,
+)
 from repro.fuzz.runner import FuzzReport, FuzzRunner
 from repro.fuzz.shrink import case_candidates, failure_predicate, shrink_case
 
@@ -58,6 +68,8 @@ __all__ = [
     "FuzzProfile",
     "FuzzReport",
     "FuzzRunner",
+    "INTERVAL_CHECKS",
+    "IntervalCase",
     "PROFILES",
     "case_candidates",
     "eco_failure_predicate",
@@ -65,11 +77,13 @@ __all__ = [
     "failure_predicate",
     "generate_case",
     "generate_eco_trace",
+    "generate_interval_case",
     "iter_cases",
     "load_corpus",
     "replay_entry",
     "run_differential",
     "run_eco_differential",
+    "run_interval_differential",
     "save_eco_repro",
     "save_repro",
     "shrink_case",

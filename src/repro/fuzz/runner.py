@@ -152,9 +152,12 @@ class FuzzRunner:
         #: index alone and the verdict sequence is identical to serial.
         self.jobs = jobs
         #: what each case is: ``circuit`` (one static analysis problem,
-        #: the classic differential run) or ``eco`` (a base circuit plus
+        #: the classic differential run), ``eco`` (a base circuit plus
         #: a seeded edit trace checked for incremental-vs-full-recompute
-        #: parity after every edit — see :mod:`repro.fuzz.eco`)
+        #: parity after every edit — see :mod:`repro.fuzz.eco`), or
+        #: ``interval`` (a base circuit checked for point-interval/scalar
+        #: row parity per engine plus widening monotonicity — see
+        #: :mod:`repro.fuzz.interval`)
         self.family = family
         #: optional per-verdict callback (the CLI's live output)
         self.log = log
@@ -172,12 +175,12 @@ class FuzzRunner:
         return self.jobs != 1 and type(self.suite) is EngineSuite
 
     def run(self) -> FuzzReport:
-        if self.family not in ("circuit", "eco"):
+        if self.family not in ("circuit", "eco", "interval"):
             from repro.errors import ReproError
 
             raise ReproError(
                 f"unknown fuzz family {self.family!r}; "
-                f"choose from ['circuit', 'eco']"
+                f"choose from ['circuit', 'eco', 'interval']"
             )
         start = _time.monotonic()
         before = REGISTRY.snapshot()
@@ -188,6 +191,13 @@ class FuzzRunner:
             # eco traces replay serially: each case already fans out into
             # one session per method plus a full-recompute oracle per edit
             self._run_eco(report, start, cases_metric, failures_metric)
+            report.elapsed = _time.monotonic() - start
+            report.metrics = REGISTRY.snapshot().diff(before)
+            return report
+        if self.family == "interval":
+            # interval cases run serially: each already runs every engine
+            # twice (scalar vs point-interval) for the parity oracle
+            self._run_interval(report, start, cases_metric, failures_metric)
             report.elapsed = _time.monotonic() - start
             report.metrics = REGISTRY.snapshot().diff(before)
             return report
@@ -278,6 +288,57 @@ class FuzzRunner:
                     verdict.repro = save_eco_repro(
                         self.corpus_dir, shrunk, use, original=trace
                     )
+            cases_metric.inc()
+            if not verdict.ok:
+                failures_metric.inc()
+            report.verdicts.append(verdict)
+            if self.log is not None:
+                self.log(verdict)
+            if not verdict.ok and self.stop_on_failure:
+                report.stopped = "stop-on-failure"
+                break
+
+    def _run_interval(
+        self, report, start, cases_metric, failures_metric
+    ) -> None:
+        """The serial interval-family loop: generate → differential → save.
+
+        Interval findings are not shrunk (the base circuit is the whole
+        repro — the widths regenerate from the recorded seed); failures
+        persist to the corpus like circuit findings when ``corpus_dir``
+        is set.
+        """
+        from repro.fuzz.interval import (
+            generate_interval_case,
+            run_interval_differential,
+        )
+
+        for index in range(self.budget):
+            if (
+                self.time_budget is not None
+                and _time.monotonic() - start > self.time_budget
+            ):
+                report.stopped = "time"
+                break
+            icase = generate_interval_case(self.seed, self.profile, index)
+            with span("fuzz.interval_case", case=icase.case_id, index=index):
+                result = run_interval_differential(icase, self.suite)
+            verdict = CaseVerdict(
+                index=index,
+                case_id=icase.case_id,
+                family="interval",
+                num_inputs=icase.num_inputs,
+                num_gates=icase.num_gates,
+                ok=result.ok,
+                failed_checks=result.failed_checks,
+                elapsed=result.elapsed,
+                metrics=result.metrics,
+            )
+            if not verdict.ok and self.corpus_dir is not None:
+                verdict.repro = save_repro(
+                    self.corpus_dir, icase.case, result.failures,
+                    original=icase.case,
+                )
             cases_metric.inc()
             if not verdict.ok:
                 failures_metric.inc()

@@ -3,6 +3,8 @@
 * :mod:`~repro.timing.delay` — delay models.  The paper's analysis is under
   the XBD0 (extended bounded delay-0) model: every gate delay floats
   between 0 and its maximum; the experiments use the unit delay model.
+  :class:`~repro.timing.delay.IntervalDelayModel` extends this with
+  min/max rise/fall bounds per gate (docs/DELAY_MODELS.md).
 * :mod:`~repro.timing.topological` — classical longest-path STA, including
   the exact algorithm of the paper's Figure 3 for backward required-time
   propagation.
@@ -17,10 +19,17 @@
   boundaries into the combinational analysis problem (Section 3).
 """
 
-from repro.timing.delay import DelayModel, unit_delay
+from repro.timing.delay import (
+    DelayModel,
+    IntervalDelayModel,
+    delay_model_from_spec,
+    unit_delay,
+    unit_interval_delay,
+)
 from repro.timing.topological import (
     TopologicalTiming,
     arrival_times,
+    required_time_bounds,
     required_times,
     slacks,
 )
@@ -51,9 +60,13 @@ from repro.timing.paths import (
 
 __all__ = [
     "DelayModel",
+    "IntervalDelayModel",
+    "delay_model_from_spec",
     "unit_delay",
+    "unit_interval_delay",
     "TopologicalTiming",
     "arrival_times",
+    "required_time_bounds",
     "required_times",
     "slacks",
     "ChiEngine",

@@ -86,6 +86,7 @@ class ChiEngine:
             return self._chi(name, value, float(t))
 
     def _chi(self, name: str, value: int, t: float) -> BddNode:
+        """Memoized χ recursion body behind :meth:`chi`."""
         key = (name, value, t)
         cached = self._memo.get(key)
         if cached is not None:
@@ -179,6 +180,7 @@ def _candidate_times_into(
     max_per_node: int,
     times: dict[str, list[float]],
 ) -> None:
+    """Fill ``times`` with each node's candidate stabilization instants."""
     for name in network.topological_order():
         node = network.nodes[name]
         if node.is_input:

@@ -120,6 +120,7 @@ class FunctionalTiming:
             return cands[lo]
 
     def true_arrivals(self) -> dict[str, float]:
+        """Functional (false-path-aware) arrival per primary output."""
         return {o: self.true_arrival(o) for o in self.network.outputs}
 
     def functional_delay(self) -> float:
@@ -127,6 +128,7 @@ class FunctionalTiming:
         return max(self.true_arrivals().values())
 
     def topological_arrivals(self) -> dict[str, float]:
+        """Longest-path arrival per primary output (the comparison base)."""
         arr = topo_arrival_times(self.network, self.delays, self.arrivals)
         return {o: arr[o] for o in self.network.outputs}
 

@@ -45,10 +45,12 @@ class Path:
 
     @property
     def start(self) -> str:
+        """First node of the path (usually a primary input)."""
         return self.nodes[0]
 
     @property
     def end(self) -> str:
+        """Last node of the path (usually a primary output)."""
         return self.nodes[-1]
 
     def __len__(self) -> int:
@@ -148,6 +150,7 @@ def static_sensitization_condition(
 def is_statically_sensitizable(
     network: Network, path: Path | Sequence[str]
 ) -> bool:
+    """True when some input vector statically sensitizes the path."""
     return not static_sensitization_condition(network, path).is_false
 
 

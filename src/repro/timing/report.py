@@ -46,13 +46,16 @@ class TimingReport:
 
     @property
     def functional_delay(self) -> float:
+        """Worst false-path-aware output arrival in the report."""
         return max(t for _, t in self.arrivals.values())
 
     @property
     def topological_delay(self) -> float:
+        """Worst longest-path output arrival in the report."""
         return max(t for t, _ in self.arrivals.values())
 
     def render(self) -> str:
+        """Human-readable multi-line summary of the report."""
         out = io.StringIO()
         out.write(f"=== timing report: {self.circuit} ===\n")
         out.write(

@@ -16,7 +16,7 @@ from typing import Mapping
 from repro.errors import TimingError
 from repro.network.network import Network
 from repro.obs.trace import span
-from repro.timing.delay import DelayModel, unit_delay
+from repro.timing.delay import DelayModel, IntervalDelayModel, unit_delay
 
 
 def arrival_times(
@@ -42,6 +42,7 @@ def _arrival_into(
     input_arrivals: Mapping[str, float],
     arr: dict[str, float],
 ) -> None:
+    """Fill ``arr`` with longest-path arrivals in topological order."""
     for name in network.topological_order():
         node = network.nodes[name]
         if node.is_input:
@@ -99,6 +100,58 @@ def required_times(
     return req
 
 
+def required_time_bounds(
+    network: Network,
+    delays: IntervalDelayModel,
+    output_required: Mapping[str, float] | float = 0.0,
+) -> dict[str, tuple[float, float]]:
+    """Figure-3 backward propagation under interval delays.
+
+    Every gate delay floats in its ``[lo, hi]`` box independently, so the
+    topological required time of each node spans an interval too:
+
+    * the **lo** end assumes every downstream gate is at its *hi* delay —
+      this is the conservative (safe) required time any fixed delay
+      assignment in the box must satisfy;
+    * the **hi** end assumes every downstream gate is at its *lo* delay —
+      the most optimistic requirement achievable inside the box.
+
+    Concretely, with ``req(n) = [req_lo, req_hi]`` the candidate pushed
+    into fanin ``m`` is ``[req_lo - d_hi(n), req_hi - d_lo(n)]`` and both
+    ends min-merge independently at multi-fanout nodes, which is exactly
+    running :func:`required_times` once per corner — point intervals
+    collapse both corners onto the scalar result (docs/DELAY_MODELS.md).
+    """
+    if isinstance(output_required, Mapping):
+        req_out = dict(output_required)
+        missing = set(network.outputs) - set(req_out)
+        if missing:
+            raise TimingError(f"missing required times for outputs {sorted(missing)}")
+    else:
+        req_out = {o: float(output_required) for o in network.outputs}
+
+    lo: dict[str, float] = {name: math.inf for name in network.nodes}
+    hi: dict[str, float] = {name: math.inf for name in network.nodes}
+    for out, t in req_out.items():
+        lo[out] = min(lo[out], float(t))
+        hi[out] = min(hi[out], float(t))
+
+    with span("topo.required_bounds", nodes=len(network.nodes)):
+        for name in network.reverse_topological_order():
+            node = network.nodes[name]
+            if node.is_input:
+                continue
+            if lo[name] == math.inf and hi[name] == math.inf:
+                continue
+            d_lo, d_hi = delays.of_bounds(name)
+            for fanin in node.fanins:
+                if lo[name] - d_hi < lo[fanin]:
+                    lo[fanin] = lo[name] - d_hi
+                if hi[name] - d_lo < hi[fanin]:
+                    hi[fanin] = hi[name] - d_lo
+    return {name: (lo[name], hi[name]) for name in network.nodes}
+
+
 def slacks(
     network: Network,
     delays: DelayModel | None = None,
@@ -129,6 +182,7 @@ class TopologicalTiming:
         input_arrivals: Mapping[str, float] | None = None,
         output_required: Mapping[str, float] | float = 0.0,
     ) -> "TopologicalTiming":
+        """Run forward arrival + backward required STA in one shot."""
         delays = delays or unit_delay()
         arr = arrival_times(network, delays, input_arrivals)
         req = required_times(network, delays, output_required)
@@ -137,6 +191,7 @@ class TopologicalTiming:
 
     @property
     def worst_slack(self) -> float:
+        """The minimum slack over all nodes (negative = violation)."""
         return min(self.slack[n] for n in self.network.nodes)
 
     def critical_path(self) -> list[str]:
